@@ -1,0 +1,39 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"oipsr/simrank"
+)
+
+// runAblations measures the design choices DESIGN.md flags: outer sharing,
+// candidate generation strategy, and MST backend. All variants compute
+// identical scores (property-tested in internal/core); only cost moves.
+func runAblations(cfg config) {
+	header("Ablations: OIP-SR design choices on berkstan*", "DESIGN.md")
+	g := webGraph(cfg)
+	fmt.Printf("workload: n=%d m=%d d=%.1f, K=10 C=0.6\n", g.NumVertices(), g.NumEdges(), g.AvgInDegree())
+	fmt.Printf("%-28s | %12s %12s | %14s %14s\n", "variant", "plan", "compute", "inner adds", "outer adds")
+
+	variants := []struct {
+		name string
+		opt  simrank.Options
+	}{
+		{"full OIP-SR", simrank.Options{Algorithm: simrank.OIPSR}},
+		{"inner sharing only", simrank.Options{Algorithm: simrank.OIPSR, DisableOuterSharing: true}},
+		{"dense O(n^2) candidates", simrank.Options{Algorithm: simrank.OIPSR, DensePartition: true}},
+		{"Edmonds MST backend", simrank.Options{Algorithm: simrank.OIPSR, UseEdmonds: true}},
+		{"pair cap 8", simrank.Options{Algorithm: simrank.OIPSR, PairCap: 8}},
+		{"psum-SR (no sharing)", simrank.Options{Algorithm: simrank.PsumSR}},
+	}
+	for _, v := range variants {
+		v.opt.C = 0.6
+		v.opt.K = 10
+		_, st, err := simrank.Compute(g, v.opt)
+		must(err)
+		fmt.Printf("%-28s | %12v %12v | %14d %14d\n",
+			v.name, st.PlanTime.Round(time.Millisecond), st.ComputeTime.Round(time.Millisecond),
+			st.InnerAdds, st.OuterAdds)
+	}
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"fmt"
+
+	"oipsr/simrank"
+)
+
+// runExp2Memory reproduces Fig. 6d: the intermediate (auxiliary) memory of
+// each algorithm — partial-sum buffers and sharing plan for the OIP family,
+// the n x r SVD factors for mtx-SR — alongside the n^2 iteration state that
+// every all-pairs engine holds. The paper reports the former; mtx-SR's
+// explosion and the modest OIP overhead over psum-SR are the shapes to
+// check.
+func runExp2Memory(cfg config) {
+	header("Exp-2: memory, eps=1e-3 C=0.6", "Fig. 6d")
+	names, graphs := dblpSnapshots(cfg)
+	names = append(names, "berkstan*", "patent*")
+	graphs = append(graphs, webGraph(cfg), patentGraph(cfg))
+
+	fmt.Printf("%-12s %8s | %12s %12s %12s %12s | %14s\n",
+		"dataset", "n", "psum-SR", "OIP-SR", "OIP-DSR", "mtx-SR", "OIP/psum aux")
+	for i, g := range graphs {
+		aux := map[simrank.Algorithm]int64{}
+		for _, alg := range []simrank.Algorithm{simrank.PsumSR, simrank.OIPSR, simrank.OIPDSR} {
+			_, st, err := simrank.Compute(g, simrank.Options{Algorithm: alg, C: 0.6, Eps: 1e-3})
+			must(err)
+			aux[alg] = st.AuxBytes
+		}
+		// mtx-SR only on the DBLP-like snapshots (as in the paper: its SVD
+		// destroys sparsity on the larger graphs).
+		mtxCell := "      (skip)"
+		if i < len(graphs)-2 {
+			_, st, err := simrank.Compute(g, simrank.Options{Algorithm: simrank.MtxSR, C: 0.6, Seed: cfg.seed})
+			must(err)
+			mtxCell = fmt.Sprintf("%12s", kb(st.AuxBytes))
+		}
+		fmt.Printf("%-12s %8d | %12s %12s %12s %s | %13.1fx\n",
+			names[i], g.NumVertices(),
+			kb(aux[simrank.PsumSR]), kb(aux[simrank.OIPSR]), kb(aux[simrank.OIPDSR]), mtxCell,
+			float64(aux[simrank.OIPSR])/float64(aux[simrank.PsumSR]))
+	}
+	fmt.Println("(paper: OIP family ~1.6-1.9x psum-SR aux memory; mtx-SR 1+ order of magnitude more)")
+	fmt.Printf("(n^2 iteration state, common to all-pairs engines: %s at the largest n above)\n",
+		kb(2*sq(int64(graphs[len(graphs)-1].NumVertices()))*8))
+}
+
+func sq(x int64) int64 { return x * x }
+
+func kb(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}

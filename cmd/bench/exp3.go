@@ -1,0 +1,57 @@
+package main
+
+import (
+	"fmt"
+
+	"oipsr/simrank"
+)
+
+// runExp3Convergence reproduces Fig. 6e: the number of iterations OIP-SR
+// (observed, successive-difference stopping) and OIP-DSR (Proposition 7)
+// need for accuracies 1e-2..1e-6 at C = 0.8, next to the a-priori Lambert-W
+// and Log estimates of Corollaries 1-2.
+func runExp3Convergence(cfg config) {
+	header("Exp-3: convergence rate, C=0.8 (DBLP d11-like)", "Fig. 6e")
+	g := coauthorD11(cfg)
+	fmt.Printf("workload: n=%d m=%d d=%.1f\n", g.NumVertices(), g.NumEdges(), g.AvgInDegree())
+	fmt.Printf("%-8s | %10s %10s | %10s %10s\n", "eps", "OIP-SR", "OIP-DSR", "LamW est", "Log est")
+	for _, eps := range []float64{1e-2, 1e-3, 1e-4, 1e-5, 1e-6} {
+		// Observed OIP-SR iterations: run until successive iterates differ
+		// by at most eps (the "observed" criterion behind Fig. 6e/6f).
+		_, stSR, err := simrank.Compute(g, simrank.Options{
+			Algorithm: simrank.OIPSR, C: 0.8, K: 200, StopDiff: eps,
+		})
+		must(err)
+		_, stDSR, err := simrank.Compute(g, simrank.Options{
+			Algorithm: simrank.OIPDSR, C: 0.8, Eps: eps,
+		})
+		must(err)
+		est, err := simrank.EstimateIterations(0.8, eps)
+		must(err)
+		logCell := "-"
+		if est.LogValid {
+			logCell = fmt.Sprintf("%d", est.Log)
+		}
+		fmt.Printf("%-8.0e | %10d %10d | %10d %10s\n",
+			eps, stSR.Iterations, stDSR.Iterations, est.Lambert, logCell)
+	}
+	fmt.Println("(paper Fig. 6f: OIP-SR 19/30/43/50/64, OIP-DSR 4/5/6/7/8, LamW 4/5/7/8/9, Log -/5/7/9/10)")
+}
+
+// runExp3Bounds reproduces the Fig. 6f table exactly: the a-priori
+// iteration counts, which depend only on (C, eps), not on the graph.
+func runExp3Bounds(cfg config) {
+	header("Exp-3: iteration bounds, C=0.8", "Fig. 6f")
+	fmt.Printf("%-8s | %12s %12s %12s %12s\n", "eps", "conventional", "OIP-DSR", "LamW est", "Log est")
+	for _, eps := range []float64{1e-2, 1e-3, 1e-4, 1e-5, 1e-6} {
+		est, err := simrank.EstimateIterations(0.8, eps)
+		must(err)
+		logCell := "-"
+		if est.LogValid {
+			logCell = fmt.Sprintf("%d", est.Log)
+		}
+		fmt.Printf("%-8.0e | %12d %12d %12d %12s\n",
+			eps, est.Conventional, est.Differential, est.Lambert, logCell)
+	}
+	fmt.Println("(paper worked example: C=0.8 eps=1e-4 -> K'=7 vs K=41)")
+}

@@ -1,0 +1,97 @@
+// Command bench regenerates every table and figure of the paper's
+// evaluation (Section V) on the dataset substitutes described in DESIGN.md.
+//
+// Usage:
+//
+//	bench [flags] <experiment> [<experiment> ...]
+//	bench all
+//
+// Experiments (paper artifact in parentheses):
+//
+//	datasets          dataset statistics table            (Fig. 5)
+//	exp1-dblp         time on DBLP snapshots              (Fig. 6a left)
+//	exp1-web          time vs K on the web workload       (Fig. 6a middle)
+//	exp1-patent       time vs K on the citation workload  (Fig. 6a right)
+//	exp1-amortized    Build-MST vs Share-Sums breakdown   (Fig. 6b)
+//	exp1-density      time + share ratio vs density       (Fig. 6c)
+//	exp2-memory       intermediate memory per algorithm   (Fig. 6d)
+//	exp3-convergence  iterations vs accuracy              (Fig. 6e)
+//	exp3-bounds       LambertW & Log estimate table       (Fig. 6f)
+//	exp4-ndcg         NDCG@p of OIP-DSR vs OIP-SR         (Fig. 6g)
+//	exp4-topk         top-30 query + inversions           (Fig. 6h)
+//	ablate            design-choice ablations             (DESIGN.md)
+//
+// The -scale flag shrinks the workloads (absolute numbers change, shapes do
+// not); -quick is shorthand for a fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+type config struct {
+	scale int   // down-scale factor for workload sizes
+	seed  int64 // generator seed
+}
+
+func main() {
+	var (
+		scale = flag.Int("scale", 1, "down-scale workloads by this factor")
+		seed  = flag.Int64("seed", 1, "generator seed")
+		quick = flag.Bool("quick", false, "shorthand for -scale 4")
+	)
+	flag.Parse()
+	cfg := config{scale: *scale, seed: *seed}
+	if *quick && *scale == 1 {
+		cfg.scale = 4
+	}
+	if cfg.scale < 1 {
+		cfg.scale = 1
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		fmt.Fprintln(os.Stderr, "\nrun \"bench all\" or pick experiments: datasets exp1-dblp exp1-web exp1-patent exp1-amortized exp1-density exp2-memory exp3-convergence exp3-bounds exp4-ndcg exp4-topk ablate")
+		os.Exit(2)
+	}
+
+	experiments := map[string]func(config){
+		"datasets":         runDatasets,
+		"exp1-dblp":        runExp1DBLP,
+		"exp1-web":         runExp1Web,
+		"exp1-patent":      runExp1Patent,
+		"exp1-amortized":   runExp1Amortized,
+		"exp1-density":     runExp1Density,
+		"exp2-memory":      runExp2Memory,
+		"exp3-convergence": runExp3Convergence,
+		"exp3-bounds":      runExp3Bounds,
+		"exp4-ndcg":        runExp4NDCG,
+		"exp4-topk":        runExp4TopK,
+		"ablate":           runAblations,
+	}
+	order := []string{
+		"datasets", "exp1-dblp", "exp1-web", "exp1-patent", "exp1-amortized",
+		"exp1-density", "exp2-memory", "exp3-convergence", "exp3-bounds",
+		"exp4-ndcg", "exp4-topk", "ablate",
+	}
+
+	if len(args) == 1 && args[0] == "all" {
+		args = order
+	}
+	for _, name := range args {
+		fn, ok := experiments[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bench: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		fn(cfg)
+	}
+}
+
+func header(title, artifact string) {
+	fmt.Println()
+	fmt.Printf("=== %s (%s) ===\n", title, artifact)
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"oipsr/graph"
+	"oipsr/graph/gen"
+)
+
+// Workload sizes before -scale. The paper's graphs are 2-4 orders of
+// magnitude larger; all-pairs SimRank is Theta(n^2) memory, so the
+// substitutes are sized for a workstation while preserving degree and
+// overlap structure (see DESIGN.md, "Substitutions").
+const (
+	webN      = 2000 // BERKSTAN substitute: d ~ 11, boilerplate overlap
+	webDeg    = 11
+	patentN   = 2600 // PATENT substitute: d ~ 4.4, citation copying
+	patentDeg = 4
+	densityN  = 1200 // Fig. 6c sweep
+	exp34N    = 1200 // convergence/ordering workload (DBLP d11-like)
+)
+
+func webGraph(cfg config) *graph.Graph {
+	return gen.WebGraph(webN/cfg.scale, webDeg, cfg.seed)
+}
+
+func patentGraph(cfg config) *graph.Graph {
+	return gen.CitationGraph(patentN/cfg.scale, patentDeg, cfg.seed)
+}
+
+// dblpSnapshots returns the four growing co-authorship snapshots
+// (D02/D05/D08/D11 substitutes). The base scale of 4 keeps the largest
+// snapshot under 5K vertices; -scale multiplies on top.
+func dblpSnapshots(cfg config) (names []string, graphs []*graph.Graph) {
+	names = []string{"d02", "d05", "d08", "d11"}
+	for i := range names {
+		graphs = append(graphs, gen.DBLPSnapshot(i, 4*cfg.scale, cfg.seed))
+	}
+	return names, graphs
+}
+
+// coauthorD11 is the Exp-3/Exp-4 workload: the largest DBLP-like snapshot
+// at a size where converged runs stay fast.
+func coauthorD11(cfg config) *graph.Graph {
+	return gen.CoauthorGraph(exp34N/cfg.scale, 3, cfg.seed)
+}

@@ -1,0 +1,74 @@
+// Command gengraph emits synthetic graphs in edge-list format.
+//
+// It exposes the generators of graph/gen, which substitute for the paper's
+// datasets (BERKSTAN / PATENT / DBLP) and its GTGraph SYN workloads:
+//
+//	gengraph -type web -n 2000 -d 11 -seed 1 -out web.txt
+//	gengraph -type er -n 300000 -m 3000000 > syn.txt
+//	gengraph -type dblp -snapshot 3 -scale 4 -out d11.txt
+//
+// Types: web, citation, coauthor, er, rmat, dblp.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"oipsr/graph"
+	"oipsr/graph/gen"
+	"oipsr/graph/gio"
+)
+
+func main() {
+	var (
+		typ      = flag.String("type", "web", "generator: web | citation | coauthor | er | rmat | dblp")
+		n        = flag.Int("n", 1000, "number of vertices")
+		d        = flag.Int("d", 8, "average degree (web, citation, coauthor)")
+		m        = flag.Int("m", 0, "number of edges (er, rmat); default n*d")
+		snapshot = flag.Int("snapshot", 3, "DBLP snapshot index 0..3 (dblp)")
+		scale    = flag.Int("scale", 4, "DBLP snapshot down-scale factor (dblp)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		out      = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	edges := *m
+	if edges == 0 {
+		edges = *n * *d
+	}
+	var g *graph.Graph
+	switch *typ {
+	case "web":
+		g = gen.WebGraph(*n, *d, *seed)
+	case "citation":
+		g = gen.CitationGraph(*n, *d, *seed)
+	case "coauthor":
+		g = gen.CoauthorGraph(*n, *d, *seed)
+	case "er":
+		g = gen.ErdosRenyi(*n, edges, *seed)
+	case "rmat":
+		g = gen.RMAT(*n, edges, gen.DefaultRMAT, *seed)
+	case "dblp":
+		g = gen.DBLPSnapshot(*snapshot, *scale, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "gengraph: unknown type %q\n", *typ)
+		os.Exit(2)
+	}
+
+	fmt.Fprintf(os.Stderr, "gengraph: %s\n", graph.ComputeStats(g))
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gengraph: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := gio.WriteEdgeList(w, g); err != nil {
+		fmt.Fprintf(os.Stderr, "gengraph: %v\n", err)
+		os.Exit(1)
+	}
+}

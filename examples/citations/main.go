@@ -1,0 +1,86 @@
+// Citations: related-work discovery on a patent-style citation network.
+//
+// This is the workload the paper's introduction motivates: given a paper
+// (patent), find structurally similar ones — patents cited by similar
+// patents, even when they never cite each other. The example generates a
+// PATENT-shaped citation DAG, compares the conventional engine against the
+// differential one at the same accuracy, and shows how the differential
+// model's exponential convergence (Section IV) cuts iterations.
+//
+//	go run ./examples/citations
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"oipsr/graph"
+	"oipsr/graph/gen"
+	"oipsr/simrank"
+)
+
+func main() {
+	const (
+		n      = 1500
+		avgDeg = 4 // PATENT-like density
+		c      = 0.8
+		eps    = 1e-4
+	)
+	g := gen.CitationGraph(n, avgDeg, 7)
+	fmt.Printf("citation network: %s\n\n", graph.ComputeStats(g))
+
+	// How many iterations will each model need? (Fig. 6f style estimates.)
+	est, err := simrank.EstimateIterations(c, eps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("iterations needed for eps=%g at C=%g: conventional %d, differential %d\n",
+		eps, c, est.Conventional, est.Differential)
+	fmt.Printf("(a-priori bounds: Lambert-W estimate %d, log estimate %d)\n\n", est.Lambert, est.Log)
+
+	sr, srStats, err := simrank.Compute(g, simrank.Options{
+		Algorithm: simrank.OIPSR, C: c, Eps: eps,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, dsStats, err := simrank.Compute(g, simrank.Options{
+		Algorithm: simrank.OIPDSR, C: c, Eps: eps,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("OIP-SR : %3d iterations, %8v\n", srStats.Iterations, srStats.ComputeTime)
+	fmt.Printf("OIP-DSR: %3d iterations, %8v (%.1fx fewer iterations)\n\n",
+		dsStats.Iterations, dsStats.ComputeTime,
+		float64(srStats.Iterations)/float64(dsStats.Iterations))
+
+	// Query: the most-cited patent (the one with the largest in-degree).
+	query := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.InDegree(v) > g.InDegree(query) {
+			query = v
+		}
+	}
+	fmt.Printf("patents most similar to #%d (cited %d times), conventional model:\n",
+		query, g.InDegree(query))
+	for i, r := range sr.TopK(query, 5) {
+		fmt.Printf("  %d. patent #%-6d score %.5f (cited %d times)\n",
+			i+1, r.Vertex, r.Score, g.InDegree(r.Vertex))
+	}
+
+	// The differential model should rank (nearly) the same patents on top.
+	a := idsOf(sr.TopK(query, 10))
+	b := idsOf(ds.TopK(query, 10))
+	fmt.Printf("\ntop-10 agreement between the two models: %.0f%% overlap, tau=%.3f\n",
+		100*simrank.TopKOverlap(a, b),
+		simrank.KendallTau(sr.Row(query), ds.Row(query)))
+}
+
+func idsOf(rs []simrank.Ranked) []int {
+	out := make([]int, len(rs))
+	for i, r := range rs {
+		out[i] = r.Vertex
+	}
+	return out
+}

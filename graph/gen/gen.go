@@ -1,0 +1,418 @@
+// Package gen produces synthetic directed graphs that substitute for the
+// paper's datasets and for its GTGraph-generated SYN workloads.
+//
+// The paper (Section V-A) evaluates on three real networks — BERKSTAN (web,
+// d≈11.1), PATENT (citations, d≈4.4), DBLP (co-authorship, d≈2.4–2.8) — and
+// on GTGraph synthetic graphs parameterized by (n, m). Those exact datasets
+// are not redistributable here, so this package builds generators whose
+// outputs preserve the structural properties the evaluation depends on:
+//
+//   - WebGraph: power-law degrees with heavy in-neighborhood overlap via a
+//     link-copying model (the overlap is what gives OIP-SR its largest
+//     speedups on BERKSTAN).
+//   - CitationGraph: a DAG where new vertices cite a mix of recent and
+//     preferentially-selected older vertices (PATENT-like, low degree).
+//   - CoauthorGraph: a community-structured symmetric graph with skewed
+//     author productivity (DBLP-like), with snapshot sizing helpers for the
+//     D02/D05/D08/D11 series.
+//   - ErdosRenyi and RMAT: the two GTGraph modes, used for the density
+//     sweep of Fig. 6c.
+//
+// All generators are deterministic given a seed.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"oipsr/graph"
+)
+
+// ErdosRenyi samples a directed G(n, m) graph: m edges drawn uniformly at
+// random without replacement, excluding self-loops. It panics if m exceeds
+// n*(n-1), the number of possible edges.
+func ErdosRenyi(n, m int, seed int64) *graph.Graph {
+	if maxEdges := n * (n - 1); m > maxEdges {
+		panic(fmt.Sprintf("gen: ErdosRenyi(%d, %d): at most %d edges possible", n, m, maxEdges))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n, m)
+	b.EnsureVertices(n)
+	seen := make(map[[2]int]bool, m)
+	for len(seen) < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		e := [2]int{u, v}
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		b.AddEdge(u, v)
+	}
+	return b.MustBuild()
+}
+
+// RMATParams hold the recursive quadrant probabilities of the R-MAT model.
+// They must be positive and sum to 1. GTGraph's defaults are (0.45, 0.15,
+// 0.15, 0.25), which produce power-law degree distributions.
+type RMATParams struct {
+	A, B, C, D float64
+}
+
+// DefaultRMAT matches GTGraph's default R-MAT parameters.
+var DefaultRMAT = RMATParams{A: 0.45, B: 0.15, C: 0.15, D: 0.25}
+
+// RMAT generates a directed graph with ~m distinct edges over n vertices
+// using the recursive matrix model. n is rounded up to the next power of two
+// internally for quadrant recursion; generated ids are rejected if >= n, so
+// the result spans exactly n vertices. Duplicate samples are coalesced, so
+// the resulting edge count can be slightly below m on dense settings; the
+// generator retries up to 20*m samples before giving up, which in practice
+// always reaches m for m <= n(n-1)/2.
+func RMAT(n, m int, p RMATParams, seed int64) *graph.Graph {
+	if s := p.A + p.B + p.C + p.D; s < 0.999 || s > 1.001 {
+		panic(fmt.Sprintf("gen: RMAT params sum to %f, want 1", s))
+	}
+	levels := 0
+	for 1<<levels < n {
+		levels++
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n, m)
+	b.EnsureVertices(n)
+	seen := make(map[[2]int]bool, m)
+	for attempts := 0; len(seen) < m && attempts < 20*m+1000; attempts++ {
+		u, v := 0, 0
+		for l := 0; l < levels; l++ {
+			r := rng.Float64()
+			switch {
+			case r < p.A:
+				// top-left: nothing to add
+			case r < p.A+p.B:
+				v |= 1 << l
+			case r < p.A+p.B+p.C:
+				u |= 1 << l
+			default:
+				u |= 1 << l
+				v |= 1 << l
+			}
+		}
+		if u >= n || v >= n || u == v {
+			continue
+		}
+		e := [2]int{u, v}
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		b.AddEdge(u, v)
+	}
+	return b.MustBuild()
+}
+
+// WebGraph generates a BERKSTAN-shaped graph: n vertices with average degree
+// ~avgDeg and the boilerplate structure real web crawls exhibit. Pages on
+// the same site share navigation templates — near-identical outgoing link
+// blocks — so the pages those templates point to end up with near-identical
+// in-neighbor sets. That is precisely the redundancy Section III exploits
+// (and why the paper's speedups are largest on BERKSTAN).
+//
+// The model: a growing pool of link templates (each a set of ~avgDeg target
+// pages). Every new page usually adopts an existing template (Zipf-weighted
+// toward early templates, like large sites), emits the template's links plus
+// occasionally one personal extra link, and sometimes mutates the template
+// slightly (sites evolve). A small degree-dependent fraction of pages start
+// fresh templates; the fraction shrinks as avgDeg grows, so overlap — and
+// the OIP sharing ratio — increases with density, matching the trend the
+// paper reports in Fig. 6c.
+func WebGraph(n, avgDeg int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n, n*avgDeg)
+	b.EnsureVertices(n)
+	if n < 2 {
+		return b.MustBuild()
+	}
+
+	var templates [][]int
+	var popular []int // multiset of targets for preferential sampling
+
+	sampleTarget := func(u int) int {
+		if len(popular) > 0 && rng.Float64() < 0.1 {
+			return popular[rng.Intn(len(popular))]
+		}
+		return rng.Intn(u)
+	}
+	newTemplate := func(u int) []int {
+		k := avgDeg + rng.Intn(3)
+		if k < 1 {
+			k = 1
+		}
+		seen := make(map[int]bool, k)
+		var t []int
+		for len(t) < k && len(seen) < u {
+			v := sampleTarget(u)
+			if v == u || seen[v] {
+				continue
+			}
+			seen[v] = true
+			t = append(t, v)
+		}
+		return t
+	}
+
+	// New-template probability: sites grow denser boilerplate rather than
+	// multiplying sites, so the template pool scales inversely with degree.
+	// This is what makes in-neighborhood overlap (and hence OIP sharing)
+	// grow with density, the trend of Fig. 6c.
+	newTemplateProb := 0.35 / float64(avgDeg)
+	if newTemplateProb > 0.08 {
+		newTemplateProb = 0.08
+	}
+	if newTemplateProb < 0.01 {
+		newTemplateProb = 0.01
+	}
+
+	for u := 1; u < n; u++ {
+		var links []int
+		if len(templates) == 0 || rng.Float64() < newTemplateProb {
+			t := newTemplate(u)
+			if len(t) == 0 {
+				continue
+			}
+			templates = append(templates, t)
+			links = t
+		} else {
+			// Zipf-ish template choice: prefer early (big-site) templates.
+			ti := int(float64(len(templates)) * math.Pow(rng.Float64(), 2))
+			t := templates[ti]
+			// Occasional template mutation: replace one target.
+			if rng.Float64() < 0.05 && len(t) > 0 {
+				if v := sampleTarget(u); v != u {
+					t[rng.Intn(len(t))] = v
+				}
+			}
+			links = t
+			// Occasional personal extra link outside the template.
+			if rng.Float64() < 0.15 {
+				if v := sampleTarget(u); v != u {
+					links = append(append([]int(nil), t...), v)
+				}
+			}
+		}
+		for _, v := range links {
+			if v != u {
+				b.AddEdge(u, v)
+				popular = append(popular, v)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// CitationGraph generates a PATENT-shaped citation DAG: vertex u only cites
+// vertices with smaller ids (earlier "publications"). New papers copy most
+// of their reference list from a parent paper — the well-documented citation
+// copying phenomenon — and add a few fresh citations (recent or famous
+// papers). Copying makes groups of papers co-cited by the same authors,
+// giving their cited-by sets (the in-neighbor sets SimRank averages over)
+// heavy overlap, at the moderate level the paper observed on PATENT (its
+// speedups there sit between BERKSTAN and DBLP). Average out-degree is
+// ~avgDeg; in-degrees are skewed.
+func CitationGraph(n, avgDeg int, seed int64) *graph.Graph {
+	const copyProb = 0.6
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n, n*avgDeg)
+	b.EnsureVertices(n)
+	refs := make([][]int, n) // reference list per paper
+	var cited []int          // multiset for preferential attachment
+	window := 4*avgDeg + 1
+	// Preferential picks sample only the most recent citations: citation
+	// attention fades, which keeps early papers from absorbing the whole
+	// network (real citation networks are skewed but not degenerate).
+	attention := 40 * (avgDeg + 1)
+	pickCited := func() int {
+		lo := 0
+		if len(cited) > attention {
+			lo = len(cited) - attention
+		}
+		return cited[lo+rng.Intn(len(cited)-lo)]
+	}
+	for u := 1; u < n; u++ {
+		k := avgDeg
+		if u < avgDeg {
+			k = u
+		}
+		added := make(map[int]bool, k)
+		// "Followers" copy a recent parent's entire reference list,
+		// keeping co-citation bundles coherent: the copied papers are
+		// cited together over and over, so their cited-by sets (the
+		// in-neighbor sets SimRank averages) become near-identical —
+		// the moderate-redundancy structure OIP exploits on PATENT.
+		// Bundles die out naturally because parents are drawn from a
+		// recency window.
+		if u > 1 && rng.Float64() < copyProb {
+			parent := u - 1 - rng.Intn(min(u-1, window))
+			cap := k
+			// Occasionally leave one slot for a fresh citation, evolving
+			// the bundle over time.
+			if rng.Float64() < 0.3 {
+				cap = k - 1
+			}
+			for _, v := range refs[parent] {
+				if len(added) >= cap {
+					break
+				}
+				added[v] = true
+			}
+		}
+		// "Novel" papers (and follower slack) cite fresh work: recency
+		// window or recently-famous papers.
+		for guard := 0; len(added) < k && guard < 20*k; guard++ {
+			var v int
+			switch {
+			case len(cited) > 0 && rng.Float64() < 0.4:
+				v = pickCited()
+			case u > window && rng.Float64() < 0.6:
+				v = u - 1 - rng.Intn(window)
+			default:
+				v = rng.Intn(u)
+			}
+			if v >= u || added[v] {
+				if len(added) >= u {
+					break
+				}
+				continue
+			}
+			added[v] = true
+		}
+		// Sort for determinism: map iteration order would otherwise leak
+		// into the preferential-attachment multiset.
+		cites := make([]int, 0, len(added))
+		for v := range added {
+			cites = append(cites, v)
+		}
+		sort.Ints(cites)
+		for _, v := range cites {
+			b.AddEdge(u, v)
+			refs[u] = append(refs[u], v)
+			cited = append(cited, v)
+		}
+	}
+	return b.MustBuild()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// CoauthorGraph generates a DBLP-shaped co-authorship graph: n authors in
+// sqrt(n)-sized overlapping communities (conference venues), with a skewed
+// productivity distribution. Co-authorship edges are symmetric (u->v and
+// v->u), matching how the paper builds DBLP graphs. Average total degree is
+// approximately avgDeg.
+func CoauthorGraph(n, avgDeg int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n, n*avgDeg)
+	b.EnsureVertices(n)
+	nComm := 1
+	for nComm*nComm < n {
+		nComm++
+	}
+	// Assign each author a home community and a productivity weight drawn
+	// from a discrete power law (many one-paper authors, few prolific ones).
+	home := make([]int, n)
+	prod := make([]int, n)
+	for v := 0; v < n; v++ {
+		home[v] = rng.Intn(nComm)
+		// Pareto-ish: P(prod >= k) ~ k^-1.5
+		p := 1
+		for p < 20 && rng.Float64() < 0.45 {
+			p++
+		}
+		prod[v] = p
+	}
+	members := make([][]int, nComm)
+	for v := 0; v < n; v++ {
+		members[home[v]] = append(members[home[v]], v)
+	}
+	// "Papers": each paper is a small author set drawn mostly from one
+	// community, weighted by productivity; all pairs become symmetric edges.
+	// Each undirected pair contributes two directed edges, so hitting an
+	// average (total) degree of avgDeg needs n*avgDeg/2 undirected pairs.
+	targetUndirected := n * avgDeg / 2
+	type pair struct{ u, v int }
+	seen := make(map[pair]bool, targetUndirected)
+	pick := func(comm []int) int {
+		// Weighted pick by productivity via rejection sampling.
+		for {
+			v := comm[rng.Intn(len(comm))]
+			if rng.Intn(20) < prod[v] {
+				return v
+			}
+		}
+	}
+	for made, guard := 0, 0; made < targetUndirected && guard < 50*targetUndirected+1000; guard++ {
+		c := rng.Intn(nComm)
+		if len(members[c]) < 2 {
+			continue
+		}
+		k := 2 + rng.Intn(3) // paper with 2-4 authors
+		authors := make([]int, 0, k)
+		taken := make(map[int]bool, k)
+		for len(authors) < k && len(authors) < len(members[c]) {
+			var v int
+			if rng.Float64() < 0.15 && n > len(members[c]) {
+				v = rng.Intn(n) // cross-community collaborator
+			} else {
+				v = pick(members[c])
+			}
+			if taken[v] {
+				continue
+			}
+			taken[v] = true
+			authors = append(authors, v)
+		}
+		for i := 0; i < len(authors); i++ {
+			for j := i + 1; j < len(authors); j++ {
+				u, v := authors[i], authors[j]
+				if u > v {
+					u, v = v, u
+				}
+				if seen[pair{u, v}] {
+					continue
+				}
+				seen[pair{u, v}] = true
+				b.AddEdge(u, v)
+				b.AddEdge(v, u)
+				made++
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// DBLPSnapshot returns the i-th (0..3) snapshot of a growing co-authorship
+// graph series shaped like the paper's D02/D05/D08/D11 (Fig. 5: n grows
+// ~6K->19K with d~2.4-2.8; here scaled by the given factor, e.g. scale=4
+// yields n~1.5K..4.8K). Later snapshots contain earlier authors plus new
+// ones, mirroring how the paper slices DBLP by 3-year windows.
+func DBLPSnapshot(i int, scale int, seed int64) *graph.Graph {
+	if i < 0 || i > 3 {
+		panic(fmt.Sprintf("gen: DBLPSnapshot index %d out of range [0,3]", i))
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	// Paper sizes (vertices) and average total degrees from Fig. 5.
+	sizes := [4]int{5982, 9342, 13736, 19371}
+	degs := [4]int{3, 2, 3, 3} // 2.7, 2.4, 2.7, 2.6 rounded
+	n := sizes[i] / scale
+	return CoauthorGraph(n, degs[i], seed)
+}

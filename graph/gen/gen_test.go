@@ -1,0 +1,183 @@
+package gen
+
+import (
+	"testing"
+
+	"oipsr/graph"
+)
+
+func TestErdosRenyiExactEdgeCount(t *testing.T) {
+	g := ErdosRenyi(100, 500, 1)
+	if g.NumVertices() != 100 {
+		t.Errorf("n = %d, want 100", g.NumVertices())
+	}
+	if g.NumEdges() != 500 {
+		t.Errorf("m = %d, want exactly 500", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+	for v := 0; v < 100; v++ {
+		if g.HasEdge(v, v) {
+			t.Fatalf("self loop at %d", v)
+		}
+	}
+}
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	a := ErdosRenyi(50, 200, 7)
+	b := ErdosRenyi(50, 200, 7)
+	c := ErdosRenyi(50, 200, 8)
+	if !equalGraphs(a, b) {
+		t.Error("same seed produced different graphs")
+	}
+	if equalGraphs(a, c) {
+		t.Error("different seeds produced identical graphs (suspicious)")
+	}
+}
+
+func TestErdosRenyiPanicsOnImpossible(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for m > n(n-1)")
+		}
+	}()
+	ErdosRenyi(3, 7, 1)
+}
+
+func TestRMATShape(t *testing.T) {
+	g := RMAT(256, 2000, DefaultRMAT, 3)
+	if g.NumVertices() != 256 {
+		t.Errorf("n = %d, want 256", g.NumVertices())
+	}
+	if g.NumEdges() < 1800 {
+		t.Errorf("m = %d, want near 2000", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Power-law check: the max in-degree should far exceed the average.
+	s := graph.ComputeStats(g)
+	if float64(s.MaxInDeg) < 3*s.AvgDegree {
+		t.Errorf("max in-degree %d vs avg %.1f: distribution looks flat, want skew", s.MaxInDeg, s.AvgDegree)
+	}
+}
+
+func TestRMATNonPowerOfTwo(t *testing.T) {
+	g := RMAT(100, 300, DefaultRMAT, 5)
+	if g.NumVertices() != 100 {
+		t.Errorf("n = %d, want 100", g.NumVertices())
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRMATBadParamsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for params not summing to 1")
+		}
+	}()
+	RMAT(16, 10, RMATParams{A: 0.9, B: 0.9, C: 0.1, D: 0.1}, 1)
+}
+
+func TestWebGraphOverlap(t *testing.T) {
+	g := WebGraph(1000, 11, 2)
+	s := graph.ComputeStats(g)
+	if s.AvgDegree < 8 || s.AvgDegree > 14 {
+		t.Errorf("avg degree %.1f, want ~11 (BerkStan-like)", s.AvgDegree)
+	}
+	// The whole point of this generator: heavy in-set overlap.
+	if s.OverlapRatio < 0.5 {
+		t.Errorf("overlap ratio %.2f, want >= 0.5 for a copy-model web graph", s.OverlapRatio)
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCitationGraphIsDAG(t *testing.T) {
+	g := CitationGraph(500, 4, 9)
+	// Edges must always point from larger to smaller id (cites the past).
+	g.Edges(func(u, v int) bool {
+		if v >= u {
+			t.Fatalf("edge %d->%d violates citation order", u, v)
+		}
+		return true
+	})
+	s := graph.ComputeStats(g)
+	if s.AvgDegree < 3 || s.AvgDegree > 5 {
+		t.Errorf("avg degree %.1f, want ~4 (Patent-like)", s.AvgDegree)
+	}
+}
+
+func TestCoauthorGraphSymmetric(t *testing.T) {
+	g := CoauthorGraph(800, 3, 4)
+	g.Edges(func(u, v int) bool {
+		if !g.HasEdge(v, u) {
+			t.Fatalf("edge %d->%d has no reverse", u, v)
+		}
+		return true
+	})
+	s := graph.ComputeStats(g)
+	if s.AvgDegree < 1.5 || s.AvgDegree > 4.5 {
+		t.Errorf("avg degree %.1f, want ~2.4-2.8 (DBLP-like)", s.AvgDegree)
+	}
+}
+
+func TestDBLPSnapshotSeries(t *testing.T) {
+	prev := 0
+	for i := 0; i < 4; i++ {
+		g := DBLPSnapshot(i, 4, 11)
+		if g.NumVertices() <= prev {
+			t.Errorf("snapshot %d has n=%d, want growth over %d", i, g.NumVertices(), prev)
+		}
+		prev = g.NumVertices()
+		if err := g.Validate(); err != nil {
+			t.Errorf("snapshot %d: %v", i, err)
+		}
+	}
+}
+
+func TestDBLPSnapshotBadIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for snapshot index 4")
+		}
+	}()
+	DBLPSnapshot(4, 1, 1)
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	cases := []struct {
+		name string
+		make func(seed int64) *graph.Graph
+	}{
+		{"rmat", func(s int64) *graph.Graph { return RMAT(64, 300, DefaultRMAT, s) }},
+		{"web", func(s int64) *graph.Graph { return WebGraph(300, 8, s) }},
+		{"citation", func(s int64) *graph.Graph { return CitationGraph(300, 4, s) }},
+		{"coauthor", func(s int64) *graph.Graph { return CoauthorGraph(300, 3, s) }},
+	}
+	for _, c := range cases {
+		a, b := c.make(42), c.make(42)
+		if !equalGraphs(a, b) {
+			t.Errorf("%s: same seed produced different graphs", c.name)
+		}
+	}
+}
+
+func equalGraphs(a, b *graph.Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	eq := true
+	a.Edges(func(u, v int) bool {
+		if !b.HasEdge(u, v) {
+			eq = false
+			return false
+		}
+		return true
+	})
+	return eq
+}

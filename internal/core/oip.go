@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"oipsr/graph"
+	"oipsr/internal/numeric"
+	"oipsr/internal/partition"
+	"oipsr/internal/simmat"
+)
+
+// Options configure an OIP-SR computation.
+type Options struct {
+	// C is the damping factor in (0,1). The paper's default is 0.6.
+	C float64
+
+	// K is the number of iterations. If zero, it is derived from Eps via
+	// the Lizorkin bound (smallest K with C^(K+1) <= Eps).
+	K int
+
+	// Eps is the desired accuracy used when K == 0. Defaults to 1e-3 (the
+	// paper's default) when both K and Eps are zero.
+	Eps float64
+
+	// StopDiff, when positive, stops early once the max-norm difference
+	// between successive iterates drops to or below it. This is the
+	// "observed iterations" stopping rule of Exp-3.
+	StopDiff float64
+
+	// Partition forwards to DMST-Reduce (candidate strategy, MST backend).
+	Partition partition.Options
+
+	// DisableOuter ablates outer partial-sums sharing (Section III-B),
+	// leaving only inner sharing over the MST.
+	DisableOuter bool
+}
+
+func (o *Options) normalize() error {
+	if o.C == 0 {
+		o.C = 0.6
+	}
+	if !(o.C > 0 && o.C < 1) {
+		return fmt.Errorf("core: damping factor %v outside (0,1)", o.C)
+	}
+	if o.K < 0 {
+		return fmt.Errorf("core: negative iteration count %d", o.K)
+	}
+	if o.K == 0 {
+		if o.Eps == 0 {
+			o.Eps = 1e-3
+		}
+		if !(o.Eps > 0 && o.Eps < 1) {
+			return fmt.Errorf("core: accuracy eps %v outside (0,1)", o.Eps)
+		}
+		o.K = numeric.IterationsConventional(o.C, o.Eps)
+	}
+	return nil
+}
+
+// Stats describes the work a computation performed, split into the two
+// phases of Fig. 6b ("Build MST" vs "Share Sums") plus the operation counts
+// and sharing metrics that substantiate the d' < d claim of Proposition 5.
+type Stats struct {
+	Iterations int           // iterations actually executed
+	PlanTime   time.Duration // DMST-Reduce (build MST) phase
+	SweepTime  time.Duration // share-sums phase (all iterations)
+
+	InnerAdds  int64 // scalar additions on inner partial sums
+	OuterAdds  int64 // scalar additions on outer partial sums
+	AuxBytes   int64 // auxiliary memory: plan + sweep buffers (the paper's "intermediate memory")
+	StateBytes int64 // n^2 state the engine holds (two score matrices)
+
+	NumSets          int     // non-empty in-neighbor sets
+	PlanAdditions    int     // per-sweep vector ops with sharing (MST weight)
+	ScratchAdditions int     // per-sweep vector ops without sharing (psum-SR)
+	ShareRatio       float64 // fraction of additions avoided
+	AvgDiff          float64 // d_(+): mean symmetric-difference size on shared edges
+	FinalDiff        float64 // max-norm difference of the last two iterates (0 if K=0)
+}
+
+// Compute runs OIP-SR (Algorithm 1) on g and returns s_K plus statistics.
+func Compute(g *graph.Graph, opt Options) (*simmat.Matrix, *Stats, error) {
+	if err := opt.normalize(); err != nil {
+		return nil, nil, err
+	}
+	st := &Stats{}
+
+	t0 := time.Now()
+	plan, err := partition.BuildPlan(g, opt.Partition)
+	if err != nil {
+		return nil, nil, err
+	}
+	st.PlanTime = time.Since(t0)
+	st.NumSets = plan.NumSets
+	st.PlanAdditions = plan.Additions
+	st.ScratchAdditions = plan.ScratchAdditions
+	st.ShareRatio = plan.ShareRatio()
+	st.AvgDiff = plan.AvgDiff
+
+	n := g.NumVertices()
+	prev := simmat.NewIdentity(n)
+	next := simmat.New(n)
+	sw := NewSweeper(g, plan, opt.DisableOuter)
+
+	t1 := time.Now()
+	for iter := 0; iter < opt.K; iter++ {
+		sw.Sweep(prev, next, opt.C, true)
+		st.Iterations++
+		if opt.StopDiff > 0 {
+			st.FinalDiff = simmat.MaxDiff(prev, next)
+			prev, next = next, prev
+			if st.FinalDiff <= opt.StopDiff {
+				break
+			}
+			continue
+		}
+		prev, next = next, prev
+	}
+	st.SweepTime = time.Since(t1)
+	sws := sw.Stats()
+	st.InnerAdds, st.OuterAdds = sws.InnerAdds, sws.OuterAdds
+	st.AuxBytes = sw.AuxBytes() + plan.Bytes()
+	st.StateBytes = prev.Bytes() + next.Bytes()
+	return prev, st, nil
+}

@@ -1,0 +1,209 @@
+// Package core implements OIP-SR, the paper's primary contribution
+// (Algorithm 1): SimRank iteration with both inner and outer partial-sums
+// sharing driven by the minimum-spanning-tree plan of DMST-Reduce.
+//
+// One iteration ("sweep") walks the plan's chain steps — the paper's
+// Fig. 2d path decomposition. At each step the inner partial-sum vector
+// Partial_{I(u)}(.) is derived from the previous set's vector by applying
+// the symmetric difference of the two in-neighbor sets (Proposition 3 /
+// Eq. 9), or rebuilt from scratch at chain starts. For every set the sweep
+// then runs procedure OP — a pass over the plan's tree steps with one
+// scalar accumulator per tree node — to produce the full row s_{k+1}(u, .)
+// via outer partial sums (Proposition 4 / Eqs. 10-11).
+package core
+
+import (
+	"oipsr/graph"
+	"oipsr/internal/partition"
+	"oipsr/internal/simmat"
+)
+
+// SweepStats accumulates operation counts across sweeps. Additions are
+// scalar float64 additions/subtractions, the unit the OIP cost model (and
+// the NP-hardness reduction) is stated in.
+type SweepStats struct {
+	InnerAdds int64 // building/deriving inner partial-sum vectors
+	OuterAdds int64 // deriving outer partial sums in procedure OP
+}
+
+// Sweeper applies the pairwise in-neighbor averaging operator
+//
+//	next(a,b) = damp / (|I(a)| |I(b)|) * sum_{i in I(a), j in I(b)} prev(i,j)
+//
+// using inner+outer partial-sums sharing. It owns the O(n) scratch buffers,
+// so one Sweeper can be reused across iterations and algorithms: OIP-SR
+// calls it with damp = C and pinned diagonal, the differential engine
+// (OIP-DSR) with damp = 1 and a free diagonal for its T_k recurrence.
+type Sweeper struct {
+	g    *graph.Graph
+	plan *partition.Plan
+
+	partial []float64 // Partial_{I(u)}(y) for the current chain position
+	invDeg  []float64 // 1/|I(v)|, 0 for empty sets (avoids n^2 divisions)
+	vals    []float64 // per-tree-step outer partial sums (procedure OP)
+
+	disableOuter bool
+	stats        SweepStats
+}
+
+// NewSweeper builds a Sweeper for g with the given plan. If disableOuter is
+// true, procedure OP is replaced by the psum-SR one-by-one outer summation
+// (the ablation of Section III-B: inner sharing only).
+func NewSweeper(g *graph.Graph, plan *partition.Plan, disableOuter bool) *Sweeper {
+	n := g.NumVertices()
+	inv := make([]float64, n)
+	for v := 0; v < n; v++ {
+		if d := g.InDegree(v); d > 0 {
+			inv[v] = 1 / float64(d)
+		}
+	}
+	return &Sweeper{
+		g:            g,
+		plan:         plan,
+		partial:      make([]float64, n),
+		invDeg:       inv,
+		vals:         make([]float64, len(plan.TreeSteps)),
+		disableOuter: disableOuter,
+	}
+}
+
+// Stats returns the cumulative operation counts.
+func (sw *Sweeper) Stats() SweepStats { return sw.stats }
+
+// AuxBytes reports the auxiliary memory held by the sweeper's O(n) buffers
+// (the "intermediate memory" of Proposition 5; score matrices excluded).
+func (sw *Sweeper) AuxBytes() int64 {
+	return int64(len(sw.partial))*8 + int64(len(sw.invDeg))*8 + int64(len(sw.vals))*8
+}
+
+// Sweep applies the averaging operator from prev into next. Rows and
+// columns of vertices with empty in-neighbor sets become zero; if pinDiag
+// is set, every diagonal entry is then forced to 1 (the s(a,a)=1 rule of
+// the conventional model).
+//
+// next must be all-zero, an identity matrix, or the output of a previous
+// Sweep over the same graph: the emit stage overwrites exactly the
+// (non-empty row, non-empty column) cells plus, below, the empty rows and
+// the diagonal, and relies on the remaining cells already being zero. This
+// avoids an n^2 clear per iteration; the engines' ping-pong buffers satisfy
+// the requirement by construction.
+func (sw *Sweeper) Sweep(prev, next *simmat.Matrix, damp float64, pinDiag bool) {
+	g, plan := sw.g, sw.plan
+	n := g.NumVertices()
+	// Rows of empty in-neighbor sets are never written by emitRow but may
+	// hold a stale diagonal 1 from an identity-initialized buffer.
+	for v := 0; v < n; v++ {
+		if sw.invDeg[v] == 0 {
+			row := next.Row(v)
+			for i := range row {
+				row[i] = 0
+			}
+		}
+	}
+
+	// Walk the chain steps: from scratch at chain starts (lines 5-6 of
+	// Algorithm 1), otherwise by the consecutive symmetric difference
+	// (Eq. 9; lines 10-11). Chains never branch, so no undo is needed.
+	for _, step := range plan.ChainSteps {
+		u := step.Vertex
+		if step.Parent < 0 {
+			sw.buildScratch(prev, u)
+		} else {
+			sw.applyDiff(prev, plan.Add[u], plan.Sub[u])
+		}
+		sw.emitRow(next, u, damp)
+	}
+
+	if pinDiag {
+		for v := 0; v < n; v++ {
+			next.Set(v, v, 1)
+		}
+	}
+}
+
+// buildScratch fills sw.partial with the sum of prev rows over I(root).
+func (sw *Sweeper) buildScratch(prev *simmat.Matrix, root int) {
+	in := sw.g.In(root)
+	copy(sw.partial, prev.Row(in[0]))
+	for _, x := range in[1:] {
+		rx := prev.Row(x)
+		for y, v := range rx {
+			sw.partial[y] += v
+		}
+	}
+	sw.stats.InnerAdds += int64(len(in)-1) * int64(len(sw.partial))
+}
+
+// applyDiff updates sw.partial by adding the prev rows in add and
+// subtracting those in sub.
+func (sw *Sweeper) applyDiff(prev *simmat.Matrix, add, sub []int) {
+	for _, x := range add {
+		rx := prev.Row(x)
+		for y, v := range rx {
+			sw.partial[y] += v
+		}
+	}
+	for _, x := range sub {
+		rx := prev.Row(x)
+		for y, v := range rx {
+			sw.partial[y] -= v
+		}
+	}
+	sw.stats.InnerAdds += int64(len(add)+len(sub)) * int64(len(sw.partial))
+}
+
+// emitRow computes next(u, w) for all w from the current partial vector.
+// With outer sharing it is procedure OP over the flattened tree steps:
+// outer partial sums are scalars, the parent's value sits in sw.vals, and
+// branching costs nothing, so the per-row additions equal the MST weight.
+// Without outer sharing it is the psum-SR per-target summation.
+func (sw *Sweeper) emitRow(next *simmat.Matrix, u int, damp float64) {
+	g, plan := sw.g, sw.plan
+	row := next.Row(u)
+	scaleU := damp * sw.invDeg[u]
+
+	if sw.disableOuter {
+		outerAdds := int64(0)
+		for w := 0; w < g.NumVertices(); w++ {
+			in := g.In(w)
+			if len(in) == 0 {
+				continue
+			}
+			sum := 0.0
+			for _, j := range in {
+				sum += sw.partial[j]
+			}
+			outerAdds += int64(len(in) - 1)
+			row[w] = scaleU * sw.invDeg[w] * sum
+		}
+		sw.stats.OuterAdds += outerAdds
+		return
+	}
+
+	outerAdds := int64(0)
+	for i, step := range plan.TreeSteps {
+		z := step.Vertex
+		var val float64
+		if step.Parent < 0 {
+			// From scratch (line 2 of procedure OP).
+			for _, y := range g.In(z) {
+				val += sw.partial[y]
+			}
+			outerAdds += int64(len(g.In(z)) - 1)
+		} else {
+			// Derive OuterPartial_{I(z)} from the parent's value
+			// (Proposition 4; line 8 of procedure OP).
+			val = sw.vals[step.Parent]
+			for _, y := range plan.TreeAdd[z] {
+				val += sw.partial[y]
+			}
+			for _, y := range plan.TreeSub[z] {
+				val -= sw.partial[y]
+			}
+			outerAdds += int64(len(plan.TreeAdd[z]) + len(plan.TreeSub[z]))
+		}
+		sw.vals[i] = val
+		row[z] = scaleU * sw.invDeg[z] * val
+	}
+	sw.stats.OuterAdds += outerAdds
+}

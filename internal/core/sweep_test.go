@@ -1,0 +1,182 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"oipsr/graph"
+	"oipsr/internal/matrixform"
+	"oipsr/internal/naive"
+	"oipsr/internal/partition"
+	"oipsr/internal/simmat"
+)
+
+// sweepOracle computes damp * Q * prev * Q^T with the matrixform package,
+// the independent definition of what one Sweep must produce (pinDiag off).
+func sweepOracle(g *graph.Graph, prev *simmat.Matrix, damp float64) *simmat.Matrix {
+	n := g.NumVertices()
+	tmp, out := simmat.New(n), simmat.New(n)
+	matrixform.Conjugate(g, prev, tmp, out)
+	d := out.Data()
+	for i := range d {
+		d[i] *= damp
+	}
+	return out
+}
+
+// TestSweepMatchesConjugation: a single sweep equals Q S Q^T on arbitrary
+// (not just identity-derived) symmetric inputs.
+func TestSweepMatchesConjugation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		b := graph.NewBuilder(n, 0)
+		b.EnsureVertices(n)
+		for i := 0; i < rng.Intn(4*n); i++ {
+			b.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		g := b.MustBuild()
+		plan, err := partition.BuildPlan(g, partition.Options{})
+		if err != nil {
+			return false
+		}
+		prev := simmat.New(n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.Float64()
+				prev.Set(i, j, v)
+				prev.Set(j, i, v)
+			}
+		}
+		next := simmat.New(n) // all-zero satisfies the Sweep contract
+		sw := NewSweeper(g, plan, false)
+		damp := 0.3 + 0.6*rng.Float64()
+		sw.Sweep(prev, next, damp, false)
+		want := sweepOracle(g, prev, damp)
+		return simmat.MaxDiff(next, want) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSweepBufferReuseInvariant: ping-pong reuse across many sweeps (the
+// engines' pattern, relying on the no-reset optimization) stays consistent
+// with fresh buffers every time.
+func TestSweepBufferReuseInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := randomGraph(rng, 20, 60)
+	plan, err := partition.BuildPlan(g, partition.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := NewSweeper(g, plan, false)
+
+	// Ping-pong from identity, like DSR's T recurrence.
+	a, b := simmat.NewIdentity(20), simmat.New(20)
+	for k := 0; k < 6; k++ {
+		sw.Sweep(a, b, 1, false)
+		a, b = b, a
+	}
+	// Reference: fresh output buffer every sweep.
+	ref := simmat.NewIdentity(20)
+	for k := 0; k < 6; k++ {
+		out := simmat.New(20)
+		sw2 := NewSweeper(g, plan, false)
+		sw2.Sweep(ref, out, 1, false)
+		ref = out
+	}
+	if d := simmat.MaxDiff(a, ref); d > 1e-12 {
+		t.Errorf("buffer reuse diverged from fresh buffers by %g", d)
+	}
+}
+
+// TestChainBreakStillCorrect: a graph engineered so the preorder jump
+// between two dissimilar subtree siblings costs more than a from-scratch
+// rebuild, forcing a chain break; scores must be unaffected.
+func TestChainBreakStillCorrect(t *testing.T) {
+	b := graph.NewBuilder(0, 0)
+	// Hub sets: I(20) = {0..9}, derived twins I(21), I(22) = I(20) +/- one
+	// element; a second unrelated family I(23) = {10..19}, I(24) twin.
+	for x := 0; x < 10; x++ {
+		b.AddEdge(x, 20)
+		b.AddEdge(x, 21)
+		if x != 0 {
+			b.AddEdge(x, 22)
+		}
+		b.AddEdge(10+x, 23)
+		b.AddEdge(10+x, 24)
+	}
+	g := b.MustBuild()
+	plan, err := partition.BuildPlan(g, partition.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At least two chains must exist (the two families cannot share).
+	if len(plan.Roots) < 2 {
+		t.Fatalf("expected >= 2 chain roots, got %v", plan.Roots)
+	}
+	s, _, err := Compute(g, Options{C: 0.6, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Twins fed by 10 identical sink sources: s = C/100 * 10 = C/10.
+	if got := s.At(20, 21); got < 0.059 || got > 0.061 {
+		t.Errorf("s(20,21) = %g, want C/10", got)
+	}
+	if got := s.At(23, 24); got < 0.059 || got > 0.061 {
+		t.Errorf("s(23,24) = %g, want C/10", got)
+	}
+	// Cross-family pairs share nothing and their sources are all sinks,
+	// so similarity stays 0.
+	if got := s.At(20, 23); got != 0 {
+		t.Errorf("s(20,23) = %g, want 0", got)
+	}
+	// And the whole matrix must agree with the naive oracle regardless of
+	// where the plan broke its chains.
+	want, err := naive.Compute(g, 0.6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := simmat.MaxDiff(s, want); d > 1e-12 {
+		t.Errorf("chain-broken plan diverged from oracle by %g", d)
+	}
+}
+
+// TestDisableOuterSweepEquivalence at the sweep level (not just end-to-end).
+func TestDisableOuterSweepEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := randomGraph(rng, 25, 100)
+	plan, err := partition.BuildPlan(g, partition.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := simmat.NewIdentity(25)
+	a, b := simmat.New(25), simmat.New(25)
+	NewSweeper(g, plan, false).Sweep(prev, a, 0.6, true)
+	NewSweeper(g, plan, true).Sweep(prev, b, 0.6, true)
+	if d := simmat.MaxDiff(a, b); d > 1e-12 {
+		t.Errorf("outer sharing changed sweep output by %g", d)
+	}
+}
+
+// TestAuxBytesScalesLinearly: the sweeper's buffers are O(n), the claim of
+// Proposition 5.
+func TestAuxBytesScalesLinearly(t *testing.T) {
+	small := graph.MustFromEdges(10, [][2]int{{0, 1}, {1, 2}})
+	big := graph.MustFromEdges(1000, [][2]int{{0, 1}, {1, 2}})
+	ps, err := partition.BuildPlan(small, partition.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := partition.BuildPlan(big, partition.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSweeper(small, ps, false).AuxBytes()
+	bb := NewSweeper(big, pb, false).AuxBytes()
+	if bb > 120*s {
+		t.Errorf("aux bytes grew superlinearly: %d -> %d for 100x vertices", s, bb)
+	}
+}

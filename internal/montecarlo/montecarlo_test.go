@@ -1,0 +1,152 @@
+package montecarlo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"oipsr/graph"
+	"oipsr/graph/gen"
+	"oipsr/internal/naive"
+	"oipsr/internal/simmat"
+)
+
+// TestSiblingsExact: from 0->1, 0->2 both walkers step to vertex 0 with
+// probability 1 and meet at tau = 1, so every fingerprint contributes
+// exactly C and the estimate is C with zero variance.
+func TestSiblingsExact(t *testing.T) {
+	g := graph.MustFromEdges(3, [][2]int{{0, 1}, {0, 2}})
+	s, st, err := Compute(g, Options{C: 0.8, K: 5, Walks: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.At(1, 2); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("s(1,2) = %g, want exactly C = 0.8", got)
+	}
+	if st.Meetings != 10 {
+		t.Errorf("meetings = %d, want one per fingerprint", st.Meetings)
+	}
+}
+
+// TestTwoCycleNeverMeets: walkers on the 2-cycle swap positions forever.
+func TestTwoCycleNeverMeets(t *testing.T) {
+	g := graph.MustFromEdges(2, [][2]int{{0, 1}, {1, 0}})
+	s, st, err := Compute(g, Options{C: 0.9, K: 50, Walks: 20, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.At(0, 1) != 0 {
+		t.Errorf("s(0,1) = %g, want 0", s.At(0, 1))
+	}
+	if st.Meetings != 0 {
+		t.Errorf("meetings = %d, want 0", st.Meetings)
+	}
+}
+
+// TestDeadWalkersContributeZero: pairs involving a vertex whose walk
+// reaches a source (empty in-set) before meeting score 0.
+func TestDeadWalkersContributeZero(t *testing.T) {
+	// 0 -> 1; vertex 2 isolated.
+	g := graph.MustFromEdges(3, [][2]int{{0, 1}})
+	s, _, err := Compute(g, Options{C: 0.6, K: 10, Walks: 25, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]int{{0, 1}, {0, 2}, {1, 2}} {
+		if got := s.At(pair[0], pair[1]); got != 0 {
+			t.Errorf("s(%d,%d) = %g, want 0", pair[0], pair[1], got)
+		}
+	}
+}
+
+// TestApproximatesExact: the estimate converges to the iterative scores.
+// The coupled-walk estimator carries a small coalescence bias, so the
+// tolerance is statistical, not machine precision.
+func TestApproximatesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := graph.NewBuilder(25, 0)
+	b.EnsureVertices(25)
+	for i := 0; i < 80; i++ {
+		b.AddEdge(rng.Intn(25), rng.Intn(25))
+	}
+	g := b.MustBuild()
+	exact, err := naive.Compute(g, 0.6, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, _, err := Compute(g, Options{C: 0.6, K: 15, Walks: 3000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean absolute error over all pairs.
+	var sum float64
+	var cnt int
+	for i := 0; i < 25; i++ {
+		for j := 0; j < 25; j++ {
+			if i == j {
+				continue
+			}
+			sum += math.Abs(est.At(i, j) - exact.At(i, j))
+			cnt++
+		}
+	}
+	if mae := sum / float64(cnt); mae > 0.03 {
+		t.Errorf("mean absolute error %g, want <= 0.03 with 3000 fingerprints", mae)
+	}
+}
+
+// TestDeterministicWithSeed: same seed, same estimate.
+func TestDeterministicWithSeed(t *testing.T) {
+	g := gen.CitationGraph(60, 3, 5)
+	a, _, err := Compute(g, Options{Walks: 50, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Compute(g, Options{Walks: 50, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simmat.MaxDiff(a, b) != 0 {
+		t.Error("same seed produced different estimates")
+	}
+	c, _, err := Compute(g, Options{Walks: 50, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simmat.MaxDiff(a, c) == 0 {
+		t.Error("different seeds produced identical estimates (suspicious)")
+	}
+}
+
+// TestInvariants: estimates are symmetric, in [0,1], diagonal 1.
+func TestInvariants(t *testing.T) {
+	g := gen.WebGraph(80, 6, 9)
+	s, _, err := Compute(g, Options{Walks: 40, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckSymmetric(0); err != nil {
+		t.Error(err)
+	}
+	if err := s.CheckRange(0, 1, 1e-12); err != nil {
+		t.Error(err)
+	}
+	for v := 0; v < s.N(); v++ {
+		if s.At(v, v) != 1 {
+			t.Errorf("diag(%d) = %g", v, s.At(v, v))
+		}
+	}
+}
+
+func TestBadOptions(t *testing.T) {
+	g := graph.MustFromEdges(2, [][2]int{{0, 1}})
+	if _, _, err := Compute(g, Options{C: 1}); err == nil {
+		t.Error("want error for C = 1")
+	}
+	if _, _, err := Compute(g, Options{K: -1}); err == nil {
+		t.Error("want error for K < 0")
+	}
+	if _, _, err := Compute(g, Options{Eps: 2}); err == nil {
+		t.Error("want error for eps = 2")
+	}
+}

@@ -1,0 +1,314 @@
+package mst
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteForce enumerates every combination of one in-edge per non-root vertex
+// and returns the weight of the cheapest valid arborescence, or +Inf if none
+// exists. Exponential; only for tiny test graphs.
+func bruteForce(n, root int, edges []Edge) float64 {
+	candidates := make([][]int, n)
+	for i, e := range edges {
+		if e.From != e.To && e.To != root {
+			candidates[e.To] = append(candidates[e.To], i)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if v != root && len(candidates[v]) == 0 {
+			return math.Inf(1)
+		}
+	}
+	best := math.Inf(1)
+	choice := make([]int, n)
+	var rec func(v int)
+	rec = func(v int) {
+		if v == n {
+			parent := make([]int, n)
+			total := 0.0
+			for u := 0; u < n; u++ {
+				parent[u] = -1
+			}
+			for u := 0; u < n; u++ {
+				if u != root {
+					e := edges[choice[u]]
+					parent[u] = e.From
+					total += e.Weight
+				}
+			}
+			// Check all vertices reach root.
+			for u := 0; u < n; u++ {
+				w := u
+				for steps := 0; w != root; steps++ {
+					if steps > n {
+						return
+					}
+					w = parent[w]
+				}
+			}
+			if total < best {
+				best = total
+			}
+			return
+		}
+		if v == root {
+			rec(v + 1)
+			return
+		}
+		for _, ei := range candidates[v] {
+			choice[v] = ei
+			rec(v + 1)
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestEdmondsSimpleChain(t *testing.T) {
+	edges := []Edge{{0, 1, 1}, {1, 2, 2}, {0, 2, 5}}
+	a, err := Edmonds(3, 0, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total != 3 {
+		t.Errorf("total = %g, want 3", a.Total)
+	}
+	if a.Parent[1] != 0 || a.Parent[2] != 1 {
+		t.Errorf("parents = %v, want [.. 0 1]", a.Parent)
+	}
+	if err := a.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEdmondsCycleContraction(t *testing.T) {
+	// Classic case: greedy per-node selection forms the 1<->2 cycle; the
+	// optimum must break it via the root.
+	edges := []Edge{
+		{0, 1, 10},
+		{0, 2, 10},
+		{1, 2, 1},
+		{2, 1, 1},
+	}
+	a, err := Edmonds(3, 0, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total != 11 {
+		t.Errorf("total = %g, want 11 (enter cycle once, keep one cycle edge)", a.Total)
+	}
+	if err := a.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEdmondsNestedCycles(t *testing.T) {
+	// Two interlocking cycles that force repeated contraction.
+	edges := []Edge{
+		{0, 1, 100},
+		{1, 2, 1}, {2, 1, 1},
+		{2, 3, 1}, {3, 2, 1},
+		{3, 1, 1}, {1, 3, 1},
+		{0, 3, 50},
+	}
+	a, err := Edmonds(4, 0, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteForce(4, 0, edges)
+	if math.Abs(a.Total-want) > 1e-9 {
+		t.Errorf("total = %g, brute force = %g", a.Total, want)
+	}
+	if err := a.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEdmondsUnreachable(t *testing.T) {
+	edges := []Edge{{0, 1, 1}} // vertex 2 unreachable
+	if _, err := Edmonds(3, 0, edges); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestEdmondsBadInputs(t *testing.T) {
+	if _, err := Edmonds(3, 5, nil); err == nil {
+		t.Error("want error for root out of range")
+	}
+	if _, err := Edmonds(3, 0, []Edge{{0, 9, 1}}); err == nil {
+		t.Error("want error for endpoint out of range")
+	}
+}
+
+func TestEdmondsIgnoresSelfLoops(t *testing.T) {
+	edges := []Edge{{1, 1, -100}, {0, 1, 3}}
+	a, err := Edmonds(2, 0, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total != 3 {
+		t.Errorf("total = %g, want 3 (self-loop must be ignored)", a.Total)
+	}
+}
+
+// TestEdmondsMatchesBruteForce cross-validates the contraction algorithm
+// against exhaustive search on small random digraphs.
+func TestEdmondsMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5) // 2..6 vertices
+		var edges []Edge
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && rng.Float64() < 0.5 {
+					edges = append(edges, Edge{u, v, float64(1 + rng.Intn(10))})
+				}
+			}
+		}
+		want := bruteForce(n, 0, edges)
+		a, err := Edmonds(n, 0, edges)
+		if math.IsInf(want, 1) {
+			return errors.Is(err, ErrUnreachable)
+		}
+		if err != nil {
+			t.Logf("seed %d: unexpected error %v", seed, err)
+			return false
+		}
+		if err := a.Validate(); err != nil {
+			t.Logf("seed %d: invalid arborescence: %v", seed, err)
+			return false
+		}
+		if math.Abs(a.Total-want) > 1e-9 {
+			t.Logf("seed %d: edmonds %g != brute %g (n=%d, edges=%v)", seed, a.Total, want, n, edges)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGreedyMatchesEdmondsOnDAGs: on DAG inputs (edges only from lower to
+// higher id), the greedy per-vertex selection must agree with Edmonds.
+func TestGreedyMatchesEdmondsOnDAGs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		var edges []Edge
+		// Root 0 reaches everyone directly to guarantee feasibility.
+		for v := 1; v < n; v++ {
+			edges = append(edges, Edge{0, v, float64(5 + rng.Intn(10))})
+		}
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.4 {
+					edges = append(edges, Edge{u, v, float64(1 + rng.Intn(10))})
+				}
+			}
+		}
+		g, err := GreedyAcyclic(n, 0, edges)
+		if err != nil {
+			t.Logf("seed %d: greedy error %v", seed, err)
+			return false
+		}
+		e, err := Edmonds(n, 0, edges)
+		if err != nil {
+			t.Logf("seed %d: edmonds error %v", seed, err)
+			return false
+		}
+		if math.Abs(g.Total-e.Total) > 1e-9 {
+			t.Logf("seed %d: greedy %g != edmonds %g", seed, g.Total, e.Total)
+			return false
+		}
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyRejectsCycle(t *testing.T) {
+	edges := []Edge{
+		{0, 1, 10}, {0, 2, 10},
+		{1, 2, 1}, {2, 1, 1}, // greedy picks the cycle
+	}
+	if _, err := GreedyAcyclic(3, 0, edges); !errors.Is(err, ErrCyclicSelection) {
+		t.Fatalf("err = %v, want ErrCyclicSelection", err)
+	}
+}
+
+func TestGreedyUnreachable(t *testing.T) {
+	if _, err := GreedyAcyclic(3, 0, []Edge{{0, 1, 1}}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestChildren(t *testing.T) {
+	a := &Arborescence{Root: 0, Parent: []int{-1, 0, 0, 1}, Edge: []int{-1, 0, 1, 2}}
+	kids := a.Children()
+	if len(kids[0]) != 2 || kids[0][0] != 1 || kids[0][1] != 2 {
+		t.Errorf("children of 0 = %v, want [1 2]", kids[0])
+	}
+	if len(kids[1]) != 1 || kids[1][0] != 3 {
+		t.Errorf("children of 1 = %v, want [3]", kids[1])
+	}
+}
+
+func TestValidateDetectsCycle(t *testing.T) {
+	a := &Arborescence{Root: 0, Parent: []int{-1, 2, 1}, Edge: []int{-1, 0, 1}}
+	if err := a.Validate(); err == nil {
+		t.Fatal("want cycle error")
+	}
+}
+
+// TestPaperFig2cMST reproduces the MST of Fig. 2c: vertices are the
+// in-neighbor sets {?, I(a), I(e), I(h), I(c), I(b), I(d)} with the
+// transition costs of Fig. 2b; the optimum has total weight
+// 1+1+1+1+2+2 = 8 using the bold edges of the figure.
+func TestPaperFig2cMST(t *testing.T) {
+	// Indices: 0=?, 1=I(a), 2=I(e), 3=I(h), 4=I(c), 5=I(b), 6=I(d)
+	edges := []Edge{
+		// From ? (costs |I(x)|-1): row 1 of Fig. 2b.
+		{0, 1, 1}, {0, 2, 1}, {0, 3, 1}, {0, 4, 2}, {0, 5, 3}, {0, 6, 3},
+		// From I(a) = {b,g}.
+		{1, 2, 1}, {1, 3, 1}, {1, 4, 1}, {1, 5, 3}, {1, 6, 3},
+		// From I(e) = {f,g}.
+		{2, 3, 1}, {2, 4, 2}, {2, 5, 2}, {2, 6, 3},
+		// From I(h) = {b,d}.
+		{3, 4, 1}, {3, 5, 3}, {3, 6, 3},
+		// From I(c) = {b,d,g}.
+		{4, 5, 3}, {4, 6, 3},
+		// From I(b) = {f,g,e,i}.
+		{5, 6, 2},
+	}
+	a, err := Edmonds(7, 0, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total != 8 {
+		t.Errorf("MST total = %g, want 8 (Fig. 2c bold edges)", a.Total)
+	}
+	// The figure's tree: ?->I(a), ?->I(e), ?->I(h), I(a)->I(c),
+	// I(e)->I(b), I(b)->I(d). Weight-equivalent alternates exist (e.g.
+	// I(h)->I(c) also costs 1), so assert weights, not exact topology, but
+	// check the two # shortcuts are used: I(b) from I(e) (2) and I(d) from
+	// I(b) (2), both cheaper than from scratch (3).
+	if a.Parent[5] != 2 {
+		t.Errorf("parent of I(b) = %d, want I(e)=2", a.Parent[5])
+	}
+	if a.Parent[6] != 5 {
+		t.Errorf("parent of I(d) = %d, want I(b)=5", a.Parent[6])
+	}
+	g, err := GreedyAcyclic(7, 0, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Total != a.Total {
+		t.Errorf("greedy total %g != edmonds %g on the paper DAG", g.Total, a.Total)
+	}
+}

@@ -1,0 +1,65 @@
+// Package naive implements the original Jeh-Widom SimRank iteration (Eq. 2
+// of the paper) without any memoization: s_{k+1}(a,b) is computed by summing
+// the previous scores of every in-neighbor pair, costing O(K d^2 n^2) time.
+//
+// The paper uses this algorithm both as the historical baseline and as the
+// semantic ground truth: psum-SR and OIP-SR are pure computational
+// reorganizations of the very same iteration and must produce identical
+// scores. This package is therefore the oracle every optimized engine is
+// cross-validated against.
+package naive
+
+import (
+	"fmt"
+
+	"oipsr/graph"
+	"oipsr/internal/simmat"
+)
+
+// Compute runs K iterations of Eq. 2 with damping factor c and returns s_K.
+func Compute(g *graph.Graph, c float64, k int) (*simmat.Matrix, error) {
+	if !(c > 0 && c < 1) {
+		return nil, fmt.Errorf("naive: damping factor %v outside (0,1)", c)
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("naive: negative iteration count %d", k)
+	}
+	n := g.NumVertices()
+	prev := simmat.NewIdentity(n)
+	if k == 0 {
+		return prev, nil
+	}
+	next := simmat.New(n)
+	for iter := 0; iter < k; iter++ {
+		step(g, c, prev, next)
+		prev, next = next, prev
+	}
+	return prev, nil
+}
+
+// step computes one iteration of Eq. 2 from prev into next.
+func step(g *graph.Graph, c float64, prev, next *simmat.Matrix) {
+	n := g.NumVertices()
+	for a := 0; a < n; a++ {
+		ia := g.In(a)
+		rowNext := next.Row(a)
+		for b := 0; b < n; b++ {
+			switch {
+			case a == b:
+				rowNext[b] = 1
+			case len(ia) == 0 || g.InDegree(b) == 0:
+				rowNext[b] = 0
+			default:
+				ib := g.In(b)
+				sum := 0.0
+				for _, i := range ia {
+					rowPrev := prev.Row(i)
+					for _, j := range ib {
+						sum += rowPrev[j]
+					}
+				}
+				rowNext[b] = c / (float64(len(ia)) * float64(len(ib))) * sum
+			}
+		}
+	}
+}

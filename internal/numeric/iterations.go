@@ -1,0 +1,100 @@
+package numeric
+
+import (
+	"fmt"
+	"math"
+)
+
+// IterationsConventional returns the number of iterations the conventional
+// SimRank model needs for accuracy eps: the smallest K with C^(K+1) <= eps,
+// per the Lizorkin et al. bound |s_K - s| <= C^(K+1). The paper quotes this
+// as K = ceil(log_C eps) and evaluates it to 41 for C = 0.8, eps = 1e-4,
+// which matches the K^(+1) form (ceil(log_C eps) - 1 for fractional logs).
+func IterationsConventional(c, eps float64) int {
+	if !(c > 0 && c < 1) {
+		panic(fmt.Sprintf("numeric: damping factor C=%v outside (0,1)", c))
+	}
+	if !(eps > 0 && eps < 1) {
+		panic(fmt.Sprintf("numeric: accuracy eps=%v outside (0,1)", eps))
+	}
+	k := int(math.Ceil(math.Log(eps)/math.Log(c) - 1))
+	if k < 0 {
+		k = 0
+	}
+	// Guard against floating-point edge cases at exact powers of C.
+	for GeometricTailBound(c, k) > eps {
+		k++
+	}
+	for k > 0 && GeometricTailBound(c, k-1) <= eps {
+		k--
+	}
+	return k
+}
+
+// IterationsDifferentialExact returns the smallest k such that
+// C^(k+1)/(k+1)! <= eps, i.e. the exact iteration count implied by the
+// error estimate of Proposition 7. This is the number of iterations the
+// OIP-DSR engine actually performs for a requested accuracy; for C = 0.8 it
+// reproduces the OIP-DSR column of Fig. 6f (4, 5, 6, 7, 8 for
+// eps = 1e-2..1e-6).
+func IterationsDifferentialExact(c, eps float64) int {
+	if !(c > 0 && c < 1) {
+		panic(fmt.Sprintf("numeric: damping factor C=%v outside (0,1)", c))
+	}
+	if !(eps > 0 && eps < 1) {
+		panic(fmt.Sprintf("numeric: accuracy eps=%v outside (0,1)", eps))
+	}
+	for k := 0; ; k++ {
+		if ExponentialTailBound(c, k) <= eps {
+			return k
+		}
+	}
+}
+
+// IterationsDifferentialLambert returns the a-priori iteration estimate of
+// Corollary 1:
+//
+//	K' = ceil( ln(eps0) / W( ln(eps0) / (e*C) ) ) - 1,   eps0 = (sqrt(2*pi)*eps)^-1
+//
+// obtained from the Stirling lower bound on (K'+1)!. For C = 0.8 it
+// reproduces the "LamW Est." column of Fig. 6f (4, 5, 7, 8, 9 for
+// eps = 1e-2..1e-6).
+func IterationsDifferentialLambert(c, eps float64) int {
+	l := lnEps0(eps)
+	w := LambertW0(l / (math.E * c))
+	return int(math.Ceil(l/w)) - 1
+}
+
+// LogEstimateValid reports whether the Lambert-free bound of Corollary 2
+// applies, i.e. eps < (1/sqrt(2*pi)) * exp(-C*e^2). For C = 0.8 the
+// threshold is ~0.0011, which is why Fig. 6f leaves the Log estimate blank
+// at eps = 1e-2.
+func LogEstimateValid(c, eps float64) bool {
+	return eps < math.Exp(-c*math.E*math.E)/math.Sqrt(2*math.Pi)
+}
+
+// IterationsDifferentialLog returns the estimate of Corollary 2, which
+// replaces W(x) by its lower bound ln(x) - ln(ln(x)) (valid for x > e):
+//
+//	K' = ceil( ln(eps0) / (lambda - ln(lambda)) ) - 1,
+//	lambda = ln( ln(eps0) / (e*C) )
+//
+// It reports ok=false when eps is outside the validity range of
+// LogEstimateValid. For C = 0.8 it reproduces the "Log Est." column of
+// Fig. 6f (-, 5, 7, 9, 10 for eps = 1e-2..1e-6).
+func IterationsDifferentialLog(c, eps float64) (k int, ok bool) {
+	if !LogEstimateValid(c, eps) {
+		return 0, false
+	}
+	l := lnEps0(eps)
+	lambda := math.Log(l / (math.E * c))
+	return int(math.Ceil(l/(lambda-math.Log(lambda)))) - 1, true
+}
+
+// lnEps0 computes ln(eps0) = -ln(sqrt(2*pi)*eps) for eps in (0,1).
+func lnEps0(eps float64) float64 {
+	if !(eps > 0 && eps < 1) {
+		panic(fmt.Sprintf("numeric: accuracy eps=%v outside (0,1)", eps))
+	}
+	return -math.Log(math.Sqrt(2*math.Pi) * eps)
+}

@@ -1,0 +1,394 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"oipsr/graph"
+	"oipsr/internal/mst"
+)
+
+// Options configure plan construction.
+type Options struct {
+	// Dense builds the full O(n^2)-pair cost table exactly as the paper's
+	// DMST-Reduce pseudocode does. The default (false) enumerates only pairs
+	// of vertices whose in-neighbor sets overlap, which is lossless: a
+	// candidate edge can only beat the from-scratch root edge when the sets
+	// intersect (|A(+)B| < |B|-1 requires |A∩B| >= 1).
+	Dense bool
+
+	// PairCap bounds, per shared in-neighbor, how many co-out-neighbor pairs
+	// are generated (0 = unlimited). Capping turns candidate generation from
+	// Sum |O(y)|^2 into Sum |O(y)|*cap on hub-heavy graphs at the price of
+	// possibly missing some sharing opportunities.
+	PairCap int
+
+	// UseEdmonds forces the general Chu-Liu/Edmonds algorithm instead of the
+	// greedy DAG fast path. Both produce minimum-weight arborescences of the
+	// candidate graph; greedy exploits that the candidate graph is a DAG.
+	UseEdmonds bool
+}
+
+// Plan is the output of DMST-Reduce: the order in which to compute partial
+// sums over the non-empty in-neighbor sets and how to derive each from an
+// earlier one,
+//
+//	Partial_{I(v)} = Partial_{I(p)} + sum_{x in Add[v]} s(x,.) - sum_{x in Sub[v]} s(x,.)
+//
+// per Proposition 3 (Eq. 9), with Add[v] = I(v)\I(p) and Sub[v] = I(p)\I(v).
+//
+// The plan carries two views of the same MST:
+//
+//   - The chain view (Roots/Parent/Children/Add/Sub): each subtree
+//     linearized into its DFS preorder — the paper's Fig. 2d path
+//     decomposition — used for the inner partial-sum vectors, where a
+//     branching tree would pay every symmetric difference twice (apply and
+//     undo on backtrack) while a direct preorder transition never costs
+//     more (triangle inequality) and usually costs less.
+//   - The tree view (TreeRoots/TreeParent/TreeChildren/TreeAdd/TreeSub):
+//     the arborescence itself, used for the outer partial sums of
+//     procedure OP, where the value at every node is a scalar that can be
+//     kept on a stack, so branching costs nothing and the raw MST weight
+//     is the exact work.
+type Plan struct {
+	// Roots lists vertices whose partial sums start from scratch, in
+	// processing order (chain view).
+	Roots []int
+	// Parent[v] is the chain predecessor of v, or -1 for roots and for
+	// vertices with empty in-neighbor sets (which have no partial sums).
+	Parent []int
+	// Children[v] lists chain successors (at most one) in processing order.
+	Children [][]int
+	// Add[v] and Sub[v] are the per-edge set differences described above.
+	// For roots, Add[v] = I(v) and Sub[v] = nil.
+	Add, Sub [][]int
+
+	// Tree view: the arborescence before linearization, used by the outer
+	// partial-sums stage. Same semantics as the chain fields.
+	TreeRoots        []int
+	TreeParent       []int
+	TreeChildren     [][]int
+	TreeAdd, TreeSub [][]int
+
+	// ChainSteps and TreeSteps are the two views flattened into execution
+	// order, so the per-iteration engines run tight loops with no stack
+	// bookkeeping. Parent indexes the same slice (-1 = from scratch); for
+	// ChainSteps it is always the preceding entry or -1.
+	ChainSteps []Step
+	TreeSteps  []Step
+
+	// NumSets is the number of non-empty in-neighbor sets (tree nodes).
+	NumSets int
+	// Additions is the number of vector add/subtract operations one full
+	// inner partial-sums sweep costs under the chain view: |I(r)|-1 per
+	// from-scratch root plus the direct symmetric difference per chain
+	// edge.
+	Additions int
+	// TreeWeight is the raw minimum-spanning-arborescence weight — the
+	// per-target cost of one outer sweep under the tree view (Additions
+	// can differ because preorder transitions diff consecutive sets
+	// directly).
+	TreeWeight int
+	// ScratchAdditions is what the same sweep costs without any sharing
+	// (psum-SR): Sum over non-empty I(v) of |I(v)|-1.
+	ScratchAdditions int
+	// SharedEdges counts tree edges that reuse a parent (cost < scratch).
+	SharedEdges int
+	// AvgDiff is the paper's d_(+): the mean |I(p) (+) I(v)| over shared
+	// edges, the per-set cost of the sharing sweep. 0 when nothing is shared.
+	AvgDiff float64
+}
+
+// Bytes estimates the memory held by the plan: the Add/Sub difference lists
+// plus per-vertex bookkeeping. Part of the "intermediate memory" OIP-SR
+// spends beyond psum-SR (the paper measures this in Fig. 6d).
+func (p *Plan) Bytes() int64 {
+	var b int64
+	for v := range p.Add {
+		b += int64(len(p.Add[v])+len(p.Sub[v])) * 8
+		b += int64(len(p.TreeAdd[v])+len(p.TreeSub[v])) * 8
+	}
+	b += int64(len(p.Parent)) * 8 * 6 // chain+tree parents, child headers, cursors
+	b += int64(len(p.Roots)+len(p.TreeRoots)) * 8
+	return b
+}
+
+// ShareRatio is the fraction of from-scratch additions avoided by sharing:
+// 1 - Additions/ScratchAdditions (0 when there is nothing to add).
+func (p *Plan) ShareRatio() float64 {
+	if p.ScratchAdditions == 0 {
+		return 0
+	}
+	return 1 - float64(p.Additions)/float64(p.ScratchAdditions)
+}
+
+// PartitionOf reports the partition P(I(v)) induced by the plan in the form
+// of Fig. 3a: the reused block I(v) ∩ I(parent) (empty for roots) and the
+// residual block I(v) \ I(parent) (= I(v) for roots). The Sub list needed to
+// undo parent-only elements is Sub[v].
+func (p *Plan) PartitionOf(g *graph.Graph, v int) (shared, residual []int) {
+	if p.Parent[v] < 0 {
+		return nil, append([]int(nil), g.In(v)...)
+	}
+	return SortedIntersect(g.In(v), g.In(p.Parent[v])), SortedDiff(g.In(v), g.In(p.Parent[v]))
+}
+
+// Step is one entry of a flattened plan traversal: compute the partial sums
+// of Vertex either from scratch (Parent < 0) or from the partial sums of
+// the step at index Parent, applying the Add/Sub (chain) or TreeAdd/TreeSub
+// (tree) difference lists of Vertex.
+type Step struct {
+	Vertex int
+	Parent int32
+}
+
+// TrivialPlan returns the no-sharing plan: every non-empty in-neighbor set
+// is a root computed from scratch. Driving the OIP engine with a trivial
+// plan reproduces psum-SR exactly (the paper notes OIP-SR generalizes
+// psum-SR: the trivial partition P(I(a)) = {I(a)} collapses Eq. 6 to
+// Eq. 5). Used by ablation benches and by the differential engine's
+// no-sharing mode.
+func TrivialPlan(g *graph.Graph) *Plan {
+	n := g.NumVertices()
+	p := &Plan{
+		Parent:       make([]int, n),
+		Children:     make([][]int, n),
+		Add:          make([][]int, n),
+		Sub:          make([][]int, n),
+		TreeParent:   make([]int, n),
+		TreeChildren: make([][]int, n),
+		TreeAdd:      make([][]int, n),
+		TreeSub:      make([][]int, n),
+	}
+	for v := 0; v < n; v++ {
+		p.Parent[v] = -1
+		p.TreeParent[v] = -1
+		if g.InDegree(v) > 0 {
+			p.Roots = append(p.Roots, v)
+			p.TreeRoots = append(p.TreeRoots, v)
+			p.Add[v] = g.In(v)
+			p.TreeAdd[v] = g.In(v)
+			p.ChainSteps = append(p.ChainSteps, Step{Vertex: v, Parent: -1})
+			p.TreeSteps = append(p.TreeSteps, Step{Vertex: v, Parent: -1})
+			p.NumSets++
+			p.ScratchAdditions += ScratchCost(g.In(v))
+		}
+	}
+	p.Additions = p.ScratchAdditions
+	p.TreeWeight = p.ScratchAdditions
+	return p
+}
+
+// BuildPlan runs DMST-Reduce on g: it constructs the weighted cost graph
+// over non-empty in-neighbor sets, extracts a minimum spanning arborescence
+// rooted at the virtual empty set, and converts it into a Plan.
+func BuildPlan(g *graph.Graph, opt Options) (*Plan, error) {
+	n := g.NumVertices()
+
+	// Tree nodes: 0 is the virtual ? root; nodes 1..k are the vertices with
+	// non-empty in-neighbor sets, ranked by (in-degree, id) so that all
+	// candidate edges point from lower to higher rank and the cost graph is
+	// a DAG (ties in in-degree are broken by id; see DESIGN.md).
+	var verts []int
+	for v := 0; v < n; v++ {
+		if g.InDegree(v) > 0 {
+			verts = append(verts, v)
+		}
+	}
+	sort.Slice(verts, func(i, j int) bool {
+		di, dj := g.InDegree(verts[i]), g.InDegree(verts[j])
+		if di != dj {
+			return di < dj
+		}
+		return verts[i] < verts[j]
+	})
+	node := make([]int, n) // vertex -> tree node id (0 means absent)
+	for i, v := range verts {
+		node[v] = i + 1
+	}
+	nNodes := len(verts) + 1
+
+	var edges []mst.Edge
+	// Root edges: compute each set from scratch.
+	for i, v := range verts {
+		edges = append(edges, mst.Edge{From: 0, To: i + 1, Weight: float64(ScratchCost(g.In(v)))})
+	}
+	// Candidate sharing edges.
+	addPair := func(a, b int) {
+		// Orient by rank; only strictly beneficial edges are added.
+		na, nb := node[a], node[b]
+		if na > nb {
+			na, nb = nb, na
+			a, b = b, a
+		}
+		ia, ib := g.In(a), g.In(b)
+		sd := SymmetricDiffSize(ia, ib)
+		if sd < len(ib)-1 {
+			edges = append(edges, mst.Edge{From: na, To: nb, Weight: float64(sd)})
+		}
+	}
+	if opt.Dense {
+		for i := 0; i < len(verts); i++ {
+			for j := i + 1; j < len(verts); j++ {
+				addPair(verts[i], verts[j])
+			}
+		}
+	} else {
+		type pair struct{ a, b int }
+		seen := make(map[pair]bool)
+		for y := 0; y < n; y++ {
+			outs := g.Out(y)
+			lim := len(outs)
+			for i := 0; i < len(outs); i++ {
+				jmax := lim
+				if opt.PairCap > 0 && i+1+opt.PairCap < jmax {
+					jmax = i + 1 + opt.PairCap
+				}
+				for j := i + 1; j < jmax; j++ {
+					a, b := outs[i], outs[j]
+					if node[a] > node[b] {
+						a, b = b, a
+					}
+					pr := pair{a, b}
+					if seen[pr] {
+						continue
+					}
+					seen[pr] = true
+					addPair(a, b)
+				}
+			}
+		}
+	}
+
+	var arb *mst.Arborescence
+	var err error
+	if opt.UseEdmonds {
+		arb, err = mst.Edmonds(nNodes, 0, edges)
+	} else {
+		arb, err = mst.GreedyAcyclic(nNodes, 0, edges)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("partition: building DMST: %w", err)
+	}
+
+	return linearize(g, verts, arb), nil
+}
+
+// linearize converts the arborescence over tree nodes (0 = the virtual ?,
+// i+1 = verts[i]) into the executable plan: each root subtree is flattened
+// into its DFS preorder and consecutive sets are connected by their direct
+// symmetric difference. This is exactly the paper's Fig. 2d path
+// decomposition, generalized to branching trees. By the triangle inequality
+// |A(+)C| <= |A(+)B| + |B(+)C| a direct preorder transition never costs
+// more than backtracking the tree (undoing and re-applying edge diffs), and
+// between similar siblings it costs much less. A transition that would cost
+// at least as much as recomputing from scratch breaks the chain instead
+// (the set becomes a new from-scratch root), so every chain edge is
+// strictly profitable.
+func linearize(g *graph.Graph, verts []int, arb *mst.Arborescence) *Plan {
+	n := g.NumVertices()
+	p := &Plan{
+		Parent:       make([]int, n),
+		Children:     make([][]int, n),
+		Add:          make([][]int, n),
+		Sub:          make([][]int, n),
+		TreeParent:   make([]int, n),
+		TreeChildren: make([][]int, n),
+		TreeAdd:      make([][]int, n),
+		TreeSub:      make([][]int, n),
+		NumSets:      len(verts),
+		TreeWeight:   int(arb.Total),
+	}
+	for v := range p.Parent {
+		p.Parent[v] = -1
+		p.TreeParent[v] = -1
+	}
+	for _, v := range verts {
+		p.ScratchAdditions += ScratchCost(g.In(v))
+	}
+
+	kids := arb.Children()
+	// Tree view: transcribe the arborescence with its edge diffs.
+	for i, v := range verts {
+		pn := arb.Parent[i+1]
+		if pn == 0 {
+			p.TreeRoots = append(p.TreeRoots, v)
+			p.TreeAdd[v] = g.In(v)
+			continue
+		}
+		pv := verts[pn-1]
+		p.TreeParent[v] = pv
+		p.TreeChildren[pv] = append(p.TreeChildren[pv], v)
+		p.TreeAdd[v] = SortedDiff(g.In(v), g.In(pv))
+		p.TreeSub[v] = SortedDiff(g.In(pv), g.In(v))
+	}
+	// Flatten the tree into preorder steps with parent step indices.
+	{
+		stepOf := make([]int32, len(verts)+1)
+		var stack []int
+		for _, r := range kids[0] {
+			stack = append(stack, r)
+			for len(stack) > 0 {
+				node := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				v := verts[node-1]
+				parent := int32(-1)
+				if pn := arb.Parent[node]; pn != 0 {
+					parent = stepOf[pn]
+				}
+				stepOf[node] = int32(len(p.TreeSteps))
+				p.TreeSteps = append(p.TreeSteps, Step{Vertex: v, Parent: parent})
+				for i := len(kids[node]) - 1; i >= 0; i-- {
+					stack = append(stack, kids[node][i])
+				}
+			}
+		}
+	}
+	sumDiff := 0
+	startFresh := func(v int) {
+		p.Roots = append(p.Roots, v)
+		p.Add[v] = g.In(v)
+		p.Additions += ScratchCost(g.In(v))
+		p.ChainSteps = append(p.ChainSteps, Step{Vertex: v, Parent: -1})
+	}
+	// Iterative DFS preorder over each subtree hanging off the virtual root.
+	var stack []int
+	for _, rootNode := range kids[0] {
+		prev := -1
+		stack = append(stack[:0], rootNode)
+		for len(stack) > 0 {
+			node := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			v := verts[node-1]
+			if prev < 0 {
+				startFresh(v)
+			} else {
+				add := SortedDiff(g.In(v), g.In(prev))
+				sub := SortedDiff(g.In(prev), g.In(v))
+				if cost := len(add) + len(sub); cost < ScratchCost(g.In(v)) {
+					p.Parent[v] = prev
+					p.Children[prev] = append(p.Children[prev], v)
+					p.Add[v] = add
+					p.Sub[v] = sub
+					p.Additions += cost
+					p.SharedEdges++
+					sumDiff += cost
+					p.ChainSteps = append(p.ChainSteps, Step{
+						Vertex: v, Parent: int32(len(p.ChainSteps) - 1),
+					})
+				} else {
+					startFresh(v)
+				}
+			}
+			prev = v
+			// Push children in reverse so preorder visits them in order.
+			for i := len(kids[node]) - 1; i >= 0; i-- {
+				stack = append(stack, kids[node][i])
+			}
+		}
+	}
+	if p.SharedEdges > 0 {
+		p.AvgDiff = float64(sumDiff) / float64(p.SharedEdges)
+	}
+	return p
+}

@@ -1,0 +1,233 @@
+package prank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"oipsr/graph"
+	"oipsr/graph/gen"
+	"oipsr/internal/naive"
+	"oipsr/internal/simmat"
+)
+
+func randomGraph(rng *rand.Rand, n, maxM int) *graph.Graph {
+	b := graph.NewBuilder(n, 0)
+	b.EnsureVertices(n)
+	for i := 0; i < rng.Intn(maxM+1); i++ {
+		b.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	return b.MustBuild()
+}
+
+// naivePRank is the direct Zhao et al. iteration, the oracle for the
+// OIP-shared implementation.
+func naivePRank(g *graph.Graph, cin, cout, lambda float64, k int) *simmat.Matrix {
+	n := g.NumVertices()
+	prev := simmat.NewIdentity(n)
+	next := simmat.New(n)
+	for iter := 0; iter < k; iter++ {
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if a == b {
+					next.Set(a, b, 1)
+					continue
+				}
+				inTerm := 0.0
+				ia, ib := g.In(a), g.In(b)
+				if len(ia) > 0 && len(ib) > 0 {
+					sum := 0.0
+					for _, i := range ia {
+						for _, j := range ib {
+							sum += prev.At(i, j)
+						}
+					}
+					inTerm = cin / float64(len(ia)*len(ib)) * sum
+				}
+				outTerm := 0.0
+				oa, ob := g.Out(a), g.Out(b)
+				if len(oa) > 0 && len(ob) > 0 {
+					sum := 0.0
+					for _, i := range oa {
+						for _, j := range ob {
+							sum += prev.At(i, j)
+						}
+					}
+					outTerm = cout / float64(len(oa)*len(ob)) * sum
+				}
+				next.Set(a, b, lambda*inTerm+(1-lambda)*outTerm)
+			}
+		}
+		prev, next = next, prev
+	}
+	return prev
+}
+
+// TestMatchesNaivePRank cross-validates the OIP-shared engine against the
+// direct iteration on random graphs and random parameters.
+func TestMatchesNaivePRank(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		g := randomGraph(rng, n, 4*n)
+		cin := 0.3 + 0.5*rng.Float64()
+		cout := 0.3 + 0.5*rng.Float64()
+		lambda := rng.Float64()
+		k := 1 + rng.Intn(4)
+
+		want := naivePRank(g, cin, cout, lambda, k)
+		got, _, err := Compute(g, Options{CIn: cin, COut: cout, Lambda: lambda, K: k})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if d := simmat.MaxDiff(got, want); d > 1e-9 {
+			t.Logf("seed %d: max diff %g", seed, d)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLambdaOneIsSimRank: with lambda = 1 the out-link term vanishes and
+// P-Rank is exactly SimRank.
+func TestLambdaOneIsSimRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomGraph(rng, 15, 50)
+	want, err := naive.Compute(g, 0.6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Compute(g, Options{CIn: 0.6, COut: 0.6, Lambda: 1, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := simmat.MaxDiff(got, want); d > 1e-10 {
+		t.Errorf("lambda=1 P-Rank differs from SimRank by %g", d)
+	}
+}
+
+// TestSymmetricGraphCollapses: on a symmetric graph I(v) = O(v), so both
+// terms are equal and P-Rank equals SimRank computed at the blended damping
+// factor lambda*CIn + (1-lambda)*COut.
+func TestSymmetricGraphCollapses(t *testing.T) {
+	g := gen.CoauthorGraph(150, 3, 5) // symmetric edges by construction
+	cin, cout, lambda := 0.8, 0.4, 0.3
+	blend := lambda*cin + (1-lambda)*cout
+	want, err := naive.Compute(g, blend, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Compute(g, Options{CIn: cin, COut: cout, Lambda: lambda, K: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := simmat.MaxDiff(got, want); d > 1e-10 {
+		t.Errorf("symmetric-graph P-Rank differs from blended SimRank by %g", d)
+	}
+}
+
+// TestSharingDoesNotChangeScores: OIP plans are a reorganization.
+func TestSharingDoesNotChangeScores(t *testing.T) {
+	g := gen.WebGraph(200, 9, 8)
+	a, stShared, err := Compute(g, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, stScratch, err := Compute(g, Options{K: 4, DisableSharing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := simmat.MaxDiff(a, b); d > 1e-10 {
+		t.Errorf("sharing changed scores by %g", d)
+	}
+	if stShared.InnerAdds >= stScratch.InnerAdds {
+		t.Errorf("sharing saved nothing: %d vs %d inner adds", stShared.InnerAdds, stScratch.InnerAdds)
+	}
+}
+
+// TestInvariants: symmetry, range, pinned diagonal on random graphs.
+func TestInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		g := randomGraph(rng, n, 4*n)
+		s, _, err := Compute(g, Options{K: 4})
+		if err != nil {
+			return false
+		}
+		if s.CheckSymmetric(1e-10) != nil || s.CheckRange(0, 1, 1e-10) != nil {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if s.At(v, v) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOutLinksMatter: two vertices that share only OUT-links (co-citing,
+// never co-cited) get zero SimRank but positive P-Rank — the motivation for
+// Penetrating Rank.
+func TestOutLinksMatter(t *testing.T) {
+	// 1 -> 0, 2 -> 0: vertices 1 and 2 co-cite 0 but have no in-links.
+	g := graph.MustFromEdges(3, [][2]int{{1, 0}, {2, 0}})
+	sr, err := naive.Compute(g, 0.6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.At(1, 2) != 0 {
+		t.Fatalf("SimRank s(1,2) = %g, want 0 (no in-links)", sr.At(1, 2))
+	}
+	pr, _, err := Compute(g, Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.At(1, 2) <= 0 {
+		t.Errorf("P-Rank s(1,2) = %g, want > 0 (shared out-link)", pr.At(1, 2))
+	}
+	// Expected value: 0.5 * C_out * s(0,0) = 0.3 at the first iteration and
+	// stable afterwards.
+	if math.Abs(pr.At(1, 2)-0.3) > 1e-12 {
+		t.Errorf("P-Rank s(1,2) = %g, want 0.3", pr.At(1, 2))
+	}
+}
+
+// TestEpsDerivesIterations: the blended contraction factor drives the
+// default iteration count.
+func TestEpsDerivesIterations(t *testing.T) {
+	g := graph.MustFromEdges(3, [][2]int{{0, 1}, {0, 2}})
+	_, st, err := Compute(g, Options{CIn: 0.8, COut: 0.4, Lambda: 0.5, Eps: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blend = 0.6: smallest K with 0.6^(K+1) <= 1e-3 is 13.
+	if st.Iterations != 13 {
+		t.Errorf("iterations = %d, want 13", st.Iterations)
+	}
+}
+
+func TestBadOptions(t *testing.T) {
+	g := graph.MustFromEdges(2, [][2]int{{0, 1}})
+	if _, _, err := Compute(g, Options{CIn: 1.5}); err == nil {
+		t.Error("want error for CIn out of range")
+	}
+	if _, _, err := Compute(g, Options{Lambda: 2}); err == nil {
+		t.Error("want error for lambda > 1")
+	}
+	if _, _, err := Compute(g, Options{K: -1}); err == nil {
+		t.Error("want error for negative K")
+	}
+	if _, _, err := Compute(g, Options{Eps: 1}); err == nil {
+		t.Error("want error for eps = 1")
+	}
+}

@@ -1,0 +1,113 @@
+// Package simmat provides the dense n x n similarity-score matrix shared by
+// every SimRank engine in this repository, along with the comparison
+// utilities the tests and experiments use (max-norm distance, symmetry and
+// range checks).
+//
+// All-pairs SimRank inherently produces Theta(n^2) scores; engines hold two
+// such matrices (previous and next iterate). Rows are the natural unit of
+// work — s_k(a, *) — so the matrix exposes zero-copy row access.
+package simmat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major n x n score matrix.
+type Matrix struct {
+	n    int
+	data []float64
+}
+
+// New returns an all-zero n x n matrix.
+func New(n int) *Matrix {
+	return &Matrix{n: n, data: make([]float64, n*n)}
+}
+
+// NewIdentity returns the n x n identity, the s_0 of every iterative model.
+func NewIdentity(n int) *Matrix {
+	m := New(n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// N returns the dimension.
+func (m *Matrix) N() int { return m.n }
+
+// At returns m[i,j].
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.n+j] }
+
+// Set assigns m[i,j] = v.
+func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.n+j] = v }
+
+// Add increments m[i,j] by v.
+func (m *Matrix) Add(i, j int, v float64) { m.data[i*m.n+j] += v }
+
+// Row returns row i as a slice aliasing internal storage.
+func (m *Matrix) Row(i int) []float64 { return m.data[i*m.n : (i+1)*m.n] }
+
+// Data returns the backing slice (row-major). Intended for engines' inner
+// loops; external callers should prefer At/Row.
+func (m *Matrix) Data() []float64 { return m.data }
+
+// Fill sets every entry to v.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.data {
+		m.data[i] = v
+	}
+}
+
+// Reset zeroes the matrix.
+func (m *Matrix) Reset() { m.Fill(0) }
+
+// Copy returns a deep copy.
+func (m *Matrix) Copy() *Matrix {
+	c := New(m.n)
+	copy(c.data, m.data)
+	return c
+}
+
+// Bytes reports the memory footprint of the backing array.
+func (m *Matrix) Bytes() int64 { return int64(len(m.data)) * 8 }
+
+// MaxDiff returns max_{i,j} |a[i,j] - b[i,j]|, the max-norm distance used by
+// every convergence statement in the paper (Proposition 7 uses the max
+// norm explicitly).
+func MaxDiff(a, b *Matrix) float64 {
+	if a.n != b.n {
+		panic(fmt.Sprintf("simmat: dimension mismatch %d vs %d", a.n, b.n))
+	}
+	d := 0.0
+	for i := range a.data {
+		if x := math.Abs(a.data[i] - b.data[i]); x > d {
+			d = x
+		}
+	}
+	return d
+}
+
+// CheckSymmetric returns an error if |m[i,j] - m[j,i]| > tol anywhere.
+// SimRank is symmetric by definition; engines must preserve this.
+func (m *Matrix) CheckSymmetric(tol float64) error {
+	for i := 0; i < m.n; i++ {
+		for j := i + 1; j < m.n; j++ {
+			if math.Abs(m.At(i, j)-m.At(j, i)) > tol {
+				return fmt.Errorf("simmat: asymmetry at (%d,%d): %g vs %g", i, j, m.At(i, j), m.At(j, i))
+			}
+		}
+	}
+	return nil
+}
+
+// CheckRange returns an error if any entry falls outside [lo-tol, hi+tol].
+// Conventional SimRank scores lie in [0, 1].
+func (m *Matrix) CheckRange(lo, hi, tol float64) error {
+	for i, v := range m.data {
+		if v < lo-tol || v > hi+tol {
+			return fmt.Errorf("simmat: entry (%d,%d) = %g outside [%g,%g]", i/m.n, i%m.n, v, lo, hi)
+		}
+	}
+	return nil
+}

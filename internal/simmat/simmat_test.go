@@ -1,0 +1,108 @@
+package simmat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBasicOps(t *testing.T) {
+	m := New(3)
+	if m.N() != 3 {
+		t.Fatalf("N = %d, want 3", m.N())
+	}
+	m.Set(1, 2, 0.5)
+	if m.At(1, 2) != 0.5 {
+		t.Error("Set/At mismatch")
+	}
+	m.Add(1, 2, 0.25)
+	if m.At(1, 2) != 0.75 {
+		t.Error("Add mismatch")
+	}
+	row := m.Row(1)
+	if len(row) != 3 || row[2] != 0.75 {
+		t.Errorf("Row = %v", row)
+	}
+	row[0] = 9 // aliasing contract
+	if m.At(1, 0) != 9 {
+		t.Error("Row must alias storage")
+	}
+	if m.Bytes() != 72 {
+		t.Errorf("Bytes = %d, want 72", m.Bytes())
+	}
+}
+
+func TestIdentityCopyReset(t *testing.T) {
+	m := NewIdentity(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if m.At(i, j) != want {
+				t.Fatalf("identity[%d,%d] = %g", i, j, m.At(i, j))
+			}
+		}
+	}
+	c := m.Copy()
+	c.Set(0, 0, 5)
+	if m.At(0, 0) != 1 {
+		t.Error("Copy must not share storage")
+	}
+	m.Reset()
+	if m.At(0, 0) != 0 {
+		t.Error("Reset failed")
+	}
+	m.Fill(2)
+	if m.At(3, 3) != 2 {
+		t.Error("Fill failed")
+	}
+}
+
+func TestMaxDiff(t *testing.T) {
+	a, b := New(2), New(2)
+	a.Set(0, 1, 1)
+	b.Set(0, 1, 0.25)
+	b.Set(1, 0, -0.5)
+	if d := MaxDiff(a, b); d != 0.75 {
+		t.Errorf("MaxDiff = %g, want 0.75", d)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on dimension mismatch")
+		}
+	}()
+	MaxDiff(a, New(3))
+}
+
+func TestCheckSymmetric(t *testing.T) {
+	m := New(3)
+	m.Set(0, 1, 0.5)
+	m.Set(1, 0, 0.5)
+	if err := m.CheckSymmetric(0); err != nil {
+		t.Errorf("symmetric matrix rejected: %v", err)
+	}
+	m.Set(2, 1, 0.1)
+	if err := m.CheckSymmetric(1e-12); err == nil {
+		t.Error("asymmetric matrix accepted")
+	}
+	if err := m.CheckSymmetric(0.2); err != nil {
+		t.Error("tolerance not honored")
+	}
+}
+
+func TestCheckRange(t *testing.T) {
+	m := New(2)
+	m.Set(0, 1, 0.999)
+	if err := m.CheckRange(0, 1, 0); err != nil {
+		t.Errorf("in-range matrix rejected: %v", err)
+	}
+	m.Set(1, 0, 1.5)
+	if err := m.CheckRange(0, 1, 1e-9); err == nil {
+		t.Error("out-of-range matrix accepted")
+	}
+	m.Set(1, 0, math.Nextafter(1, 2))
+	if err := m.CheckRange(0, 1, 1e-9); err != nil {
+		t.Errorf("tolerance not honored: %v", err)
+	}
+}

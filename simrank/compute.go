@@ -1,0 +1,244 @@
+package simrank
+
+import (
+	"fmt"
+	"time"
+
+	"oipsr/graph"
+	"oipsr/internal/core"
+	"oipsr/internal/dsr"
+	"oipsr/internal/montecarlo"
+	"oipsr/internal/mtxsr"
+	"oipsr/internal/naive"
+	"oipsr/internal/numeric"
+	"oipsr/internal/partition"
+	"oipsr/internal/prank"
+	"oipsr/internal/psum"
+)
+
+// Compute runs the selected SimRank engine over g and returns the all-pairs
+// scores plus run statistics. See Options for the engine-specific knobs.
+func Compute(g *graph.Graph, opt Options) (*Scores, *Stats, error) {
+	if err := opt.validate(); err != nil {
+		return nil, nil, err
+	}
+	alg := opt.Algorithm
+	if alg == "" {
+		alg = OIPSR
+	}
+	switch alg {
+	case OIPSR:
+		return computeOIP(g, opt)
+	case OIPDSR:
+		return computeDSR(g, opt)
+	case PsumSR:
+		return computePsum(g, opt)
+	case Naive:
+		return computeNaive(g, opt)
+	case MtxSR:
+		return computeMtx(g, opt)
+	case PRank:
+		return computePRank(g, opt)
+	case MonteCarlo:
+		return computeMonteCarlo(g, opt)
+	}
+	return nil, nil, fmt.Errorf("simrank: unknown algorithm %q", alg)
+}
+
+func computePRank(g *graph.Graph, opt Options) (*Scores, *Stats, error) {
+	m, st, err := prank.Compute(g, prank.Options{
+		CIn:       opt.C,
+		COut:      opt.COut,
+		Lambda:    opt.Lambda,
+		K:         opt.K,
+		Eps:       opt.Eps,
+		Partition: partitionOptions(opt),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Scores{m: m}, &Stats{
+		Algorithm:   PRank,
+		Iterations:  st.Iterations,
+		PlanTime:    st.PlanTime,
+		ComputeTime: st.SweepTime,
+		InnerAdds:   st.InnerAdds,
+		OuterAdds:   st.OuterAdds,
+		AuxBytes:    st.AuxBytes,
+		StateBytes:  4 * int64(g.NumVertices()) * int64(g.NumVertices()) * 8,
+		ShareRatio:  (st.InShareRatio + st.OutShareRatio) / 2,
+	}, nil
+}
+
+func computeMonteCarlo(g *graph.Graph, opt Options) (*Scores, *Stats, error) {
+	m, st, err := montecarlo.Compute(g, montecarlo.Options{
+		C:     opt.C,
+		K:     opt.K,
+		Eps:   opt.Eps,
+		Walks: opt.Walks,
+		Seed:  opt.Seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Scores{m: m}, &Stats{
+		Algorithm:   MonteCarlo,
+		Iterations:  st.Walks,
+		ComputeTime: st.Elapsed,
+		AuxBytes:    st.AuxBytes,
+		StateBytes:  int64(g.NumVertices()) * int64(g.NumVertices()) * 8,
+	}, nil
+}
+
+func partitionOptions(opt Options) partition.Options {
+	return partition.Options{
+		Dense:      opt.DensePartition,
+		PairCap:    opt.PairCap,
+		UseEdmonds: opt.UseEdmonds,
+	}
+}
+
+func computeOIP(g *graph.Graph, opt Options) (*Scores, *Stats, error) {
+	m, st, err := core.Compute(g, core.Options{
+		C:            opt.C,
+		K:            opt.K,
+		Eps:          opt.Eps,
+		StopDiff:     opt.StopDiff,
+		Partition:    partitionOptions(opt),
+		DisableOuter: opt.DisableOuterSharing,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Scores{m: m}, &Stats{
+		Algorithm:   OIPSR,
+		Iterations:  st.Iterations,
+		PlanTime:    st.PlanTime,
+		ComputeTime: st.SweepTime,
+		InnerAdds:   st.InnerAdds,
+		OuterAdds:   st.OuterAdds,
+		AuxBytes:    st.AuxBytes,
+		StateBytes:  st.StateBytes,
+		ShareRatio:  st.ShareRatio,
+		AvgDiff:     st.AvgDiff,
+		NumSets:     st.NumSets,
+		FinalDiff:   st.FinalDiff,
+	}, nil
+}
+
+func computeDSR(g *graph.Graph, opt Options) (*Scores, *Stats, error) {
+	m, st, err := dsr.Compute(g, dsr.Options{
+		C:         opt.C,
+		K:         opt.K,
+		Eps:       opt.Eps,
+		Partition: partitionOptions(opt),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Scores{m: m}, &Stats{
+		Algorithm:   OIPDSR,
+		Iterations:  st.Iterations,
+		PlanTime:    st.PlanTime,
+		ComputeTime: st.SweepTime,
+		InnerAdds:   st.InnerAdds,
+		OuterAdds:   st.OuterAdds,
+		AuxBytes:    st.AuxBytes,
+		StateBytes:  st.StateBytes,
+		ShareRatio:  st.ShareRatio,
+		AvgDiff:     st.AvgDiff,
+		NumSets:     st.NumSets,
+	}, nil
+}
+
+func computePsum(g *graph.Graph, opt Options) (*Scores, *Stats, error) {
+	c, k, err := resolveGeometricSchedule(opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	t0 := time.Now()
+	m, st, err := psum.Compute(g, psum.Options{C: c, K: k, Threshold: opt.Threshold})
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Scores{m: m}, &Stats{
+		Algorithm:   PsumSR,
+		Iterations:  st.Iterations,
+		ComputeTime: time.Since(t0),
+		InnerAdds:   st.InnerAdds,
+		OuterAdds:   st.OuterAdds,
+		AuxBytes:    st.AuxBytes,
+		StateBytes:  2 * int64(g.NumVertices()) * int64(g.NumVertices()) * 8,
+		SievedPairs: st.SievedPairs,
+	}, nil
+}
+
+func computeNaive(g *graph.Graph, opt Options) (*Scores, *Stats, error) {
+	c, k, err := resolveGeometricSchedule(opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	t0 := time.Now()
+	m, err := naive.Compute(g, c, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Scores{m: m}, &Stats{
+		Algorithm:   Naive,
+		Iterations:  k,
+		ComputeTime: time.Since(t0),
+		StateBytes:  2 * int64(g.NumVertices()) * int64(g.NumVertices()) * 8,
+	}, nil
+}
+
+func computeMtx(g *graph.Graph, opt Options) (*Scores, *Stats, error) {
+	c := opt.C
+	if c == 0 {
+		c = 0.6
+	}
+	m, st, err := mtxsr.Compute(g, mtxsr.Options{
+		C:    c,
+		Rank: opt.Rank,
+		Seed: opt.Seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Scores{m: m}, &Stats{
+		Algorithm:   MtxSR,
+		Iterations:  st.SolveIters,
+		PlanTime:    st.SVDTime,
+		ComputeTime: st.SolveTime,
+		AuxBytes:    st.AuxBytes,
+		StateBytes:  int64(g.NumVertices()) * int64(g.NumVertices()) * 8,
+		Rank:        st.Rank,
+	}, nil
+}
+
+// resolveGeometricSchedule applies the shared defaulting rules (C = 0.6,
+// eps = 1e-3, Lizorkin iteration bound) for the engines that take a plain
+// (C, K) pair.
+func resolveGeometricSchedule(opt Options) (c float64, k int, err error) {
+	c = opt.C
+	if c == 0 {
+		c = 0.6
+	}
+	if !(c > 0 && c < 1) {
+		return 0, 0, fmt.Errorf("simrank: damping factor %v outside (0,1)", c)
+	}
+	k = opt.K
+	if k < 0 {
+		return 0, 0, fmt.Errorf("simrank: negative iteration count %d", k)
+	}
+	if k == 0 {
+		eps := opt.Eps
+		if eps == 0 {
+			eps = 1e-3
+		}
+		if !(eps > 0 && eps < 1) {
+			return 0, 0, fmt.Errorf("simrank: accuracy eps %v outside (0,1)", eps)
+		}
+		k = numeric.IterationsConventional(c, eps)
+	}
+	return c, k, nil
+}

@@ -1,0 +1,37 @@
+package simrank
+
+import "oipsr/internal/eval"
+
+// NDCG computes the normalized discounted cumulative gain at position p
+// for a ranking (item order) against per-item graded relevance, using the
+// formula of the paper's Section V-A.
+func NDCG(rel []float64, ranking []int, p int) float64 {
+	return eval.NDCG(rel, ranking, p)
+}
+
+// GradeByRank derives graded relevance from an ideal ranking: items before
+// cutoffs[0] get the highest grade, items before cutoffs[1] the next, and
+// so on (items beyond the last cutoff get 0).
+func GradeByRank(n int, ideal []int, cutoffs []int) []float64 {
+	return eval.GradeByRank(n, ideal, cutoffs)
+}
+
+// KendallTau computes the Kendall rank correlation of two score vectors.
+func KendallTau(a, b []float64) float64 { return eval.KendallTau(a, b) }
+
+// SpearmanRho computes the Spearman rank correlation of two score vectors.
+func SpearmanRho(a, b []float64) float64 { return eval.SpearmanRho(a, b) }
+
+// Inversions counts pairs ordered differently by two rankings (restricted
+// to common items) — the metric behind the paper's Fig. 6h comparison.
+func Inversions(a, b []int) int { return eval.Inversions(a, b) }
+
+// SignificantInversions counts item pairs the two score vectors order in
+// strictly opposite ways with both gaps above tol; pairs either model
+// scores within tol are ranking ties and excluded.
+func SignificantInversions(items []int, a, b []float64, tol float64) int {
+	return eval.SignificantInversions(items, a, b, tol)
+}
+
+// TopKOverlap returns the fraction of items shared by two top-k lists.
+func TopKOverlap(a, b []int) float64 { return eval.TopKOverlap(a, b) }

@@ -1,0 +1,148 @@
+package simrank
+
+import (
+	"fmt"
+	"time"
+)
+
+// Algorithm selects the SimRank engine.
+type Algorithm string
+
+// The available engines. See the package documentation for the trade-offs.
+const (
+	// OIPSR is the paper's partial-sums-sharing algorithm (Algorithm 1),
+	// the default.
+	OIPSR Algorithm = "oip-sr"
+	// OIPDSR is the differential (exponential-convergence) SimRank with
+	// OIP sharing.
+	OIPDSR Algorithm = "oip-dsr"
+	// PsumSR is Lizorkin et al.'s partial sums memoization baseline.
+	PsumSR Algorithm = "psum-sr"
+	// Naive is the original Jeh-Widom iteration.
+	Naive Algorithm = "naive"
+	// MtxSR is Li et al.'s SVD-based low-rank approximation.
+	MtxSR Algorithm = "mtx-sr"
+	// PRank is Penetrating Rank (Zhao et al.): SimRank generalized to use
+	// both in- and out-links, with OIP sharing applied in both directions —
+	// the extension the paper's Related Work describes.
+	PRank Algorithm = "p-rank"
+	// MonteCarlo is the Fogaras-Racz sampling estimator: s(a,b) is
+	// estimated from the first meeting time of coupled reverse random
+	// walks. Probabilistic; Theta(n^2) time independent of K.
+	MonteCarlo Algorithm = "monte-carlo"
+)
+
+// Valid reports whether a is a known algorithm.
+func (a Algorithm) Valid() bool {
+	switch a {
+	case OIPSR, OIPDSR, PsumSR, Naive, MtxSR, PRank, MonteCarlo:
+		return true
+	}
+	return false
+}
+
+// Options configure Compute. The zero value means: OIP-SR, C = 0.6,
+// accuracy eps = 1e-3 (the paper's defaults).
+type Options struct {
+	// Algorithm selects the engine; empty means OIPSR.
+	Algorithm Algorithm
+
+	// C is the damping factor in (0,1); 0 means 0.6.
+	C float64
+
+	// K fixes the iteration count. 0 means derive it from Eps: the
+	// Lizorkin bound ceil(log_C eps)-style count for the geometric engines,
+	// the Proposition-7 count for OIPDSR.
+	K int
+
+	// Eps is the desired accuracy when K == 0; 0 means 1e-3.
+	Eps float64
+
+	// StopDiff, when positive, stops geometric engines early once the
+	// max-norm difference of successive iterates falls to or below it
+	// (OIP-SR only; ignored elsewhere).
+	StopDiff float64
+
+	// Threshold enables psum-SR threshold sieving (PsumSR only).
+	Threshold float64
+
+	// Rank is the SVD truncation rank (MtxSR only); 0 means ceil(sqrt(n)).
+	Rank int
+
+	// Seed seeds randomized stages (MtxSR's SVD start block, MonteCarlo's
+	// walks).
+	Seed int64
+
+	// Lambda weights P-Rank's in-link term against its out-link term
+	// (PRank only); 0 means the balanced 0.5, 1 recovers SimRank.
+	Lambda float64
+
+	// COut is P-Rank's out-link damping factor (PRank only); 0 means C.
+	COut float64
+
+	// Walks is the number of sampled walk pairs per vertex pair
+	// (MonteCarlo only); 0 means 100.
+	Walks int
+
+	// DisableOuterSharing ablates outer partial-sums sharing (OIPSR only).
+	DisableOuterSharing bool
+
+	// DensePartition builds the paper's O(n^2) DMST cost table instead of
+	// the lossless overlap-based candidates (OIPSR / OIPDSR).
+	DensePartition bool
+
+	// UseEdmonds forces the general Chu-Liu/Edmonds MST backend instead of
+	// the greedy DAG fast path (OIPSR / OIPDSR).
+	UseEdmonds bool
+
+	// PairCap bounds candidate-pair generation per shared in-neighbor
+	// (OIPSR / OIPDSR); 0 means unlimited.
+	PairCap int
+}
+
+func (o Options) validate() error {
+	if o.Algorithm != "" && !o.Algorithm.Valid() {
+		return fmt.Errorf("simrank: unknown algorithm %q", o.Algorithm)
+	}
+	return nil
+}
+
+// Stats reports what a computation did. Fields not applicable to the chosen
+// engine are zero.
+type Stats struct {
+	Algorithm  Algorithm
+	Iterations int
+
+	// PlanTime covers preprocessing (DMST-Reduce for the OIP engines, the
+	// truncated SVD for MtxSR); ComputeTime covers the iteration phase.
+	PlanTime    time.Duration
+	ComputeTime time.Duration
+
+	// InnerAdds and OuterAdds count scalar additions on inner/outer partial
+	// sums (the paper's cost unit). Zero for Naive and MtxSR.
+	InnerAdds int64
+	OuterAdds int64
+
+	// AuxBytes is auxiliary memory beyond the score matrices — the
+	// "intermediate memory" of the paper's Fig. 6d. StateBytes is the
+	// n^2-sized state the engine holds while running.
+	AuxBytes   int64
+	StateBytes int64
+
+	// Sharing metrics (OIP engines): fraction of partial-sum additions
+	// avoided, the mean symmetric-difference size d_(+) over shared MST
+	// edges, and the number of non-empty in-neighbor sets.
+	ShareRatio float64
+	AvgDiff    float64
+	NumSets    int
+
+	// FinalDiff is the last successive-iterate max-norm difference when
+	// StopDiff was used.
+	FinalDiff float64
+
+	// Rank is the SVD rank used (MtxSR).
+	Rank int
+
+	// SievedPairs counts threshold-sieved scores (PsumSR).
+	SievedPairs int64
+}

@@ -1,0 +1,73 @@
+package simrank
+
+import (
+	"sort"
+
+	"oipsr/internal/simmat"
+)
+
+// Scores holds the all-pairs similarity matrix produced by Compute.
+type Scores struct {
+	m *simmat.Matrix
+}
+
+// Ranked is one entry of a top-k result.
+type Ranked struct {
+	Vertex int
+	Score  float64
+}
+
+// N returns the number of vertices.
+func (s *Scores) N() int { return s.m.N() }
+
+// Score returns s(a, b).
+func (s *Scores) Score(a, b int) float64 { return s.m.At(a, b) }
+
+// Row returns the similarity row s(a, *). The slice aliases internal
+// storage and must not be modified.
+func (s *Scores) Row(a int) []float64 { return s.m.Row(a) }
+
+// TopK returns the k vertices most similar to query, excluding the query
+// itself, in decreasing score order with ties broken by vertex id.
+func (s *Scores) TopK(query, k int) []Ranked {
+	row := s.m.Row(query)
+	idx := rankDesc(row, query)
+	if k > len(idx) {
+		k = len(idx)
+	}
+	out := make([]Ranked, k)
+	for i := 0; i < k; i++ {
+		out[i] = Ranked{Vertex: idx[i], Score: row[idx[i]]}
+	}
+	return out
+}
+
+// MaxDiff returns the max-norm distance to another score matrix of the same
+// dimension.
+func (s *Scores) MaxDiff(other *Scores) float64 {
+	return simmat.MaxDiff(s.m, other.m)
+}
+
+// Bytes reports the memory footprint of the score matrix.
+func (s *Scores) Bytes() int64 { return s.m.Bytes() }
+
+// matrix exposes the underlying storage to the package internals.
+func (s *Scores) matrix() *simmat.Matrix { return s.m }
+
+// rankDesc orders all vertices except skip by decreasing score, breaking
+// ties by vertex id for determinism.
+func rankDesc(row []float64, skip int) []int {
+	idx := make([]int, 0, len(row)-1)
+	for i := range row {
+		if i != skip {
+			idx = append(idx, i)
+		}
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if row[idx[a]] != row[idx[b]] {
+			return row[idx[a]] > row[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	return idx
+}
