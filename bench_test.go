@@ -214,6 +214,22 @@ func BenchmarkExp4NDCG(b *testing.B) {
 	}
 }
 
+// --- Parallel sweep engine: speedup vs worker count ---
+
+// BenchmarkSweepParallel exercises the chain-level worker pool on a
+// power-law web graph (n = 2000). K is high enough that the one-off
+// DMST-Reduce planning phase is amortized and the sweeps dominate; scores
+// and add counts are bit-identical across the worker counts, so the bench
+// measures pure scheduling/scaling behavior.
+func BenchmarkSweepParallel(b *testing.B) {
+	g := workload("scaling", func() *graph.Graph { return gen.WebGraph(2000, 11, 1) })
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			runAlgo(b, g, simrank.Options{Algorithm: simrank.OIPSR, C: 0.6, K: 15, Workers: w})
+		})
+	}
+}
+
 // --- Ablations (DESIGN.md) ---
 
 func BenchmarkAblationOuterSharing(b *testing.B) {

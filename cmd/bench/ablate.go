@@ -30,6 +30,7 @@ func runAblations(cfg config) {
 	for _, v := range variants {
 		v.opt.C = 0.6
 		v.opt.K = 10
+		v.opt.Workers = benchWorkers
 		_, st, err := simrank.Compute(g, v.opt)
 		must(err)
 		fmt.Printf("%-28s | %12v %12v | %14d %14d\n",

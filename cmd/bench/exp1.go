@@ -27,8 +27,12 @@ func runDatasets(cfg config) {
 	fmt.Println("(*: shape-preserving synthetic substitute, see DESIGN.md)")
 }
 
-// timeAlgo runs one algorithm and returns elapsed wall time and stats.
+// timeAlgo runs one algorithm and returns elapsed wall time and stats. The
+// -workers flag applies unless the caller set an explicit pool size.
 func timeAlgo(g *graph.Graph, opt simrank.Options) (time.Duration, *simrank.Stats, error) {
+	if opt.Workers == 0 {
+		opt.Workers = benchWorkers
+	}
 	start := time.Now()
 	_, st, err := simrank.Compute(g, opt)
 	return time.Since(start), st, err
@@ -55,6 +59,15 @@ func runExp1DBLP(cfg config) {
 			tDSR.Round(time.Millisecond), tSR.Round(time.Millisecond),
 			tPsum.Round(time.Millisecond), tMtx.Round(time.Millisecond),
 			float64(tPsum)/float64(tSR), float64(tPsum)/float64(tDSR))
+		for _, r := range []struct {
+			alg string
+			t   time.Duration
+		}{{"oip-dsr", tDSR}, {"oip-sr", tSR}, {"psum-sr", tPsum}, {"mtx-sr", tMtx}} {
+			emitJSON("exp1-dblp", map[string]any{
+				"workload": "dblp-" + names[i], "algo": r.alg,
+				"n": g.NumVertices(), "seconds": seconds(r.t),
+			})
+		}
 	}
 	fmt.Println("(paper: OIP-SR 1.8x over psum-SR on DBLP; OIP-DSR up to 5.2x)")
 }
@@ -63,7 +76,7 @@ func runExp1DBLP(cfg config) {
 // BerkStan-like workload.
 func runExp1Web(cfg config) {
 	header("Exp-1: time vs K on berkstan*", "Fig. 6a middle")
-	exp1VaryK(webGraph(cfg), []int{5, 10, 15, 20, 25})
+	exp1VaryK("berkstan*", webGraph(cfg), []int{5, 10, 15, 20, 25})
 	fmt.Println("(paper: OIP-SR 4.6x average speedup over psum-SR on BERKSTAN)")
 }
 
@@ -71,11 +84,11 @@ func runExp1Web(cfg config) {
 // workload.
 func runExp1Patent(cfg config) {
 	header("Exp-1: time vs K on patent*", "Fig. 6a right")
-	exp1VaryK(patentGraph(cfg), []int{5, 10, 15, 20})
+	exp1VaryK("patent*", patentGraph(cfg), []int{5, 10, 15, 20})
 	fmt.Println("(paper: OIP-SR 2.7x average speedup over psum-SR on PATENT)")
 }
 
-func exp1VaryK(g *graph.Graph, ks []int) {
+func exp1VaryK(workload string, g *graph.Graph, ks []int) {
 	fmt.Printf("workload: n=%d m=%d d=%.1f\n", g.NumVertices(), g.NumEdges(), g.AvgInDegree())
 	fmt.Printf("%-6s | %12s %12s %12s | %10s\n", "K", "OIP-DSR", "OIP-SR", "psum-SR", "SR/psum")
 	for _, k := range ks {
@@ -94,6 +107,15 @@ func exp1VaryK(g *graph.Graph, ks []int) {
 			k, tDSR.Round(time.Millisecond), stDSR.Iterations,
 			tSR.Round(time.Millisecond), tPsum.Round(time.Millisecond),
 			float64(tPsum)/float64(tSR))
+		for _, r := range []struct {
+			alg string
+			t   time.Duration
+		}{{"oip-dsr", tDSR}, {"oip-sr", tSR}, {"psum-sr", tPsum}} {
+			emitJSON("exp1-vary-k", map[string]any{
+				"workload": workload, "algo": r.alg, "k": k,
+				"n": g.NumVertices(), "seconds": seconds(r.t),
+			})
+		}
 	}
 }
 
@@ -110,7 +132,7 @@ func runExp1Amortized(cfg config) {
 	} {
 		fmt.Printf("%s (n=%d m=%d)\n", w.name, w.g.NumVertices(), w.g.NumEdges())
 		for _, alg := range []simrank.Algorithm{simrank.OIPSR, simrank.OIPDSR} {
-			_, st, err := simrank.Compute(w.g, simrank.Options{Algorithm: alg, C: 0.6, Eps: 1e-3})
+			_, st, err := simrank.Compute(w.g, simrank.Options{Algorithm: alg, C: 0.6, Eps: 1e-3, Workers: benchWorkers})
 			must(err)
 			total := st.PlanTime + st.ComputeTime
 			fmt.Printf("  %-8s build-MST %10v (%4.1f%%)   share-sums %10v (%4.1f%%)   iters %d\n",
@@ -144,6 +166,15 @@ func runExp1Density(cfg config) {
 			g.AvgInDegree(), g.NumEdges(),
 			tDSR.Round(time.Millisecond), tSR.Round(time.Millisecond), tPsum.Round(time.Millisecond),
 			stSR.ShareRatio, float64(tPsum)/float64(tSR), float64(tPsum)/float64(tDSR))
+		for _, r := range []struct {
+			alg string
+			t   time.Duration
+		}{{"oip-dsr", tDSR}, {"oip-sr", tSR}, {"psum-sr", tPsum}} {
+			emitJSON("exp1-density", map[string]any{
+				"workload": "web-density", "algo": r.alg, "d": d,
+				"n": n, "seconds": seconds(r.t), "share": stSR.ShareRatio,
+			})
+		}
 	}
 	fmt.Println("(paper: share ratio 0.68..0.83 rising with d; biggest speedups at d=50)")
 }

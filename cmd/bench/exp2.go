@@ -23,7 +23,10 @@ func runExp2Memory(cfg config) {
 	for i, g := range graphs {
 		aux := map[simrank.Algorithm]int64{}
 		for _, alg := range []simrank.Algorithm{simrank.PsumSR, simrank.OIPSR, simrank.OIPDSR} {
-			_, st, err := simrank.Compute(g, simrank.Options{Algorithm: alg, C: 0.6, Eps: 1e-3})
+			// Workers: 1 — aux memory includes per-worker scratch, and the
+			// paper's Fig. 6d figures are the serial (machine-independent)
+			// ones.
+			_, st, err := simrank.Compute(g, simrank.Options{Algorithm: alg, C: 0.6, Eps: 1e-3, Workers: 1})
 			must(err)
 			aux[alg] = st.AuxBytes
 		}
@@ -31,7 +34,7 @@ func runExp2Memory(cfg config) {
 		// destroys sparsity on the larger graphs).
 		mtxCell := "      (skip)"
 		if i < len(graphs)-2 {
-			_, st, err := simrank.Compute(g, simrank.Options{Algorithm: simrank.MtxSR, C: 0.6, Seed: cfg.seed})
+			_, st, err := simrank.Compute(g, simrank.Options{Algorithm: simrank.MtxSR, C: 0.6, Seed: cfg.seed, Workers: 1})
 			must(err)
 			mtxCell = fmt.Sprintf("%12s", kb(st.AuxBytes))
 		}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+)
+
+// jsonOut, when non-nil, receives one NDJSON record per measured data point
+// so future runs can be diffed mechanically (perf trajectory tracking). The
+// human-readable tables keep printing to stdout regardless.
+var jsonOut *json.Encoder
+
+var jsonFile *os.File
+
+// initJSON opens the -json sink: a file path, or "-" for stdout.
+func initJSON(path string) error {
+	if path == "" {
+		return nil
+	}
+	if path == "-" {
+		jsonOut = json.NewEncoder(os.Stdout)
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	jsonFile = f
+	jsonOut = json.NewEncoder(f)
+	return nil
+}
+
+func closeJSON() {
+	if jsonFile != nil {
+		jsonFile.Close()
+	}
+}
+
+// emitJSON writes one record to the -json sink (no-op without -json). Keys
+// are flattened alongside the experiment name and sorted for stable diffs.
+func emitJSON(experiment string, fields map[string]any) {
+	if jsonOut == nil {
+		return
+	}
+	keys := make([]string, 0, len(fields))
+	for k := range fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	// json.Marshal sorts map keys already; flatten into one object with the
+	// experiment tag first by building an ordered raw message.
+	buf := []byte(fmt.Sprintf("{%q:%q", "experiment", experiment))
+	for _, k := range keys {
+		v, err := json.Marshal(fields[k])
+		if err != nil {
+			continue
+		}
+		kk, _ := json.Marshal(k)
+		buf = append(buf, ',')
+		buf = append(buf, kk...)
+		buf = append(buf, ':')
+		buf = append(buf, v...)
+	}
+	buf = append(buf, '}')
+	jsonOut.Encode(json.RawMessage(buf))
+}
+
+// seconds converts a duration to float seconds for JSON records.
+func seconds(d time.Duration) float64 { return d.Seconds() }

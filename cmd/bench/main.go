@@ -19,10 +19,14 @@
 //	exp3-bounds       LambertW & Log estimate table       (Fig. 6f)
 //	exp4-ndcg         NDCG@p of OIP-DSR vs OIP-SR         (Fig. 6g)
 //	exp4-topk         top-30 query + inversions           (Fig. 6h)
+//	scaling           speedup vs worker-pool size         (parallel sweep)
 //	ablate            design-choice ablations             (DESIGN.md)
 //
 // The -scale flag shrinks the workloads (absolute numbers change, shapes do
-// not); -quick is shorthand for a fast smoke run.
+// not); -quick is shorthand for a fast smoke run. -workers sets the
+// worker-pool size for the timed experiments (0 = all CPUs); -json FILE
+// (or "-" for stdout) additionally emits one NDJSON record per measured
+// data point for machine consumption.
 package main
 
 import (
@@ -36,13 +40,20 @@ type config struct {
 	seed  int64 // generator seed
 }
 
+// benchWorkers is the -workers flag: the worker-pool size timeAlgo passes to
+// engines unless an experiment overrides it (0 = all CPUs, 1 = serial).
+var benchWorkers int
+
 func main() {
 	var (
-		scale = flag.Int("scale", 1, "down-scale workloads by this factor")
-		seed  = flag.Int64("seed", 1, "generator seed")
-		quick = flag.Bool("quick", false, "shorthand for -scale 4")
+		scale    = flag.Int("scale", 1, "down-scale workloads by this factor")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		quick    = flag.Bool("quick", false, "shorthand for -scale 4")
+		workers  = flag.Int("workers", 0, "worker pool for timed experiments (0 = all CPUs, 1 = serial)")
+		jsonPath = flag.String("json", "", "emit NDJSON records to this file (\"-\" = stdout)")
 	)
 	flag.Parse()
+	benchWorkers = *workers
 	cfg := config{scale: *scale, seed: *seed}
 	if *quick && *scale == 1 {
 		cfg.scale = 4
@@ -54,7 +65,7 @@ func main() {
 	args := flag.Args()
 	if len(args) == 0 {
 		flag.Usage()
-		fmt.Fprintln(os.Stderr, "\nrun \"bench all\" or pick experiments: datasets exp1-dblp exp1-web exp1-patent exp1-amortized exp1-density exp2-memory exp3-convergence exp3-bounds exp4-ndcg exp4-topk ablate")
+		fmt.Fprintln(os.Stderr, "\nrun \"bench all\" or pick experiments: datasets exp1-dblp exp1-web exp1-patent exp1-amortized exp1-density exp2-memory exp3-convergence exp3-bounds exp4-ndcg exp4-topk scaling ablate")
 		os.Exit(2)
 	}
 
@@ -70,24 +81,33 @@ func main() {
 		"exp3-bounds":      runExp3Bounds,
 		"exp4-ndcg":        runExp4NDCG,
 		"exp4-topk":        runExp4TopK,
+		"scaling":          runScaling,
 		"ablate":           runAblations,
 	}
 	order := []string{
 		"datasets", "exp1-dblp", "exp1-web", "exp1-patent", "exp1-amortized",
 		"exp1-density", "exp2-memory", "exp3-convergence", "exp3-bounds",
-		"exp4-ndcg", "exp4-topk", "ablate",
+		"exp4-ndcg", "exp4-topk", "scaling", "ablate",
 	}
 
 	if len(args) == 1 && args[0] == "all" {
 		args = order
 	}
+	// Validate every experiment name before opening (and truncating) the
+	// -json sink, so a usage error cannot destroy a previous run's records.
 	for _, name := range args {
-		fn, ok := experiments[name]
-		if !ok {
+		if _, ok := experiments[name]; !ok {
 			fmt.Fprintf(os.Stderr, "bench: unknown experiment %q\n", name)
 			os.Exit(2)
 		}
-		fn(cfg)
+	}
+	if err := initJSON(*jsonPath); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	defer closeJSON()
+	for _, name := range args {
+		experiments[name](cfg)
 	}
 }
 

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"oipsr/simrank"
+)
+
+// runScaling measures wall-clock speedup of the parallel sweep engine versus
+// worker count on the BerkStan-like power-law workload: OIP-SR and OIP-DSR
+// exercise the chain-level worker pool, psum-SR the row-parallel baseline
+// loop. Workers: 1 is the serial engine; perfect scaling halves the time at
+// every doubling until the chain/row granularity or the hardware runs out.
+func runScaling(cfg config) {
+	header("Scaling: time vs worker-pool size", "parallel sweep engine")
+	g := webGraph(cfg)
+	const k = 10
+	fmt.Printf("workload: n=%d m=%d d=%.1f  K=%d  GOMAXPROCS=%d\n",
+		g.NumVertices(), g.NumEdges(), g.AvgInDegree(), k, runtime.GOMAXPROCS(0))
+	fmt.Printf("%-8s | %12s %8s | %12s %8s | %12s %8s\n",
+		"workers", "OIP-SR", "spdup", "OIP-DSR", "spdup", "psum-SR", "spdup")
+
+	algos := []simrank.Algorithm{simrank.OIPSR, simrank.OIPDSR, simrank.PsumSR}
+	base := map[simrank.Algorithm]time.Duration{}
+	for _, w := range []int{1, 2, 4, 8} {
+		times := map[simrank.Algorithm]time.Duration{}
+		for _, alg := range algos {
+			t, st, err := timeAlgo(g, simrank.Options{Algorithm: alg, C: 0.6, K: k, Workers: w})
+			must(err)
+			times[alg] = t
+			if w == 1 {
+				base[alg] = t
+			}
+			emitJSON("scaling", map[string]any{
+				"workload": "berkstan*",
+				"algo":     string(alg),
+				"n":        g.NumVertices(),
+				"k":        k,
+				"workers":  w,
+				"seconds":  seconds(t),
+				"speedup":  float64(base[alg]) / float64(t),
+				"adds":     st.InnerAdds + st.OuterAdds,
+			})
+		}
+		fmt.Printf("%-8d | %12v %7.2fx | %12v %7.2fx | %12v %7.2fx\n", w,
+			times[simrank.OIPSR].Round(time.Millisecond), float64(base[simrank.OIPSR])/float64(times[simrank.OIPSR]),
+			times[simrank.OIPDSR].Round(time.Millisecond), float64(base[simrank.OIPDSR])/float64(times[simrank.OIPDSR]),
+			times[simrank.PsumSR].Round(time.Millisecond), float64(base[simrank.PsumSR])/float64(times[simrank.PsumSR]))
+	}
+	fmt.Println("(scores and add counts are bit-identical across worker counts; see internal/core)")
+}

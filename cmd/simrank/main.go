@@ -35,6 +35,7 @@ func main() {
 		lambda    = flag.Float64("lambda", 0, "p-rank in-link weight (0 = 0.5)")
 		cout      = flag.Float64("cout", 0, "p-rank out-link damping (0 = same as -c)")
 		walks     = flag.Int("walks", 0, "monte-carlo fingerprints (0 = 100)")
+		workers   = flag.Int("workers", 0, "iteration worker pool size (0 = all CPUs, 1 = serial)")
 		query     = flag.Int("query", -1, "query vertex for a top-k search (-1 = none)")
 		top       = flag.Int("top", 10, "top-k size")
 		pair      = flag.String("pair", "", "print a single score, format \"a,b\"")
@@ -59,6 +60,7 @@ func main() {
 		COut:      *cout,
 		Walks:     *walks,
 		Seed:      *seed,
+		Workers:   *workers,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simrank: %v\n", err)

@@ -1,0 +1,3 @@
+module oipsr
+
+go 1.24

@@ -34,6 +34,11 @@ type Options struct {
 	// DisableOuter ablates outer partial-sums sharing (Section III-B),
 	// leaving only inner sharing over the MST.
 	DisableOuter bool
+
+	// Workers sets the sweep worker-pool size: 1 means serial, anything
+	// below 1 means runtime.GOMAXPROCS(0). Scores and operation counts are
+	// bit-identical for every value (see the package comment).
+	Workers int
 }
 
 func (o *Options) normalize() error {
@@ -101,14 +106,14 @@ func Compute(g *graph.Graph, opt Options) (*simmat.Matrix, *Stats, error) {
 	n := g.NumVertices()
 	prev := simmat.NewIdentity(n)
 	next := simmat.New(n)
-	sw := NewSweeper(g, plan, opt.DisableOuter)
+	sw := NewParallelSweeper(g, plan, opt.DisableOuter, opt.Workers)
 
 	t1 := time.Now()
 	for iter := 0; iter < opt.K; iter++ {
 		sw.Sweep(prev, next, opt.C, true)
 		st.Iterations++
 		if opt.StopDiff > 0 {
-			st.FinalDiff = simmat.MaxDiff(prev, next)
+			st.FinalDiff = simmat.MaxDiffWorkers(prev, next, sw.Workers())
 			prev, next = next, prev
 			if st.FinalDiff <= opt.StopDiff {
 				break

@@ -10,10 +10,31 @@
 // then runs procedure OP — a pass over the plan's tree steps with one
 // scalar accumulator per tree node — to produce the full row s_{k+1}(u, .)
 // via outer partial sums (Proposition 4 / Eqs. 10-11).
+//
+// # Concurrency model
+//
+// The chains of the plan are mutually independent: every chain rebuilds its
+// inner partial-sum vector from scratch at its root, and the set of rows a
+// chain emits is disjoint from every other chain's. A Sweeper built with
+// workers > 1 therefore schedules whole chains across a fixed worker pool,
+// longest-estimated-cost-first for load balance. Each worker owns its own
+// partial/vals scratch buffers and its own SweepStats; workers read the
+// shared prev matrix and plan (both immutable during a sweep) and write
+// disjoint rows of next, so no locks are needed. Stats are merged after the
+// barrier, keeping operation counts exact.
+//
+// Determinism guarantee: the floating-point operations that produce any
+// given row — and their order — are fixed by the chain containing it, not
+// by which worker runs the chain or when. Sweep output is therefore
+// bit-identical for every worker count, including the serial workers == 1
+// path, and InnerAdds/OuterAdds are identical as well.
 package core
 
 import (
+	"sort"
+
 	"oipsr/graph"
+	"oipsr/internal/par"
 	"oipsr/internal/partition"
 	"oipsr/internal/simmat"
 )
@@ -26,30 +47,49 @@ type SweepStats struct {
 	OuterAdds int64 // deriving outer partial sums in procedure OP
 }
 
+// sweepWorker is the per-worker mutable state of a sweep: the O(n) scratch
+// buffers and the operation counters. Workers never share these.
+type sweepWorker struct {
+	partial []float64 // Partial_{I(u)}(y) for the current chain position
+	vals    []float64 // per-tree-step outer partial sums (procedure OP)
+	stats   SweepStats
+}
+
 // Sweeper applies the pairwise in-neighbor averaging operator
 //
 //	next(a,b) = damp / (|I(a)| |I(b)|) * sum_{i in I(a), j in I(b)} prev(i,j)
 //
-// using inner+outer partial-sums sharing. It owns the O(n) scratch buffers,
-// so one Sweeper can be reused across iterations and algorithms: OIP-SR
-// calls it with damp = C and pinned diagonal, the differential engine
-// (OIP-DSR) with damp = 1 and a free diagonal for its T_k recurrence.
+// using inner+outer partial-sums sharing, optionally across a worker pool
+// (see the package comment for the concurrency model). It owns the per-worker
+// O(n) scratch buffers, so one Sweeper can be reused across iterations and
+// algorithms: OIP-SR calls it with damp = C and pinned diagonal, the
+// differential engine (OIP-DSR) with damp = 1 and a free diagonal for its
+// T_k recurrence.
 type Sweeper struct {
 	g    *graph.Graph
 	plan *partition.Plan
 
-	partial []float64 // Partial_{I(u)}(y) for the current chain position
-	invDeg  []float64 // 1/|I(v)|, 0 for empty sets (avoids n^2 divisions)
-	vals    []float64 // per-tree-step outer partial sums (procedure OP)
+	invDeg []float64 // 1/|I(v)|, 0 for empty sets (avoids n^2 divisions)
+
+	workers int
+	ws      []sweepWorker
+	sched   [][]partition.Chain // chains assigned to each worker (LPT)
 
 	disableOuter bool
-	stats        SweepStats
 }
 
-// NewSweeper builds a Sweeper for g with the given plan. If disableOuter is
-// true, procedure OP is replaced by the psum-SR one-by-one outer summation
-// (the ablation of Section III-B: inner sharing only).
+// NewSweeper builds a serial (single-worker) Sweeper for g with the given
+// plan. If disableOuter is true, procedure OP is replaced by the psum-SR
+// one-by-one outer summation (the ablation of Section III-B: inner sharing
+// only).
 func NewSweeper(g *graph.Graph, plan *partition.Plan, disableOuter bool) *Sweeper {
+	return NewParallelSweeper(g, plan, disableOuter, 1)
+}
+
+// NewParallelSweeper builds a Sweeper running each sweep on a pool of the
+// given size. workers < 1 means runtime.GOMAXPROCS(0). The pool is capped at
+// the number of plan chains — extra workers would have nothing to run.
+func NewParallelSweeper(g *graph.Graph, plan *partition.Plan, disableOuter bool, workers int) *Sweeper {
 	n := g.NumVertices()
 	inv := make([]float64, n)
 	for v := 0; v < n; v++ {
@@ -57,23 +97,84 @@ func NewSweeper(g *graph.Graph, plan *partition.Plan, disableOuter bool) *Sweepe
 			inv[v] = 1 / float64(d)
 		}
 	}
-	return &Sweeper{
+	workers = par.Resolve(workers)
+	if c := len(plan.Chains); workers > c && c > 0 {
+		workers = c
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	sw := &Sweeper{
 		g:            g,
 		plan:         plan,
-		partial:      make([]float64, n),
 		invDeg:       inv,
-		vals:         make([]float64, len(plan.TreeSteps)),
+		workers:      workers,
+		ws:           make([]sweepWorker, workers),
+		sched:        schedule(plan.Chains, workers),
 		disableOuter: disableOuter,
 	}
+	for w := range sw.ws {
+		sw.ws[w].partial = make([]float64, n)
+		sw.ws[w].vals = make([]float64, len(plan.TreeSteps))
+	}
+	return sw
 }
 
-// Stats returns the cumulative operation counts.
-func (sw *Sweeper) Stats() SweepStats { return sw.stats }
+// schedule partitions chains across workers by longest-processing-time-first
+// greedy bin packing: chains sorted by descending cost estimate, each placed
+// on the currently least-loaded worker. Ties break on chain order, so the
+// assignment is deterministic.
+func schedule(chains []partition.Chain, workers int) [][]partition.Chain {
+	sched := make([][]partition.Chain, workers)
+	if workers == 1 {
+		sched[0] = chains
+		return sched
+	}
+	order := make([]int, len(chains))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return chains[order[a]].Cost > chains[order[b]].Cost
+	})
+	load := make([]int64, workers)
+	for _, ci := range order {
+		best := 0
+		for w := 1; w < workers; w++ {
+			if load[w] < load[best] {
+				best = w
+			}
+		}
+		sched[best] = append(sched[best], chains[ci])
+		load[best] += chains[ci].Cost
+	}
+	return sched
+}
+
+// Workers reports the effective pool size.
+func (sw *Sweeper) Workers() int { return sw.workers }
+
+// Stats returns the cumulative operation counts, merged across workers.
+// Counts are exact: each worker counts its own chains and the per-chain
+// counts do not depend on the assignment.
+func (sw *Sweeper) Stats() SweepStats {
+	var st SweepStats
+	for w := range sw.ws {
+		st.InnerAdds += sw.ws[w].stats.InnerAdds
+		st.OuterAdds += sw.ws[w].stats.OuterAdds
+	}
+	return st
+}
 
 // AuxBytes reports the auxiliary memory held by the sweeper's O(n) buffers
 // (the "intermediate memory" of Proposition 5; score matrices excluded).
+// Parallel sweepers hold one partial/vals pair per worker.
 func (sw *Sweeper) AuxBytes() int64 {
-	return int64(len(sw.partial))*8 + int64(len(sw.invDeg))*8 + int64(len(sw.vals))*8
+	var b int64
+	for w := range sw.ws {
+		b += int64(len(sw.ws[w].partial))*8 + int64(len(sw.ws[w].vals))*8
+	}
+	return b + int64(len(sw.invDeg))*8
 }
 
 // Sweep applies the averaging operator from prev into next. Rows and
@@ -88,76 +189,88 @@ func (sw *Sweeper) AuxBytes() int64 {
 // avoids an n^2 clear per iteration; the engines' ping-pong buffers satisfy
 // the requirement by construction.
 func (sw *Sweeper) Sweep(prev, next *simmat.Matrix, damp float64, pinDiag bool) {
-	g, plan := sw.g, sw.plan
-	n := g.NumVertices()
-	// Rows of empty in-neighbor sets are never written by emitRow but may
-	// hold a stale diagonal 1 from an identity-initialized buffer.
-	for v := 0; v < n; v++ {
-		if sw.invDeg[v] == 0 {
-			row := next.Row(v)
-			for i := range row {
-				row[i] = 0
+	n := sw.g.NumVertices()
+
+	par.Do(sw.workers, func(w int) {
+		// Rows of empty in-neighbor sets are never written by emitRow but
+		// may hold a stale diagonal 1 from an identity-initialized buffer.
+		lo, hi := par.Range(n, sw.workers, w)
+		for v := lo; v < hi; v++ {
+			if sw.invDeg[v] == 0 {
+				row := next.Row(v)
+				for i := range row {
+					row[i] = 0
+				}
 			}
 		}
-	}
 
-	// Walk the chain steps: from scratch at chain starts (lines 5-6 of
-	// Algorithm 1), otherwise by the consecutive symmetric difference
-	// (Eq. 9; lines 10-11). Chains never branch, so no undo is needed.
-	for _, step := range plan.ChainSteps {
-		u := step.Vertex
-		if step.Parent < 0 {
-			sw.buildScratch(prev, u)
-		} else {
-			sw.applyDiff(prev, plan.Add[u], plan.Sub[u])
+		// Walk this worker's chains: from scratch at chain starts (lines 5-6
+		// of Algorithm 1), otherwise by the consecutive symmetric difference
+		// (Eq. 9; lines 10-11). Chains never branch, so no undo is needed,
+		// and chains never read each other's state, so workers need no
+		// locks.
+		st := &sw.ws[w]
+		for _, ch := range sw.sched[w] {
+			for i := ch.Start; i < ch.End; i++ {
+				step := sw.plan.ChainSteps[i]
+				u := step.Vertex
+				if step.Parent < 0 {
+					sw.buildScratch(st, prev, u)
+				} else {
+					sw.applyDiff(st, prev, sw.plan.Add[u], sw.plan.Sub[u])
+				}
+				sw.emitRow(st, next, u, damp)
+			}
 		}
-		sw.emitRow(next, u, damp)
-	}
+	})
 
 	if pinDiag {
-		for v := 0; v < n; v++ {
-			next.Set(v, v, 1)
-		}
+		par.Do(sw.workers, func(w int) {
+			lo, hi := par.Range(n, sw.workers, w)
+			for v := lo; v < hi; v++ {
+				next.Set(v, v, 1)
+			}
+		})
 	}
 }
 
-// buildScratch fills sw.partial with the sum of prev rows over I(root).
-func (sw *Sweeper) buildScratch(prev *simmat.Matrix, root int) {
+// buildScratch fills st.partial with the sum of prev rows over I(root).
+func (sw *Sweeper) buildScratch(st *sweepWorker, prev *simmat.Matrix, root int) {
 	in := sw.g.In(root)
-	copy(sw.partial, prev.Row(in[0]))
+	copy(st.partial, prev.Row(in[0]))
 	for _, x := range in[1:] {
 		rx := prev.Row(x)
 		for y, v := range rx {
-			sw.partial[y] += v
+			st.partial[y] += v
 		}
 	}
-	sw.stats.InnerAdds += int64(len(in)-1) * int64(len(sw.partial))
+	st.stats.InnerAdds += int64(len(in)-1) * int64(len(st.partial))
 }
 
-// applyDiff updates sw.partial by adding the prev rows in add and
+// applyDiff updates st.partial by adding the prev rows in add and
 // subtracting those in sub.
-func (sw *Sweeper) applyDiff(prev *simmat.Matrix, add, sub []int) {
+func (sw *Sweeper) applyDiff(st *sweepWorker, prev *simmat.Matrix, add, sub []int) {
 	for _, x := range add {
 		rx := prev.Row(x)
 		for y, v := range rx {
-			sw.partial[y] += v
+			st.partial[y] += v
 		}
 	}
 	for _, x := range sub {
 		rx := prev.Row(x)
 		for y, v := range rx {
-			sw.partial[y] -= v
+			st.partial[y] -= v
 		}
 	}
-	sw.stats.InnerAdds += int64(len(add)+len(sub)) * int64(len(sw.partial))
+	st.stats.InnerAdds += int64(len(add)+len(sub)) * int64(len(st.partial))
 }
 
 // emitRow computes next(u, w) for all w from the current partial vector.
 // With outer sharing it is procedure OP over the flattened tree steps:
-// outer partial sums are scalars, the parent's value sits in sw.vals, and
+// outer partial sums are scalars, the parent's value sits in st.vals, and
 // branching costs nothing, so the per-row additions equal the MST weight.
 // Without outer sharing it is the psum-SR per-target summation.
-func (sw *Sweeper) emitRow(next *simmat.Matrix, u int, damp float64) {
+func (sw *Sweeper) emitRow(st *sweepWorker, next *simmat.Matrix, u int, damp float64) {
 	g, plan := sw.g, sw.plan
 	row := next.Row(u)
 	scaleU := damp * sw.invDeg[u]
@@ -171,12 +284,12 @@ func (sw *Sweeper) emitRow(next *simmat.Matrix, u int, damp float64) {
 			}
 			sum := 0.0
 			for _, j := range in {
-				sum += sw.partial[j]
+				sum += st.partial[j]
 			}
 			outerAdds += int64(len(in) - 1)
 			row[w] = scaleU * sw.invDeg[w] * sum
 		}
-		sw.stats.OuterAdds += outerAdds
+		st.stats.OuterAdds += outerAdds
 		return
 	}
 
@@ -187,23 +300,23 @@ func (sw *Sweeper) emitRow(next *simmat.Matrix, u int, damp float64) {
 		if step.Parent < 0 {
 			// From scratch (line 2 of procedure OP).
 			for _, y := range g.In(z) {
-				val += sw.partial[y]
+				val += st.partial[y]
 			}
 			outerAdds += int64(len(g.In(z)) - 1)
 		} else {
 			// Derive OuterPartial_{I(z)} from the parent's value
 			// (Proposition 4; line 8 of procedure OP).
-			val = sw.vals[step.Parent]
+			val = st.vals[step.Parent]
 			for _, y := range plan.TreeAdd[z] {
-				val += sw.partial[y]
+				val += st.partial[y]
 			}
 			for _, y := range plan.TreeSub[z] {
-				val -= sw.partial[y]
+				val -= st.partial[y]
 			}
 			outerAdds += int64(len(plan.TreeAdd[z]) + len(plan.TreeSub[z]))
 		}
-		sw.vals[i] = val
+		st.vals[i] = val
 		row[z] = scaleU * sw.invDeg[z] * val
 	}
-	sw.stats.OuterAdds += outerAdds
+	st.stats.OuterAdds += outerAdds
 }

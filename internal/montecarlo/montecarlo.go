@@ -20,9 +20,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"oipsr/graph"
+	"oipsr/internal/par"
 	"oipsr/internal/simmat"
 )
 
@@ -40,6 +42,13 @@ type Options struct {
 	Walks int
 	// Seed makes the estimate deterministic.
 	Seed int64
+
+	// Workers sets the worker-pool size for the pair-meeting bookkeeping,
+	// the quadratic part of each step: 1 means serial, anything below 1
+	// means runtime.GOMAXPROCS(0). The RNG-driven walk itself stays serial,
+	// and distinct buckets touch disjoint vertex pairs, so the estimate is
+	// bit-identical for every worker count.
+	Workers int
 }
 
 // Stats reports the sampling effort.
@@ -84,6 +93,8 @@ func Compute(g *graph.Graph, opt Options) (*simmat.Matrix, *Stats, error) {
 	rng := rand.New(rand.NewSource(opt.Seed))
 	est := simmat.New(n)
 	st := &Stats{Walks: opt.Walks, Horizon: opt.K}
+	workers := par.ResolveMax(opt.Workers, n)
+	meetings := make([]int64, workers)
 
 	// metStamp[a*n+b] == fingerprint+1 marks that the pair already met in
 	// the current fingerprint, so only the first meeting contributes.
@@ -132,24 +143,44 @@ func Compute(g *graph.Graph, opt Options) (*simmat.Matrix, *Stats, error) {
 					buckets[p] = append(buckets[p], v)
 				}
 			}
-			for _, bucket := range buckets {
-				for i := 0; i < len(bucket); i++ {
-					for j := i + 1; j < len(bucket); j++ {
-						a, b := bucket[i], bucket[j]
-						if metStamp[a*n+b] == stamp {
-							continue
+			// Pair-meeting bookkeeping, the quadratic part. A pair can only
+			// co-locate in one bucket, so distinct buckets write disjoint
+			// est/metStamp cells and the bucket loop parallelizes without
+			// locks; buckets are claimed off a shared atomic cursor since
+			// coalescence makes their sizes wildly uneven.
+			var cursor atomic.Int64
+			par.Do(workers, func(w int) {
+				// Count into a local to keep the hot loop off the shared
+				// meetings slice (false sharing).
+				var met int64
+				for {
+					p := int(cursor.Add(1)) - 1
+					if p >= n {
+						meetings[w] += met
+						return
+					}
+					bucket := buckets[p]
+					for i := 0; i < len(bucket); i++ {
+						for j := i + 1; j < len(bucket); j++ {
+							a, b := bucket[i], bucket[j]
+							if metStamp[a*n+b] == stamp {
+								continue
+							}
+							metStamp[a*n+b] = stamp
+							metStamp[b*n+a] = stamp
+							est.Add(a, b, weight)
+							est.Add(b, a, weight)
+							met++
 						}
-						metStamp[a*n+b] = stamp
-						metStamp[b*n+a] = stamp
-						est.Add(a, b, weight)
-						est.Add(b, a, weight)
-						st.Meetings++
 					}
 				}
-			}
+			})
 		}
 	}
 
+	for _, m := range meetings {
+		st.Meetings += m
+	}
 	inv := 1 / float64(opt.Walks)
 	d := est.Data()
 	for i := range d {

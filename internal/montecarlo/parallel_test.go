@@ -1,0 +1,37 @@
+package montecarlo
+
+import (
+	"testing"
+
+	"oipsr/graph"
+	"oipsr/graph/gen"
+	"oipsr/internal/simmat"
+)
+
+// TestParallelBitIdentical: parallelizing the pair-meeting bookkeeping must
+// not change the estimate at all — the walk RNG is serial, and distinct
+// buckets touch disjoint cells, so estimates and meeting counts match the
+// serial run exactly for every worker count.
+func TestParallelBitIdentical(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"web":      gen.WebGraph(100, 6, 3),
+		"citation": gen.CitationGraph(120, 4, 9),
+	} {
+		want, wst, err := Compute(g, Options{C: 0.6, K: 5, Walks: 30, Seed: 7, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4} {
+			got, gst, err := Compute(g, Options{C: 0.6, K: 5, Walks: 30, Seed: 7, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := simmat.MaxDiff(want, got); d != 0 {
+				t.Errorf("%s workers=%d: estimates differ by %g, want bit-identical", name, workers, d)
+			}
+			if wst.Meetings != gst.Meetings {
+				t.Errorf("%s workers=%d: meetings diverged: %d vs %d", name, workers, wst.Meetings, gst.Meetings)
+			}
+		}
+	}
+}

@@ -13,11 +13,22 @@ import (
 	"fmt"
 
 	"oipsr/graph"
+	"oipsr/internal/par"
 	"oipsr/internal/simmat"
 )
 
 // Compute runs K iterations of Eq. 2 with damping factor c and returns s_K.
+// It is the serial oracle form of ComputeWorkers.
 func Compute(g *graph.Graph, c float64, k int) (*simmat.Matrix, error) {
+	return ComputeWorkers(g, c, k, 1)
+}
+
+// ComputeWorkers is Compute with the row loop of each iteration split
+// across a worker pool (workers < 1 means runtime.GOMAXPROCS(0)). Rows are
+// embarrassingly parallel — row a reads only the previous iterate — and
+// each row's arithmetic is unchanged, so the result is bit-identical for
+// every worker count.
+func ComputeWorkers(g *graph.Graph, c float64, k, workers int) (*simmat.Matrix, error) {
 	if !(c > 0 && c < 1) {
 		return nil, fmt.Errorf("naive: damping factor %v outside (0,1)", c)
 	}
@@ -25,22 +36,26 @@ func Compute(g *graph.Graph, c float64, k int) (*simmat.Matrix, error) {
 		return nil, fmt.Errorf("naive: negative iteration count %d", k)
 	}
 	n := g.NumVertices()
+	workers = par.ResolveMax(workers, n)
 	prev := simmat.NewIdentity(n)
 	if k == 0 {
 		return prev, nil
 	}
 	next := simmat.New(n)
 	for iter := 0; iter < k; iter++ {
-		step(g, c, prev, next)
+		par.Do(workers, func(w int) {
+			lo, hi := par.Range(n, workers, w)
+			step(g, c, prev, next, lo, hi)
+		})
 		prev, next = next, prev
 	}
 	return prev, nil
 }
 
-// step computes one iteration of Eq. 2 from prev into next.
-func step(g *graph.Graph, c float64, prev, next *simmat.Matrix) {
+// step computes rows [lo, hi) of one iteration of Eq. 2 from prev into next.
+func step(g *graph.Graph, c float64, prev, next *simmat.Matrix, lo, hi int) {
 	n := g.NumVertices()
-	for a := 0; a < n; a++ {
+	for a := lo; a < hi; a++ {
 		ia := g.In(a)
 		rowNext := next.Row(a)
 		for b := 0; b < n; b++ {

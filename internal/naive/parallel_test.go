@@ -1,0 +1,32 @@
+package naive
+
+import (
+	"testing"
+
+	"oipsr/graph"
+	"oipsr/graph/gen"
+	"oipsr/internal/simmat"
+)
+
+// TestParallelBitIdentical: the row-parallel naive iteration matches the
+// serial oracle bit-for-bit.
+func TestParallelBitIdentical(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"web":      gen.WebGraph(110, 8, 3),
+		"coauthor": gen.CoauthorGraph(90, 3, 2),
+	} {
+		want, err := Compute(g, 0.6, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 200} {
+			got, err := ComputeWorkers(g, 0.6, 5, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := simmat.MaxDiff(want, got); d != 0 {
+				t.Errorf("%s workers=%d: scores differ by %g, want bit-identical", name, workers, d)
+			}
+		}
+	}
+}

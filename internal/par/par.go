@@ -1,0 +1,69 @@
+// Package par holds the tiny shared concurrency vocabulary of the engines:
+// resolving a user-facing worker count, running a fixed pool of workers to a
+// barrier, and splitting index ranges into contiguous blocks.
+//
+// Every use in this repository follows the same discipline: workers write
+// disjoint rows (or disjoint cells) of shared output, read-only state is
+// shared, and per-worker scratch plus per-worker counters are merged after
+// the barrier. Under that discipline results are bit-identical for every
+// worker count, because the floating-point operations applied to any given
+// output cell — and their order — do not depend on how work is assigned.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Resolve maps a user-facing Workers option to an effective worker count:
+// values >= 1 are used as-is, anything else (the zero value) means
+// runtime.GOMAXPROCS(0).
+func Resolve(workers int) int {
+	if workers >= 1 {
+		return workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ResolveMax is Resolve capped at the number of available work units (for
+// row- or bucket-parallel loops, where extra workers would idle): the result
+// never exceeds units when units >= 1, and is always at least 1.
+func ResolveMax(workers, units int) int {
+	workers = Resolve(workers)
+	if units >= 1 && workers > units {
+		workers = units
+	}
+	return workers
+}
+
+// Do runs fn(w) for w in [0, workers) and waits for all of them. With one
+// worker it calls fn(0) inline, so serial runs pay no goroutine overhead
+// and appear in profiles exactly like the pre-parallel code.
+func Do(workers int, fn func(w int)) {
+	if workers <= 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Range returns the w-th of `parts` contiguous half-open blocks of [0, n).
+// Blocks differ in size by at most one and cover [0, n) exactly; parts may
+// exceed n, in which case trailing blocks are empty.
+func Range(n, parts, w int) (lo, hi int) {
+	q, r := n/parts, n%parts
+	lo = w*q + min(w, r)
+	hi = lo + q
+	if w < r {
+		hi++
+	}
+	return lo, hi
+}

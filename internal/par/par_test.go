@@ -1,0 +1,71 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(3); got != 3 {
+		t.Errorf("Resolve(3) = %d", got)
+	}
+	if got := Resolve(1); got != 1 {
+		t.Errorf("Resolve(1) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	for _, w := range []int{0, -5} {
+		if got := Resolve(w); got != want {
+			t.Errorf("Resolve(%d) = %d, want GOMAXPROCS = %d", w, got, want)
+		}
+	}
+}
+
+func TestRangeCoversExactly(t *testing.T) {
+	for _, tc := range []struct{ n, parts int }{
+		{0, 1}, {1, 1}, {10, 1}, {10, 3}, {3, 10}, {100, 7}, {7, 7},
+	} {
+		covered := make([]int, tc.n)
+		prevHi := 0
+		for w := 0; w < tc.parts; w++ {
+			lo, hi := Range(tc.n, tc.parts, w)
+			if lo != prevHi {
+				t.Fatalf("Range(%d,%d,%d): gap or overlap at %d (lo=%d)", tc.n, tc.parts, w, prevHi, lo)
+			}
+			if hi-lo < 0 || hi-lo > tc.n/tc.parts+1 {
+				t.Fatalf("Range(%d,%d,%d): block size %d unbalanced", tc.n, tc.parts, w, hi-lo)
+			}
+			for i := lo; i < hi; i++ {
+				covered[i]++
+			}
+			prevHi = hi
+		}
+		if prevHi != tc.n {
+			t.Fatalf("Range(%d,%d,*): covered [0,%d), want [0,%d)", tc.n, tc.parts, prevHi, tc.n)
+		}
+		for i, c := range covered {
+			if c != 1 {
+				t.Fatalf("Range(%d,%d,*): index %d covered %d times", tc.n, tc.parts, i, c)
+			}
+		}
+	}
+}
+
+func TestDoRunsAllWorkers(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		var ran atomic.Int64
+		seen := make([]atomic.Bool, workers)
+		Do(workers, func(w int) {
+			ran.Add(1)
+			seen[w].Store(true)
+		})
+		if ran.Load() != int64(workers) {
+			t.Errorf("Do(%d): %d invocations", workers, ran.Load())
+		}
+		for w := range seen {
+			if !seen[w].Load() {
+				t.Errorf("Do(%d): worker %d never ran", workers, w)
+			}
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"oipsr/graph"
+	"oipsr/graph/gen"
+)
+
+// chainGraphs are the workloads the chain-index invariants run over.
+func chainGraphs(t testing.TB) map[string]*graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	b := graph.NewBuilder(30, 0)
+	b.EnsureVertices(30)
+	for i := 0; i < 150; i++ {
+		b.AddEdge(rng.Intn(30), rng.Intn(30))
+	}
+	return map[string]*graph.Graph{
+		"random":   b.MustBuild(),
+		"web":      gen.WebGraph(200, 9, 1),
+		"citation": gen.CitationGraph(150, 4, 2),
+		"empty":    graph.MustFromEdges(5, nil),
+	}
+}
+
+// TestChainsPartitionChainSteps: Chains covers ChainSteps exactly, in order,
+// with a from-scratch step at every chain start and derived steps everywhere
+// else — the independence property the parallel sweep relies on.
+func TestChainsPartitionChainSteps(t *testing.T) {
+	for name, g := range chainGraphs(t) {
+		for planName, plan := range map[string]*Plan{"dmst": mustPlan(t, g, Options{}), "trivial": TrivialPlan(g)} {
+			pos := 0
+			for ci, ch := range plan.Chains {
+				if ch.Start != pos {
+					t.Fatalf("%s/%s: chain %d starts at %d, want %d", name, planName, ci, ch.Start, pos)
+				}
+				if ch.Len() < 1 {
+					t.Fatalf("%s/%s: chain %d empty", name, planName, ci)
+				}
+				for i := ch.Start; i < ch.End; i++ {
+					step := plan.ChainSteps[i]
+					if i == ch.Start && step.Parent >= 0 {
+						t.Errorf("%s/%s: chain %d does not start from scratch", name, planName, ci)
+					}
+					if i > ch.Start && int(step.Parent) != i-1 {
+						t.Errorf("%s/%s: step %d parent %d, want %d", name, planName, i, step.Parent, i-1)
+					}
+				}
+				pos = ch.End
+			}
+			if pos != len(plan.ChainSteps) {
+				t.Errorf("%s/%s: chains cover %d steps, want %d", name, planName, pos, len(plan.ChainSteps))
+			}
+		}
+	}
+}
+
+// TestChainCostsPositive: every chain that emits rows must have a positive
+// cost estimate (the scheduler load-balances on it), and total inner cost
+// must be consistent with the plan's Additions counter.
+func TestChainCostsPositive(t *testing.T) {
+	for name, g := range chainGraphs(t) {
+		plan := mustPlan(t, g, Options{})
+		n := int64(g.NumVertices())
+		emit := int64(plan.TreeWeight + plan.NumSets)
+		var inner int64
+		for ci, ch := range plan.Chains {
+			if ch.Cost < 0 {
+				t.Errorf("%s: chain %d negative cost %d", name, ci, ch.Cost)
+			}
+			inner += ch.Cost - int64(ch.Len())*emit
+		}
+		if n > 0 && inner != int64(plan.Additions)*n {
+			t.Errorf("%s: summed inner chain cost %d, want Additions*n = %d", name, inner, int64(plan.Additions)*n)
+		}
+	}
+}

@@ -77,6 +77,15 @@ type Plan struct {
 	ChainSteps []Step
 	TreeSteps  []Step
 
+	// Chains partitions ChainSteps into its maximal sequential runs: each
+	// chain starts at a from-scratch root (Parent < 0) and extends through
+	// the consecutive derived steps. Chains are mutually independent — no
+	// chain reads another chain's partial-sum vector, and the rows of the
+	// next iterate written by distinct chains are disjoint — so they are the
+	// unit of work the parallel sweep engine schedules across workers. The
+	// slice is ordered by Start and covers ChainSteps exactly.
+	Chains []Chain
+
 	// NumSets is the number of non-empty in-neighbor sets (tree nodes).
 	NumSets int
 	// Additions is the number of vector add/subtract operations one full
@@ -110,6 +119,7 @@ func (p *Plan) Bytes() int64 {
 	}
 	b += int64(len(p.Parent)) * 8 * 6 // chain+tree parents, child headers, cursors
 	b += int64(len(p.Roots)+len(p.TreeRoots)) * 8
+	b += int64(len(p.Chains)) * 24
 	return b
 }
 
@@ -140,6 +150,48 @@ func (p *Plan) PartitionOf(g *graph.Graph, v int) (shared, residual []int) {
 type Step struct {
 	Vertex int
 	Parent int32
+}
+
+// Chain is one maximal sequential run of ChainSteps: the half-open index
+// range [Start, End) plus an estimated cost in scalar additions, the input
+// to the parallel sweep's longest-cost-first scheduler.
+type Chain struct {
+	Start, End int
+	// Cost estimates the scalar additions one sweep spends on this chain:
+	// every vector add/sub on the inner partial-sum vector costs n scalar
+	// adds, and every row emitted runs procedure OP once (roughly TreeWeight
+	// + NumSets scalar operations, independent of the row).
+	Cost int64
+}
+
+// Len returns the number of chain steps (= rows emitted) in the chain.
+func (c Chain) Len() int { return c.End - c.Start }
+
+// buildChains derives the Chains index from ChainSteps. A new chain begins
+// at every from-scratch step; the inner cost of a step is |I(v)|-1 vector
+// ops at roots and |Add[v]|+|Sub[v]| on derived steps, each worth n scalar
+// additions.
+func (p *Plan) buildChains(g *graph.Graph) {
+	n := int64(g.NumVertices())
+	emit := int64(p.TreeWeight + p.NumSets) // per-row procedure-OP estimate
+	p.Chains = p.Chains[:0]
+	for i := 0; i < len(p.ChainSteps); {
+		j := i
+		var inner int64
+		for ; j < len(p.ChainSteps); j++ {
+			s := p.ChainSteps[j]
+			if j > i && s.Parent < 0 {
+				break
+			}
+			if s.Parent < 0 {
+				inner += int64(ScratchCost(g.In(s.Vertex)))
+			} else {
+				inner += int64(len(p.Add[s.Vertex]) + len(p.Sub[s.Vertex]))
+			}
+		}
+		p.Chains = append(p.Chains, Chain{Start: i, End: j, Cost: inner*n + int64(j-i)*emit})
+		i = j
+	}
 }
 
 // TrivialPlan returns the no-sharing plan: every non-empty in-neighbor set
@@ -176,6 +228,7 @@ func TrivialPlan(g *graph.Graph) *Plan {
 	}
 	p.Additions = p.ScratchAdditions
 	p.TreeWeight = p.ScratchAdditions
+	p.buildChains(g)
 	return p
 }
 
@@ -390,5 +443,6 @@ func linearize(g *graph.Graph, verts []int, arb *mst.Arborescence) *Plan {
 	if p.SharedEdges > 0 {
 		p.AvgDiff = float64(sumDiff) / float64(p.SharedEdges)
 	}
+	p.buildChains(g)
 	return p
 }

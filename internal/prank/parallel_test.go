@@ -1,0 +1,34 @@
+package prank
+
+import (
+	"testing"
+
+	"oipsr/graph"
+	"oipsr/graph/gen"
+	"oipsr/internal/simmat"
+)
+
+// TestParallelBitIdentical: P-Rank with worker pools on both directional
+// sweeps matches the serial engine bit-for-bit.
+func TestParallelBitIdentical(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"web":      gen.WebGraph(110, 7, 3),
+		"coauthor": gen.CoauthorGraph(90, 3, 4),
+	} {
+		want, wst, err := Compute(g, Options{CIn: 0.6, COut: 0.7, Lambda: 0.4, K: 5, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gst, err := Compute(g, Options{CIn: 0.6, COut: 0.7, Lambda: 0.4, K: 5, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := simmat.MaxDiff(want, got); d != 0 {
+			t.Errorf("%s: scores differ by %g, want bit-identical", name, d)
+		}
+		if wst.InnerAdds != gst.InnerAdds || wst.OuterAdds != gst.OuterAdds {
+			t.Errorf("%s: add counts diverged: (%d,%d) vs (%d,%d)",
+				name, wst.InnerAdds, wst.OuterAdds, gst.InnerAdds, gst.OuterAdds)
+		}
+	}
+}

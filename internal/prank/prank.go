@@ -22,6 +22,7 @@ import (
 
 	"oipsr/graph"
 	"oipsr/internal/core"
+	"oipsr/internal/par"
 	"oipsr/internal/partition"
 	"oipsr/internal/simmat"
 )
@@ -49,6 +50,11 @@ type Options struct {
 
 	// DisableSharing uses trivial (psum-style) plans for both directions.
 	DisableSharing bool
+
+	// Workers sets the sweep worker-pool size for both directional sweeps:
+	// 1 means serial, anything below 1 means runtime.GOMAXPROCS(0). Scores
+	// and operation counts are bit-identical for every value.
+	Workers int
 }
 
 func (o *Options) normalize() error {
@@ -128,8 +134,9 @@ func Compute(g *graph.Graph, opt Options) (*simmat.Matrix, *Stats, error) {
 	st.InShareRatio = planIn.ShareRatio()
 	st.OutShareRatio = planOut.ShareRatio()
 
-	swIn := core.NewSweeper(g, planIn, opt.DisableSharing)
-	swOut := core.NewSweeper(tr, planOut, opt.DisableSharing)
+	swIn := core.NewParallelSweeper(g, planIn, opt.DisableSharing, opt.Workers)
+	swOut := core.NewParallelSweeper(tr, planOut, opt.DisableSharing, opt.Workers)
+	workers := par.Resolve(opt.Workers)
 
 	prev := simmat.NewIdentity(n)
 	next := simmat.New(n)
@@ -143,9 +150,13 @@ func Compute(g *graph.Graph, opt Options) (*simmat.Matrix, *Stats, error) {
 		swOut.Sweep(prev, tmpOut, opt.COut, false)
 		nd, id, od := next.Data(), tmpIn.Data(), tmpOut.Data()
 		l := opt.Lambda
-		for i := range nd {
-			nd[i] = l*id[i] + (1-l)*od[i]
-		}
+		// Element-wise blend, so splitting across workers is bit-identical.
+		par.Do(workers, func(w int) {
+			lo, hi := par.Range(len(nd), workers, w)
+			for i := lo; i < hi; i++ {
+				nd[i] = l*id[i] + (1-l)*od[i]
+			}
+		})
 		for v := 0; v < n; v++ {
 			next.Set(v, v, 1)
 		}

@@ -1,0 +1,51 @@
+package psum
+
+import (
+	"testing"
+
+	"oipsr/graph"
+	"oipsr/graph/gen"
+	"oipsr/internal/simmat"
+)
+
+// TestParallelBitIdentical: the row-parallel psum-SR loop matches the serial
+// engine bit-for-bit, including the threshold-sieving counters.
+func TestParallelBitIdentical(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"web":      gen.WebGraph(130, 8, 3),
+		"citation": gen.CitationGraph(140, 4, 5),
+	} {
+		for _, threshold := range []float64{0, 1e-4} {
+			want, wst, err := Compute(g, Options{C: 0.6, K: 6, Threshold: threshold, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, gst, err := Compute(g, Options{C: 0.6, K: 6, Threshold: threshold, Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := simmat.MaxDiff(want, got); d != 0 {
+				t.Errorf("%s threshold=%g: scores differ by %g, want bit-identical", name, threshold, d)
+			}
+			if wst.InnerAdds != gst.InnerAdds || wst.OuterAdds != gst.OuterAdds || wst.SievedPairs != gst.SievedPairs {
+				t.Errorf("%s threshold=%g: counters diverged: serial %+v pool %+v", name, threshold, wst, gst)
+			}
+		}
+	}
+}
+
+// TestWorkerCapAboveN: more workers than rows must not break row coverage.
+func TestWorkerCapAboveN(t *testing.T) {
+	g := gen.WebGraph(7, 3, 1)
+	want, _, err := Compute(g, Options{C: 0.6, K: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Compute(g, Options{C: 0.6, K: 3, Workers: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := simmat.MaxDiff(want, got); d != 0 {
+		t.Errorf("oversubscribed pool diverged by %g", d)
+	}
+}

@@ -10,12 +10,19 @@
 // essential-pair skipping (pairs with an empty in-neighbor set are a-priori
 // zero and never touched) and threshold-sieved similarities (scores below a
 // user threshold are clamped to zero, trading accuracy for fewer non-zeros).
+//
+// Rows are embarrassingly parallel — row a depends only on the previous
+// iterate — so with Workers > 1 the row loop is split across a worker pool,
+// each worker owning its own partial-sum buffer and counters. Every row's
+// arithmetic is unchanged, so scores and counts are bit-identical for every
+// worker count.
 package psum
 
 import (
 	"fmt"
 
 	"oipsr/graph"
+	"oipsr/internal/par"
 	"oipsr/internal/simmat"
 )
 
@@ -28,6 +35,10 @@ type Options struct {
 	// every score strictly below Threshold is set to 0. Zero disables
 	// sieving (exact psum-SR).
 	Threshold float64
+
+	// Workers sets the row worker-pool size: 1 means serial, anything below
+	// 1 means runtime.GOMAXPROCS(0).
+	Workers int
 }
 
 // Stats reports the work an invocation performed, in the units the paper
@@ -39,7 +50,7 @@ type Stats struct {
 	InnerAdds   int64 // scalar additions building Partial_{I(a)}(.)
 	OuterAdds   int64 // scalar additions summing partials over I(b)
 	SievedPairs int64 // scores clamped to zero by the threshold
-	AuxBytes    int64 // partial-sum buffer
+	AuxBytes    int64 // partial-sum buffers (one per worker)
 }
 
 // Compute runs psum-SR and returns s_K together with run statistics.
@@ -51,13 +62,17 @@ func Compute(g *graph.Graph, opt Options) (*simmat.Matrix, *Stats, error) {
 		return nil, nil, fmt.Errorf("psum: negative iteration count %d", opt.K)
 	}
 	n := g.NumVertices()
-	st := &Stats{AuxBytes: int64(n) * 8}
+	workers := par.ResolveMax(opt.Workers, n)
+	st := &Stats{AuxBytes: int64(workers) * int64(n) * 8}
 	prev := simmat.NewIdentity(n)
 	if opt.K == 0 {
 		return prev, st, nil
 	}
 	next := simmat.New(n)
-	partial := make([]float64, n)
+	partials := make([][]float64, workers)
+	for w := range partials {
+		partials[w] = make([]float64, n)
+	}
 	// Reciprocal in-degrees: one multiplication instead of one division per
 	// vertex pair in the inner loop.
 	invDeg := make([]float64, n)
@@ -67,58 +82,74 @@ func Compute(g *graph.Graph, opt Options) (*simmat.Matrix, *Stats, error) {
 		}
 	}
 
+	stats := make([]Stats, workers)
 	for iter := 0; iter < opt.K; iter++ {
 		st.Iterations++
-		for a := 0; a < n; a++ {
-			ia := g.In(a)
-			rowNext := next.Row(a)
-			if len(ia) == 0 {
-				// Essential-pair skipping: s(a,b) = 0 for all b != a.
-				for b := range rowNext {
-					rowNext[b] = 0
-				}
-				rowNext[a] = 1
-				continue
-			}
-			// Memorize Partial_{I(a)}(y) for every y (Eq. 4).
-			row0 := prev.Row(ia[0])
-			copy(partial, row0)
-			for _, x := range ia[1:] {
-				rx := prev.Row(x)
-				for y := range partial {
-					partial[y] += rx[y]
-				}
-			}
-			st.InnerAdds += int64(len(ia)-1) * int64(n)
-
-			// Consume the partial sums for every b (Eq. 5).
-			scaleA := opt.C * invDeg[a]
-			for b := 0; b < n; b++ {
-				if b == a {
-					rowNext[b] = 1
-					continue
-				}
-				ib := g.In(b)
-				if len(ib) == 0 {
-					rowNext[b] = 0
-					continue
-				}
-				sum := 0.0
-				for _, j := range ib {
-					sum += partial[j]
-				}
-				st.OuterAdds += int64(len(ib) - 1)
-				v := scaleA * invDeg[b] * sum
-				if opt.Threshold > 0 && v < opt.Threshold {
-					if v != 0 {
-						st.SievedPairs++
+		par.Do(workers, func(w int) {
+			lo, hi := par.Range(n, workers, w)
+			partial := partials[w]
+			// Count into locals to keep the hot loops off the shared stats
+			// slice (false sharing); fold in once after the row range.
+			var wst Stats
+			for a := lo; a < hi; a++ {
+				ia := g.In(a)
+				rowNext := next.Row(a)
+				if len(ia) == 0 {
+					// Essential-pair skipping: s(a,b) = 0 for all b != a.
+					for b := range rowNext {
+						rowNext[b] = 0
 					}
-					v = 0
+					rowNext[a] = 1
+					continue
 				}
-				rowNext[b] = v
+				// Memorize Partial_{I(a)}(y) for every y (Eq. 4).
+				row0 := prev.Row(ia[0])
+				copy(partial, row0)
+				for _, x := range ia[1:] {
+					rx := prev.Row(x)
+					for y := range partial {
+						partial[y] += rx[y]
+					}
+				}
+				wst.InnerAdds += int64(len(ia)-1) * int64(n)
+
+				// Consume the partial sums for every b (Eq. 5).
+				scaleA := opt.C * invDeg[a]
+				for b := 0; b < n; b++ {
+					if b == a {
+						rowNext[b] = 1
+						continue
+					}
+					ib := g.In(b)
+					if len(ib) == 0 {
+						rowNext[b] = 0
+						continue
+					}
+					sum := 0.0
+					for _, j := range ib {
+						sum += partial[j]
+					}
+					wst.OuterAdds += int64(len(ib) - 1)
+					v := scaleA * invDeg[b] * sum
+					if opt.Threshold > 0 && v < opt.Threshold {
+						if v != 0 {
+							wst.SievedPairs++
+						}
+						v = 0
+					}
+					rowNext[b] = v
+				}
 			}
-		}
+			stats[w].InnerAdds += wst.InnerAdds
+			stats[w].OuterAdds += wst.OuterAdds
+			stats[w].SievedPairs += wst.SievedPairs
+		})
 		prev, next = next, prev
+	}
+	for w := range stats {
+		st.InnerAdds += stats[w].InnerAdds
+		st.OuterAdds += stats[w].OuterAdds
+		st.SievedPairs += stats[w].SievedPairs
 	}
 	return prev, st, nil
 }

@@ -11,6 +11,8 @@ package simmat
 import (
 	"fmt"
 	"math"
+
+	"oipsr/internal/par"
 )
 
 // Matrix is a dense row-major n x n score matrix.
@@ -72,6 +74,13 @@ func (m *Matrix) Copy() *Matrix {
 // Bytes reports the memory footprint of the backing array.
 func (m *Matrix) Bytes() int64 { return int64(len(m.data)) * 8 }
 
+// StateBytes reports the memory footprint of `matrices` dense n x n float64
+// score matrices. It is the single definition of the n^2 "state memory"
+// every engine reports, so per-engine accounting cannot drift.
+func StateBytes(n, matrices int) int64 {
+	return int64(matrices) * int64(n) * int64(n) * 8
+}
+
 // MaxDiff returns max_{i,j} |a[i,j] - b[i,j]|, the max-norm distance used by
 // every convergence statement in the paper (Proposition 7 uses the max
 // norm explicitly).
@@ -82,6 +91,37 @@ func MaxDiff(a, b *Matrix) float64 {
 	d := 0.0
 	for i := range a.data {
 		if x := math.Abs(a.data[i] - b.data[i]); x > d {
+			d = x
+		}
+	}
+	return d
+}
+
+// MaxDiffWorkers is MaxDiff computed by a pool of workers over contiguous
+// blocks of the backing arrays. Max is order-independent, so the result is
+// exactly MaxDiff for every worker count (workers < 1 = GOMAXPROCS).
+func MaxDiffWorkers(a, b *Matrix, workers int) float64 {
+	if a.n != b.n {
+		panic(fmt.Sprintf("simmat: dimension mismatch %d vs %d", a.n, b.n))
+	}
+	workers = par.Resolve(workers)
+	if workers == 1 {
+		return MaxDiff(a, b)
+	}
+	local := make([]float64, workers)
+	par.Do(workers, func(w int) {
+		lo, hi := par.Range(len(a.data), workers, w)
+		d := 0.0
+		for i := lo; i < hi; i++ {
+			if x := math.Abs(a.data[i] - b.data[i]); x > d {
+				d = x
+			}
+		}
+		local[w] = d
+	})
+	d := 0.0
+	for _, x := range local {
+		if x > d {
 			d = x
 		}
 	}

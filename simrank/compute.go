@@ -14,6 +14,7 @@ import (
 	"oipsr/internal/partition"
 	"oipsr/internal/prank"
 	"oipsr/internal/psum"
+	"oipsr/internal/simmat"
 )
 
 // Compute runs the selected SimRank engine over g and returns the all-pairs
@@ -53,6 +54,7 @@ func computePRank(g *graph.Graph, opt Options) (*Scores, *Stats, error) {
 		K:         opt.K,
 		Eps:       opt.Eps,
 		Partition: partitionOptions(opt),
+		Workers:   opt.Workers,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -65,18 +67,19 @@ func computePRank(g *graph.Graph, opt Options) (*Scores, *Stats, error) {
 		InnerAdds:   st.InnerAdds,
 		OuterAdds:   st.OuterAdds,
 		AuxBytes:    st.AuxBytes,
-		StateBytes:  4 * int64(g.NumVertices()) * int64(g.NumVertices()) * 8,
+		StateBytes:  simmat.StateBytes(g.NumVertices(), 4),
 		ShareRatio:  (st.InShareRatio + st.OutShareRatio) / 2,
 	}, nil
 }
 
 func computeMonteCarlo(g *graph.Graph, opt Options) (*Scores, *Stats, error) {
 	m, st, err := montecarlo.Compute(g, montecarlo.Options{
-		C:     opt.C,
-		K:     opt.K,
-		Eps:   opt.Eps,
-		Walks: opt.Walks,
-		Seed:  opt.Seed,
+		C:       opt.C,
+		K:       opt.K,
+		Eps:     opt.Eps,
+		Walks:   opt.Walks,
+		Seed:    opt.Seed,
+		Workers: opt.Workers,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -86,7 +89,7 @@ func computeMonteCarlo(g *graph.Graph, opt Options) (*Scores, *Stats, error) {
 		Iterations:  st.Walks,
 		ComputeTime: st.Elapsed,
 		AuxBytes:    st.AuxBytes,
-		StateBytes:  int64(g.NumVertices()) * int64(g.NumVertices()) * 8,
+		StateBytes:  simmat.StateBytes(g.NumVertices(), 1),
 	}, nil
 }
 
@@ -106,6 +109,7 @@ func computeOIP(g *graph.Graph, opt Options) (*Scores, *Stats, error) {
 		StopDiff:     opt.StopDiff,
 		Partition:    partitionOptions(opt),
 		DisableOuter: opt.DisableOuterSharing,
+		Workers:      opt.Workers,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -132,6 +136,7 @@ func computeDSR(g *graph.Graph, opt Options) (*Scores, *Stats, error) {
 		K:         opt.K,
 		Eps:       opt.Eps,
 		Partition: partitionOptions(opt),
+		Workers:   opt.Workers,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -157,7 +162,7 @@ func computePsum(g *graph.Graph, opt Options) (*Scores, *Stats, error) {
 		return nil, nil, err
 	}
 	t0 := time.Now()
-	m, st, err := psum.Compute(g, psum.Options{C: c, K: k, Threshold: opt.Threshold})
+	m, st, err := psum.Compute(g, psum.Options{C: c, K: k, Threshold: opt.Threshold, Workers: opt.Workers})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -168,7 +173,7 @@ func computePsum(g *graph.Graph, opt Options) (*Scores, *Stats, error) {
 		InnerAdds:   st.InnerAdds,
 		OuterAdds:   st.OuterAdds,
 		AuxBytes:    st.AuxBytes,
-		StateBytes:  2 * int64(g.NumVertices()) * int64(g.NumVertices()) * 8,
+		StateBytes:  simmat.StateBytes(g.NumVertices(), 2),
 		SievedPairs: st.SievedPairs,
 	}, nil
 }
@@ -179,7 +184,7 @@ func computeNaive(g *graph.Graph, opt Options) (*Scores, *Stats, error) {
 		return nil, nil, err
 	}
 	t0 := time.Now()
-	m, err := naive.Compute(g, c, k)
+	m, err := naive.ComputeWorkers(g, c, k, opt.Workers)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -187,7 +192,7 @@ func computeNaive(g *graph.Graph, opt Options) (*Scores, *Stats, error) {
 		Algorithm:   Naive,
 		Iterations:  k,
 		ComputeTime: time.Since(t0),
-		StateBytes:  2 * int64(g.NumVertices()) * int64(g.NumVertices()) * 8,
+		StateBytes:  simmat.StateBytes(g.NumVertices(), 2),
 	}, nil
 }
 
@@ -210,7 +215,7 @@ func computeMtx(g *graph.Graph, opt Options) (*Scores, *Stats, error) {
 		PlanTime:    st.SVDTime,
 		ComputeTime: st.SolveTime,
 		AuxBytes:    st.AuxBytes,
-		StateBytes:  int64(g.NumVertices()) * int64(g.NumVertices()) * 8,
+		StateBytes:  simmat.StateBytes(g.NumVertices(), 1),
 		Rank:        st.Rank,
 	}, nil
 }

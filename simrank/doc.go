@@ -45,4 +45,13 @@
 // generators). All engines return dense all-pairs scores, so memory is
 // Theta(n^2) * 8 bytes per matrix; budget accordingly (n = 10,000 needs
 // ~1.6 GB for the two iteration buffers).
+//
+// # Parallelism
+//
+// Options.Workers sets the worker-pool size of the iteration phase (0 = all
+// CPUs, 1 = serial). The OIP engines parallelize across the independent
+// chains of the DMST-Reduce plan, the baselines across rows; in every case
+// work is partitioned so that scores and operation counts are bit-identical
+// for every worker count. See the internal/core package comment for the
+// concurrency model and determinism argument.
 package simrank

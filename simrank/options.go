@@ -58,6 +58,13 @@ type Options struct {
 	// Eps is the desired accuracy when K == 0; 0 means 1e-3.
 	Eps float64
 
+	// Workers sets the worker-pool size of the iteration phase: 1 means
+	// serial, anything below 1 means runtime.GOMAXPROCS(0). Every engine
+	// partitions work so that scores — and, where reported, operation
+	// counts — are bit-identical for every worker count; MtxSR's dense
+	// linear algebra currently ignores the option.
+	Workers int
+
 	// StopDiff, when positive, stops geometric engines early once the
 	// max-norm difference of successive iterates falls to or below it
 	// (OIP-SR only; ignored elsewhere).
