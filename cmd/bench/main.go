@@ -20,13 +20,15 @@
 //	exp4-ndcg         NDCG@p of OIP-DSR vs OIP-SR         (Fig. 6g)
 //	exp4-topk         top-30 query + inversions           (Fig. 6h)
 //	scaling           speedup vs worker-pool size         (parallel sweep)
+//	query             walk-index build/latency/precision  (simrankd serving)
 //	ablate            design-choice ablations             (DESIGN.md)
 //
 // The -scale flag shrinks the workloads (absolute numbers change, shapes do
 // not); -quick is shorthand for a fast smoke run. -workers sets the
-// worker-pool size for the timed experiments (0 = all CPUs); -json FILE
-// (or "-" for stdout) additionally emits one NDJSON record per measured
-// data point for machine consumption.
+// worker-pool size for the timed experiments (0 = all CPUs). One NDJSON
+// record per measured data point is always written to BENCH_PR2.json in
+// the working directory (the perf trajectory file); -json FILE (or "-" for
+// stdout) tees the same records to a second sink.
 package main
 
 import (
@@ -65,7 +67,7 @@ func main() {
 	args := flag.Args()
 	if len(args) == 0 {
 		flag.Usage()
-		fmt.Fprintln(os.Stderr, "\nrun \"bench all\" or pick experiments: datasets exp1-dblp exp1-web exp1-patent exp1-amortized exp1-density exp2-memory exp3-convergence exp3-bounds exp4-ndcg exp4-topk scaling ablate")
+		fmt.Fprintln(os.Stderr, "\nrun \"bench all\" or pick experiments: datasets exp1-dblp exp1-web exp1-patent exp1-amortized exp1-density exp2-memory exp3-convergence exp3-bounds exp4-ndcg exp4-topk scaling query ablate")
 		os.Exit(2)
 	}
 
@@ -82,12 +84,13 @@ func main() {
 		"exp4-ndcg":        runExp4NDCG,
 		"exp4-topk":        runExp4TopK,
 		"scaling":          runScaling,
+		"query":            runQueryWorkload,
 		"ablate":           runAblations,
 	}
 	order := []string{
 		"datasets", "exp1-dblp", "exp1-web", "exp1-patent", "exp1-amortized",
 		"exp1-density", "exp2-memory", "exp3-convergence", "exp3-bounds",
-		"exp4-ndcg", "exp4-topk", "scaling", "ablate",
+		"exp4-ndcg", "exp4-topk", "scaling", "query", "ablate",
 	}
 
 	if len(args) == 1 && args[0] == "all" {
@@ -101,7 +104,7 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	if err := initJSON(*jsonPath); err != nil {
+	if err := initJSON(*jsonPath, args); err != nil {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"oipsr/graph"
+	"oipsr/graph/gen"
+	"oipsr/internal/eval"
+	"oipsr/simrank"
+	"oipsr/simrank/query"
+)
+
+// runQueryWorkload measures the serving layer: walk-index build time and
+// size, single-source and top-k query latency (p50/p99), and — on a small
+// graph where exact OIP-SR is cheap — top-k precision of the index with
+// and without exact reranking. This is the workload cmd/simrankd puts
+// online; the batch experiments measure throughput of computing
+// everything, this one measures latency of answering one question.
+func runQueryWorkload(cfg config) {
+	header("Query serving: walk index latency & accuracy", "simrankd workload")
+
+	const (
+		walks = 200
+		topK  = 10
+	)
+	type workload struct {
+		name string
+		g    *graph.Graph
+	}
+	workloads := []workload{
+		{"berkstan*", webGraph(cfg)},
+		{"patent*", patentGraph(cfg)},
+		{"web-small", gen.WebGraph(200, 8, cfg.seed)}, // precision reference fits exact OIP-SR
+	}
+
+	fmt.Printf("walks per vertex R=%d, top-k=%d, workers=%d\n\n", walks, topK, benchWorkers)
+	fmt.Printf("%-10s | %7s %9s %9s | %9s %9s | %9s %9s | %9s %9s\n",
+		"workload", "n", "build", "idx bytes",
+		"ss p50", "ss p99", "topk p50", "topk p99", "rr p50", "rr p99")
+
+	for _, wl := range workloads {
+		g := wl.g
+		n := g.NumVertices()
+
+		t0 := time.Now()
+		idx, err := query.BuildIndex(g, query.Options{Walks: walks, Seed: cfg.seed, Workers: benchWorkers})
+		must(err)
+		buildTime := time.Since(t0)
+
+		queries := queryVertices(n, 64)
+		ssP50, ssP99 := latencies(queries, func(q int) {
+			_, err := idx.SingleSource(q)
+			must(err)
+		})
+		tkP50, tkP99 := latencies(queries, func(q int) {
+			_, err := idx.TopK(q, topK, nil)
+			must(err)
+		})
+		rrP50, rrP99 := latencies(queries, func(q int) {
+			_, err := idx.TopK(q, topK, &query.TopKOptions{Rerank: true})
+			must(err)
+		})
+
+		rec := map[string]any{
+			"workload":          wl.name,
+			"n":                 n,
+			"m":                 g.NumEdges(),
+			"walks":             walks,
+			"horizon":           idx.Horizon(),
+			"k":                 topK,
+			"build_seconds":     seconds(buildTime),
+			"index_bytes":       idx.Bytes(),
+			"single_source_p50": seconds(ssP50),
+			"single_source_p99": seconds(ssP99),
+			"topk_p50":          seconds(tkP50),
+			"topk_p99":          seconds(tkP99),
+			"topk_rerank_p50":   seconds(rrP50),
+			"topk_rerank_p99":   seconds(rrP99),
+		}
+
+		// Exact OIP-SR ground truth is Theta(n^2): only on the small graph.
+		if n <= 400 {
+			exact, _, err := simrank.Compute(g, simrank.Options{
+				Algorithm: simrank.OIPSR, C: idx.C(), K: idx.Horizon(), Workers: benchWorkers,
+			})
+			must(err)
+			var sumRaw, sumRerank float64
+			for _, q := range queries {
+				raw, err := idx.TopK(q, topK, nil)
+				must(err)
+				rr, err := idx.TopK(q, topK, &query.TopKOptions{Rerank: true})
+				must(err)
+				sumRaw += precisionAtK(exact.Row(q), q, raw, topK)
+				sumRerank += precisionAtK(exact.Row(q), q, rr, topK)
+			}
+			rec["precision_raw"] = sumRaw / float64(len(queries))
+			rec["precision_rerank"] = sumRerank / float64(len(queries))
+		}
+		emitJSON("query", rec)
+
+		fmt.Printf("%-10s | %7d %9v %9d | %9v %9v | %9v %9v | %9v %9v\n",
+			wl.name, n, buildTime.Round(time.Millisecond), idx.Bytes(),
+			ssP50.Round(time.Microsecond), ssP99.Round(time.Microsecond),
+			tkP50.Round(time.Microsecond), tkP99.Round(time.Microsecond),
+			rrP50.Round(time.Microsecond), rrP99.Round(time.Microsecond))
+		if p, ok := rec["precision_raw"]; ok {
+			fmt.Printf("%-10s | precision@%d vs exact OIP-SR: raw %.3f, reranked %.3f\n",
+				"", topK, p, rec["precision_rerank"])
+		}
+	}
+	fmt.Println("\n(ss = single-source; rr = top-k with exact rerank. Index size is 4*n*R*K bytes.)")
+}
+
+// queryVertices spreads count query vertices evenly over [0, n).
+func queryVertices(n, count int) []int {
+	if count > n {
+		count = n
+	}
+	qs := make([]int, count)
+	for i := range qs {
+		qs[i] = i * n / count
+	}
+	return qs
+}
+
+// latencies runs fn once per query vertex and returns the p50 and p99 of
+// the per-call wall times.
+func latencies(queries []int, fn func(q int)) (p50, p99 time.Duration) {
+	durs := make([]time.Duration, len(queries))
+	for i, q := range queries {
+		t0 := time.Now()
+		fn(q)
+		durs[i] = time.Since(t0)
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	return percentile(durs, 50), percentile(durs, 99)
+}
+
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := len(sorted) * p / 100
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// precisionAtK adapts eval.PrecisionAtK (the same tie-fair threshold
+// metric the simrank/query accuracy tests assert on) to a []query.Ranked
+// result list.
+func precisionAtK(exactRow []float64, q int, got []query.Ranked, k int) float64 {
+	ids := make([]int, len(got))
+	for i, r := range got {
+		ids[i] = r.Vertex
+	}
+	return eval.PrecisionAtK(exactRow, q, ids, k)
+}

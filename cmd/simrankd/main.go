@@ -1,0 +1,188 @@
+// Command simrankd serves single-source and top-k SimRank queries over
+// HTTP from a persistent walk index (see oipsr/simrank/query).
+//
+// At startup the daemon loads the graph (edge-list file or generator),
+// then loads the walk index from -index if the file exists, or builds it
+// and — when -index is given — saves it for the next start. Queries are
+// answered from the index alone; an LRU cache memoizes hot responses.
+//
+//	simrankd -gen web -n 5000 -d 11 -addr :8356
+//	simrankd -graph web.txt -index web.idx -walks 200 -addr :8356
+//
+// Endpoints:
+//
+//	GET /v1/single_source?q=17            dense score vector for vertex 17
+//	GET /v1/single_source?q=17&min=0.01   only entries with score >= 0.01
+//	GET /v1/topk?q=17&k=10                top-10 by index estimate
+//	GET /v1/topk?q=17&k=10&rerank=1       top-10 after exact reranking
+//	GET /healthz                          liveness + index parameters
+//	GET /metrics                          Prometheus-style counters
+//
+// The process shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests before exiting.
+package main
+
+import (
+	"cmp"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"oipsr/graph"
+	"oipsr/graph/gen"
+	"oipsr/graph/gio"
+	"oipsr/simrank/query"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8356", "listen address")
+		graphPath = flag.String("graph", "", "edge-list file to load")
+		genType   = flag.String("gen", "", "generate instead of load: web | citation | coauthor | er | rmat")
+		n         = flag.Int("n", 1000, "generator: vertices")
+		d         = flag.Int("d", 8, "generator: average degree")
+		seed      = flag.Int64("seed", 1, "generator / index seed")
+		indexPath = flag.String("index", "", "walk-index file: loaded when present, else built and saved here")
+		rebuild   = flag.Bool("rebuild", false, "rebuild the index even if -index exists")
+		c         = flag.Float64("c", 0.6, "damping factor C")
+		k         = flag.Int("k", 0, "walk horizon (0 = derive from -eps)")
+		eps       = flag.Float64("eps", 1e-3, "truncation target when -k is 0")
+		walks     = flag.Int("walks", 0, "walk fingerprints per vertex (0 = 100)")
+		workers   = flag.Int("workers", 0, "index build worker pool (0 = all CPUs, 1 = serial)")
+		cacheSize = flag.Int("cache", 1024, "LRU query-cache entries (0 = disabled)")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*graphPath, *genType, *n, *d, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simrankd: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("graph: %s", graph.ComputeStats(g))
+
+	idx, err := openIndex(g, *indexPath, *rebuild, query.Options{
+		C: *c, K: *k, Eps: *eps, Walks: *walks, Seed: *seed, Workers: *workers,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simrankd: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("index: n=%d walks=%d horizon=%d c=%g (%d bytes)",
+		idx.N(), idx.Walks(), idx.Horizon(), idx.C(), idx.Bytes())
+
+	srv := &http.Server{Addr: *addr, Handler: newServer(idx, *cacheSize)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "simrankd: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down (draining in-flight requests)")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "simrankd: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// openIndex loads the walk index from path when possible, building (and,
+// with a path, persisting) it otherwise. A loaded index gets the graph
+// re-attached so reranked top-k queries work.
+func openIndex(g *graph.Graph, path string, rebuild bool, opt query.Options) (*query.Index, error) {
+	if path != "" && !rebuild {
+		idx, err := query.LoadFile(path)
+		switch {
+		case err == nil:
+			if err := idx.AttachGraph(g); err != nil {
+				return nil, fmt.Errorf("index %s does not match the graph: %w", path, err)
+			}
+			log.Printf("index: loaded %s", path)
+			if warn := paramMismatch(idx, opt); warn != "" {
+				log.Printf("index: WARNING: loaded index disagrees with flags (%s); index-shaping flags are ignored for a loaded index — pass -rebuild to apply them", warn)
+			}
+			return idx, nil
+		case errors.Is(err, os.ErrNotExist):
+			// fall through to build
+		default:
+			return nil, fmt.Errorf("loading index %s: %w", path, err)
+		}
+	}
+	t0 := time.Now()
+	idx, err := query.BuildIndex(g, opt)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("index: built in %v", time.Since(t0))
+	if path != "" {
+		if err := idx.SaveFile(path); err != nil {
+			return nil, fmt.Errorf("saving index %s: %w", path, err)
+		}
+		log.Printf("index: saved %s", path)
+	}
+	return idx, nil
+}
+
+// paramMismatch describes how a loaded index's parameters diverge from
+// what the command line asked for, or "" when they agree. It resolves the
+// same defaults BuildIndex would (walks 100, C 0.6); the eps-derived
+// horizon is only compared when -k was given explicitly.
+func paramMismatch(idx *query.Index, opt query.Options) string {
+	var diffs []string
+	if walks := cmp.Or(opt.Walks, 100); idx.Walks() != walks {
+		diffs = append(diffs, fmt.Sprintf("walks %d vs -walks %d", idx.Walks(), walks))
+	}
+	if c := cmp.Or(opt.C, 0.6); idx.C() != c {
+		diffs = append(diffs, fmt.Sprintf("c %g vs -c %g", idx.C(), c))
+	}
+	if opt.K > 0 && idx.Horizon() != opt.K {
+		diffs = append(diffs, fmt.Sprintf("horizon %d vs -k %d", idx.Horizon(), opt.K))
+	}
+	if idx.Seed() != opt.Seed {
+		diffs = append(diffs, fmt.Sprintf("seed %d vs -seed %d", idx.Seed(), opt.Seed))
+	}
+	return strings.Join(diffs, ", ")
+}
+
+func loadGraph(path, genType string, n, d int, seed int64) (*graph.Graph, error) {
+	switch {
+	case path != "" && genType != "":
+		return nil, fmt.Errorf("use either -graph or -gen, not both")
+	case path != "":
+		return gio.LoadEdgeListFile(path)
+	case genType != "":
+		switch genType {
+		case "web":
+			return gen.WebGraph(n, d, seed), nil
+		case "citation":
+			return gen.CitationGraph(n, d, seed), nil
+		case "coauthor":
+			return gen.CoauthorGraph(n, d, seed), nil
+		case "er":
+			return gen.ErdosRenyi(n, n*d, seed), nil
+		case "rmat":
+			return gen.RMAT(n, n*d, gen.DefaultRMAT, seed), nil
+		default:
+			return nil, fmt.Errorf("unknown generator %q", genType)
+		}
+	default:
+		return nil, fmt.Errorf("provide -graph FILE or -gen TYPE")
+	}
+}

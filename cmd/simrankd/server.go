@@ -1,0 +1,256 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"oipsr/internal/lru"
+	"oipsr/simrank/query"
+)
+
+// server wires the query index into an http.Handler: the /v1 endpoints,
+// the health probe, and a /metrics counter dump. Responses are memoized in
+// an LRU keyed by the normalized request parameters — the index is
+// immutable, so cached answers never go stale.
+type server struct {
+	idx   *query.Index
+	cache *lru.Cache[string, []byte]
+	mux   *http.ServeMux
+
+	// Counters exported on /metrics. Latency is tracked as a running sum
+	// plus count per endpoint, enough for an average without histograms.
+	reqSingleSource atomic.Int64
+	reqTopK         atomic.Int64
+	reqErrors       atomic.Int64
+	latencyMicros   atomic.Int64
+
+	started time.Time
+}
+
+func newServer(idx *query.Index, cacheSize int) *server {
+	s := &server{
+		idx:     idx,
+		cache:   lru.New[string, []byte](cacheSize),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	s.mux.HandleFunc("/v1/single_source", s.handleSingleSource)
+	s.mux.HandleFunc("/v1/topk", s.handleTopK)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *server) writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	s.reqErrors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func writeJSONBytes(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+// intParam parses a required (or defaulted) integer query parameter.
+func intParam(r *http.Request, name string, def int, required bool) (int, error) {
+	raw := r.FormValue(name)
+	if raw == "" {
+		if required {
+			return 0, fmt.Errorf("missing required parameter %q", name)
+		}
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %v", name, err)
+	}
+	return v, nil
+}
+
+func boolParam(r *http.Request, name string) bool {
+	switch r.FormValue(name) {
+	case "1", "true", "yes", "on":
+		return true
+	}
+	return false
+}
+
+type singleSourceResponse struct {
+	Query int `json:"query"`
+	N     int `json:"n"`
+	// Scores is the dense score vector unless min was given.
+	Scores []float64 `json:"scores,omitempty"`
+	// Results holds only the entries with score >= min, sorted by
+	// decreasing score, when the min parameter was given.
+	Results []query.Ranked `json:"results,omitempty"`
+}
+
+// handleSingleSource serves GET/POST /v1/single_source?q=17[&min=0.01].
+func (s *server) handleSingleSource(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	s.reqSingleSource.Add(1)
+	q, err := intParam(r, "q", 0, true)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	minRaw := r.FormValue("min")
+	// Dense responses are O(n) bytes each; caching them would make cache
+	// memory scale with graph size times -cache entries, so only the
+	// thresholded (sparse) form is memoized.
+	cacheable := minRaw != ""
+	key := "ss:" + strconv.Itoa(q) + ":" + minRaw
+	if cacheable {
+		if body, ok := s.cache.Get(key); ok {
+			writeJSONBytes(w, body)
+			s.latencyMicros.Add(time.Since(t0).Microseconds())
+			return
+		}
+	}
+
+	scores, err := s.idx.SingleSource(q)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := singleSourceResponse{Query: q, N: len(scores)}
+	if minRaw == "" {
+		resp.Scores = scores
+	} else {
+		minVal, err := strconv.ParseFloat(minRaw, 64)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "parameter \"min\": %v", err)
+			return
+		}
+		resp.Results = sparseAbove(scores, q, minVal)
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "encoding response: %v", err)
+		return
+	}
+	body = append(body, '\n')
+	if cacheable {
+		s.cache.Put(key, body)
+	}
+	writeJSONBytes(w, body)
+	s.latencyMicros.Add(time.Since(t0).Microseconds())
+}
+
+// sparseAbove filters a dense score vector down to the entries (other than
+// the query itself) with score >= min, sorted by decreasing score with
+// ties broken by vertex id.
+func sparseAbove(scores []float64, q int, min float64) []query.Ranked {
+	out := []query.Ranked{}
+	for v, sc := range scores {
+		if v != q && sc >= min {
+			out = append(out, query.Ranked{Vertex: v, Score: sc})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Vertex < out[j].Vertex
+	})
+	return out
+}
+
+type topKResponse struct {
+	Query    int            `json:"query"`
+	K        int            `json:"k"`
+	Reranked bool           `json:"reranked"`
+	Results  []query.Ranked `json:"results"`
+}
+
+// handleTopK serves GET/POST /v1/topk?q=17&k=10[&rerank=1].
+func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	s.reqTopK.Add(1)
+	q, err := intParam(r, "q", 0, true)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	k, err := intParam(r, "k", 10, false)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rerank := boolParam(r, "rerank")
+
+	key := fmt.Sprintf("topk:%d:%d:%t", q, k, rerank)
+	if body, ok := s.cache.Get(key); ok {
+		writeJSONBytes(w, body)
+		s.latencyMicros.Add(time.Since(t0).Microseconds())
+		return
+	}
+
+	results, err := s.idx.TopK(q, k, &query.TopKOptions{Rerank: rerank})
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	body, err := json.Marshal(topKResponse{Query: q, K: k, Reranked: rerank, Results: results})
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "encoding response: %v", err)
+		return
+	}
+	body = append(body, '\n')
+	s.cache.Put(key, body)
+	writeJSONBytes(w, body)
+	s.latencyMicros.Add(time.Since(t0).Microseconds())
+}
+
+type healthzResponse struct {
+	Status     string  `json:"status"`
+	Vertices   int     `json:"vertices"`
+	Walks      int     `json:"walks"`
+	Horizon    int     `json:"horizon"`
+	C          float64 `json:"c"`
+	IndexBytes int64   `json:"index_bytes"`
+	UptimeSecs float64 `json:"uptime_seconds"`
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(healthzResponse{
+		Status:     "ok",
+		Vertices:   s.idx.N(),
+		Walks:      s.idx.Walks(),
+		Horizon:    s.idx.Horizon(),
+		C:          s.idx.C(),
+		IndexBytes: s.idx.Bytes(),
+		UptimeSecs: time.Since(s.started).Seconds(),
+	})
+}
+
+// handleMetrics dumps the counters in the Prometheus text exposition
+// format (counters only — no client library dependency).
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.cache.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "simrankd_requests_total{endpoint=\"single_source\"} %d\n", s.reqSingleSource.Load())
+	fmt.Fprintf(w, "simrankd_requests_total{endpoint=\"topk\"} %d\n", s.reqTopK.Load())
+	fmt.Fprintf(w, "simrankd_request_errors_total %d\n", s.reqErrors.Load())
+	fmt.Fprintf(w, "simrankd_cache_hits_total %d\n", hits)
+	fmt.Fprintf(w, "simrankd_cache_misses_total %d\n", misses)
+	fmt.Fprintf(w, "simrankd_request_latency_micros_total %d\n", s.latencyMicros.Load())
+	fmt.Fprintf(w, "simrankd_index_vertices %d\n", s.idx.N())
+	fmt.Fprintf(w, "simrankd_index_bytes %d\n", s.idx.Bytes())
+}

@@ -238,3 +238,33 @@ func TopKOverlap(a, b []int) float64 {
 	}
 	return float64(common) / float64(den)
 }
+
+// PrecisionAtK scores a returned top-k list (vertex ids, best first)
+// against a reference score row: an entry counts as correct when its
+// reference score reaches the k-th best reference score outside skip
+// (usually the query vertex). The threshold form keeps the metric fair
+// under ties — any vertex tied with the boundary is as good as the
+// boundary. Returns 1 when k <= 0 or the row has no candidates.
+func PrecisionAtK(refRow []float64, skip int, got []int, k int) float64 {
+	vals := make([]float64, 0, len(refRow))
+	for v, s := range refRow {
+		if v != skip {
+			vals = append(vals, s)
+		}
+	}
+	if k <= 0 || len(vals) == 0 {
+		return 1
+	}
+	if k > len(vals) {
+		k = len(vals)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+	kth := vals[k-1]
+	hits := 0
+	for i := 0; i < len(got) && i < k; i++ {
+		if refRow[got[i]] >= kth-1e-12 {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}

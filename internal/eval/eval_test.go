@@ -170,3 +170,31 @@ func TestNDCGMonotoneInRankQuality(t *testing.T) {
 		}
 	}
 }
+
+func TestPrecisionAtK(t *testing.T) {
+	row := []float64{1.0, 0.9, 0.8, 0.7, 0.3, 0.2, 0.1}
+	// Perfect top-3 (skip the query vertex 0): {1, 2, 3}.
+	if p := PrecisionAtK(row, 0, []int{1, 2, 3}, 3); p != 1 {
+		t.Errorf("perfect list: precision = %v, want 1", p)
+	}
+	// One miss.
+	if p := PrecisionAtK(row, 0, []int{1, 2, 6}, 3); p != 2.0/3 {
+		t.Errorf("one miss: precision = %v, want 2/3", p)
+	}
+	// Ties at the boundary: row2's 3rd best is 0.8, shared by items 2 and 3
+	// — either counts.
+	row2 := []float64{1.0, 0.9, 0.8, 0.8, 0.3}
+	for _, got := range [][]int{{1, 2, 3}, {1, 3, 2}} {
+		if p := PrecisionAtK(row2, 0, got, 3); p != 1 {
+			t.Errorf("tie boundary %v: precision = %v, want 1", got, p)
+		}
+	}
+	// Short result lists are penalized: 2 of 3 returned.
+	if p := PrecisionAtK(row, 0, []int{1, 2}, 3); p != 2.0/3 {
+		t.Errorf("short list: precision = %v, want 2/3", p)
+	}
+	// Degenerate k.
+	if p := PrecisionAtK(row, 0, nil, 0); p != 1 {
+		t.Errorf("k=0: precision = %v, want 1", p)
+	}
+}

@@ -1,0 +1,96 @@
+// Package lru provides a small thread-safe least-recently-used cache, used
+// by cmd/simrankd to memoize query responses. It is deliberately minimal:
+// fixed entry capacity, no TTL, no weighing — SimRank indexes are immutable
+// once built, so cached answers never go stale and eviction only bounds
+// memory.
+package lru
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a fixed-capacity LRU map from K to V. The zero value is not
+// usable; construct with New. All methods are safe for concurrent use.
+type Cache[K comparable, V any] struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used; values are *entry[K, V]
+	items map[K]*list.Element
+
+	hits, misses int64
+}
+
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// New returns a cache holding at most capacity entries. A capacity <= 0
+// returns a disabled cache: Get always misses and Put is a no-op, so
+// callers need no special case for "caching off".
+func New[K comparable, V any](capacity int) *Cache[K, V] {
+	c := &Cache[K, V]{cap: capacity}
+	if capacity > 0 {
+		c.order = list.New()
+		c.items = make(map[K]*list.Element, capacity)
+	}
+	return c
+}
+
+// Get returns the cached value for key and marks it most recently used.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	var zero V
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cap <= 0 {
+		c.misses++
+		return zero, false
+	}
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return zero, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*entry[K, V]).val, true
+}
+
+// Put inserts or refreshes key, evicting the least recently used entry
+// once the cache is full.
+func (c *Cache[K, V]) Put(key K, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cap <= 0 {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry[K, V]).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry[K, V]).key)
+	}
+	c.items[key] = c.order.PushFront(&entry[K, V]{key: key, val: val})
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cap <= 0 {
+		return 0
+	}
+	return c.order.Len()
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *Cache[K, V]) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,90 @@
+package lru
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPutEvict(t *testing.T) {
+	c := New[string, int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf(`Get("a") = %d, %v; want 1, true`, v, ok)
+	}
+	c.Put("c", 3) // "b" is now least recently used and must be evicted
+	if _, ok := c.Get("b"); ok {
+		t.Fatal(`"b" survived eviction`)
+	}
+	for key, want := range map[string]int{"a": 1, "c": 3} {
+		if v, ok := c.Get(key); !ok || v != want {
+			t.Fatalf("Get(%q) = %d, %v; want %d, true", key, v, ok, want)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", c.Len())
+	}
+}
+
+func TestPutRefreshesExisting(t *testing.T) {
+	c := New[string, int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("a", 10) // refresh both value and recency
+	c.Put("c", 3)  // evicts "b", not "a"
+	if v, ok := c.Get("a"); !ok || v != 10 {
+		t.Fatalf(`Get("a") = %d, %v; want 10, true`, v, ok)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal(`"b" survived eviction after "a" was refreshed`)
+	}
+}
+
+func TestDisabledCache(t *testing.T) {
+	for _, capacity := range []int{0, -3} {
+		c := New[int, string](capacity)
+		c.Put(1, "x")
+		if _, ok := c.Get(1); ok {
+			t.Fatalf("capacity %d: Get hit on a disabled cache", capacity)
+		}
+		if c.Len() != 0 {
+			t.Fatalf("capacity %d: Len() = %d, want 0", capacity, c.Len())
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := New[int, int](4)
+	c.Put(1, 1)
+	c.Get(1)
+	c.Get(2)
+	c.Get(1)
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("Stats() = %d hits, %d misses; want 2, 1", hits, misses)
+	}
+}
+
+// TestConcurrent hammers the cache from many goroutines; correctness here
+// is "no race, no panic, every hit returns the value put for that key"
+// (run under -race in CI).
+func TestConcurrent(t *testing.T) {
+	c := New[string, int](32)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", i%50)
+				if v, ok := c.Get(key); ok && v != i%50 {
+					t.Errorf("Get(%q) = %d, want %d", key, v, i%50)
+					return
+				}
+				c.Put(key, i%50)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,175 @@
+package walkindex
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// On-disk format (all integers little-endian):
+//
+//	offset  size  field
+//	0       8     magic "SRWKIDX\x00"
+//	8       4     format version (currently 1)
+//	12      8     n   (vertices, int64)
+//	20      8     k   (horizon, int64)
+//	28      8     r   (fingerprints, int64)
+//	36      8     c   (damping factor, IEEE-754 bits)
+//	44      8     seed (int64)
+//	52      4*n*r*k   paths ([]int32)
+//	...     4     CRC-32 (IEEE) of every preceding byte
+//
+// The trailing checksum makes truncation and bit corruption detectable
+// without trusting the payload; the version field rejects indexes written
+// by a future (or past, incompatible) format revision.
+
+// FormatVersion is the current on-disk format revision.
+const FormatVersion = 1
+
+var magic = [8]byte{'S', 'R', 'W', 'K', 'I', 'D', 'X', 0}
+
+const headerSize = 8 + 4 + 8 + 8 + 8 + 8 + 8
+
+// Sentinel errors returned by Load (possibly wrapped with detail).
+var (
+	ErrBadMagic = errors.New("walkindex: not a walk-index file (bad magic)")
+	ErrVersion  = errors.New("walkindex: unsupported format version")
+	ErrChecksum = errors.New("walkindex: checksum mismatch (corrupted index)")
+)
+
+// maxElems caps n*r*k at load time so a corrupted header cannot trigger an
+// absurd allocation before the checksum is ever seen.
+const maxElems = int64(1) << 33
+
+// Save writes the index to w in the versioned binary format.
+func (ix *Index) Save(w io.Writer) error {
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriterSize(io.MultiWriter(w, crc), 1<<16)
+
+	var hdr [headerSize]byte
+	copy(hdr[:8], magic[:])
+	binary.LittleEndian.PutUint32(hdr[8:], FormatVersion)
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(int64(ix.n)))
+	binary.LittleEndian.PutUint64(hdr[20:], uint64(int64(ix.k)))
+	binary.LittleEndian.PutUint64(hdr[28:], uint64(int64(ix.r)))
+	binary.LittleEndian.PutUint64(hdr[36:], math.Float64bits(ix.c))
+	binary.LittleEndian.PutUint64(hdr[44:], uint64(ix.seed))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("walkindex: writing header: %w", err)
+	}
+
+	var buf [1 << 14]byte
+	for off := 0; off < len(ix.paths); {
+		nb := 0
+		for off < len(ix.paths) && nb+4 <= len(buf) {
+			binary.LittleEndian.PutUint32(buf[nb:], uint32(ix.paths[off]))
+			nb += 4
+			off++
+		}
+		if _, err := bw.Write(buf[:nb]); err != nil {
+			return fmt.Errorf("walkindex: writing paths: %w", err)
+		}
+	}
+	// Flush payload into the CRC before sealing it, then append the sum
+	// directly (the checksum is not part of its own coverage).
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("walkindex: writing paths: %w", err)
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err := w.Write(sum[:]); err != nil {
+		return fmt.Errorf("walkindex: writing checksum: %w", err)
+	}
+	return nil
+}
+
+// Load reads an index written by Save. It rejects files with a wrong magic,
+// an unsupported format version, a truncated payload, or a checksum
+// mismatch.
+func Load(r io.Reader) (*Index, error) {
+	// The CRC must cover exactly the bytes logically consumed (a tee under
+	// bufio would also hash read-ahead, including the trailing checksum),
+	// so readFull feeds each chunk to the hash by hand.
+	crc := crc32.NewIEEE()
+	br := bufio.NewReaderSize(r, 1<<16)
+
+	var hdr [headerSize]byte
+	if err := readFull(br, crc, hdr[:], "header"); err != nil {
+		return nil, err
+	}
+	if [8]byte(hdr[:8]) != magic {
+		return nil, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != FormatVersion {
+		return nil, fmt.Errorf("%w: file has version %d, this build reads version %d", ErrVersion, v, FormatVersion)
+	}
+	n := int64(binary.LittleEndian.Uint64(hdr[12:]))
+	k := int64(binary.LittleEndian.Uint64(hdr[20:]))
+	fps := int64(binary.LittleEndian.Uint64(hdr[28:]))
+	c := math.Float64frombits(binary.LittleEndian.Uint64(hdr[36:]))
+	seed := int64(binary.LittleEndian.Uint64(hdr[44:]))
+	if n < 0 || k < 1 || fps < 1 {
+		return nil, fmt.Errorf("walkindex: invalid header (n=%d, k=%d, r=%d)", n, k, fps)
+	}
+	if !(c > 0 && c < 1) {
+		return nil, fmt.Errorf("walkindex: invalid header damping factor %v", c)
+	}
+	elems := n * fps * k
+	if n > 0 && (elems/n/fps != k || elems > maxElems) {
+		return nil, fmt.Errorf("walkindex: implausible index size n*r*k = %d*%d*%d", n, fps, k)
+	}
+
+	ix := &Index{n: int(n), k: int(k), r: int(fps), c: c, seed: seed,
+		paths: make([]int32, elems)}
+	ix.initPow()
+
+	var buf [1 << 14]byte
+	for off := 0; off < len(ix.paths); {
+		nb := min(len(buf), (len(ix.paths)-off)*4)
+		if err := readFull(br, crc, buf[:nb], "paths"); err != nil {
+			return nil, err
+		}
+		for b := 0; b < nb; b += 4 {
+			ix.paths[off] = int32(binary.LittleEndian.Uint32(buf[b:]))
+			off++
+		}
+	}
+
+	// The stored checksum covers everything read so far; the trailing 4
+	// bytes are not part of their own coverage.
+	want := crc.Sum32()
+	var sum [4]byte
+	if err := readFull(br, nil, sum[:], "checksum"); err != nil {
+		return nil, err
+	}
+	if got := binary.LittleEndian.Uint32(sum[:]); got != want {
+		return nil, fmt.Errorf("%w: stored %08x, computed %08x", ErrChecksum, got, want)
+	}
+	for i, p := range ix.paths {
+		if p < -1 || int64(p) >= n {
+			return nil, fmt.Errorf("walkindex: path entry %d out of range: %d", i, p)
+		}
+	}
+	return ix, nil
+}
+
+// readFull is io.ReadFull with a section-labelled truncation error; the
+// bytes read are fed to crc when it is non-nil (nil for the stored
+// checksum itself, which is not part of its own coverage).
+func readFull(br *bufio.Reader, crc hash.Hash32, p []byte, section string) error {
+	if _, err := io.ReadFull(br, p); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return fmt.Errorf("walkindex: truncated index file (short read in %s): %w", section, io.ErrUnexpectedEOF)
+		}
+		return fmt.Errorf("walkindex: reading %s: %w", section, err)
+	}
+	if crc != nil {
+		crc.Write(p)
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package walkindex
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"testing"
+
+	"oipsr/graph/gen"
+)
+
+func buildSmall(t *testing.T) *Index {
+	t.Helper()
+	g := gen.WebGraph(50, 5, 7)
+	ix, err := Build(g, Options{C: 0.7, K: 9, Walks: 30, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func saveBytes(t *testing.T, ix *Index) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// reseal recomputes and patches the trailing CRC after a test mutated the
+// payload, so the mutation — not the checksum — is what Load must reject.
+func reseal(data []byte) {
+	sum := crc32.ChecksumIEEE(data[:len(data)-4])
+	binary.LittleEndian.PutUint32(data[len(data)-4:], sum)
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ix := buildSmall(t)
+	data := saveBytes(t, ix)
+	got, err := Load(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ix.Equal(got) {
+		t.Fatal("loaded index differs from saved index")
+	}
+	// Bit-identical query results, not just equal storage.
+	a := ix.SingleSource(3, nil)
+	b := got.SingleSource(3, nil)
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("SingleSource(3)[%d]: %g != %g after round-trip", v, a[v], b[v])
+		}
+	}
+}
+
+func TestLoadRejectsBadMagic(t *testing.T) {
+	data := saveBytes(t, buildSmall(t))
+	data[0] = 'X'
+	reseal(data)
+	if _, err := Load(bytes.NewReader(data)); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestLoadRejectsVersionMismatch(t *testing.T) {
+	data := saveBytes(t, buildSmall(t))
+	binary.LittleEndian.PutUint32(data[8:], FormatVersion+7)
+	reseal(data)
+	_, err := Load(bytes.NewReader(data))
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("err = %v, want ErrVersion", err)
+	}
+}
+
+func TestLoadRejectsCorruptedPayload(t *testing.T) {
+	data := saveBytes(t, buildSmall(t))
+	data[headerSize+5] ^= 0x40 // flip one bit inside the path payload
+	if _, err := Load(bytes.NewReader(data)); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("err = %v, want ErrChecksum", err)
+	}
+}
+
+func TestLoadRejectsShortFile(t *testing.T) {
+	data := saveBytes(t, buildSmall(t))
+	for _, cut := range []int{0, 5, headerSize - 1, headerSize, headerSize + 17, len(data) - 3} {
+		_, err := Load(bytes.NewReader(data[:cut]))
+		if err == nil {
+			t.Fatalf("Load of %d/%d bytes succeeded, want error", cut, len(data))
+		}
+		if cut > 0 && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("Load of %d bytes: err = %v, want wrapped io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestLoadRejectsImplausibleHeader(t *testing.T) {
+	data := saveBytes(t, buildSmall(t))
+	// Claim an astronomically large fingerprint count: Load must refuse the
+	// allocation before reading (or trusting) any payload.
+	binary.LittleEndian.PutUint64(data[28:], 1<<40)
+	reseal(data)
+	if _, err := Load(bytes.NewReader(data)); err == nil {
+		t.Fatal("Load with n*r*k overflow succeeded, want error")
+	}
+}
+
+func TestLoadRejectsOutOfRangePath(t *testing.T) {
+	data := saveBytes(t, buildSmall(t))
+	// A path entry >= n is structurally invalid even with a valid checksum.
+	binary.LittleEndian.PutUint32(data[headerSize:], 1_000_000)
+	reseal(data)
+	if _, err := Load(bytes.NewReader(data)); err == nil {
+		t.Fatal("Load with out-of-range path entry succeeded, want error")
+	}
+}

@@ -1,0 +1,266 @@
+// Package walkindex builds and queries a persistent index of coupled
+// reverse random walks, the precomputation that turns single-source and
+// top-k SimRank queries into sub-millisecond lookups (the SLING / ProbeSim
+// serving model applied to the Fogaras-Racz estimator already used by the
+// batch Monte Carlo engine).
+//
+// The index stores, for every vertex v and every fingerprint r, the full
+// path of a reverse random walk of horizon K started at v. Walks within one
+// fingerprint are coupled exactly as in the batch estimator: the in-edge a
+// walker takes depends only on (fingerprint, step, current vertex), so
+// walkers standing on the same vertex move together and coalesce once they
+// meet. The edge choice is a pure hash of (seed, fingerprint, step, vertex)
+// rather than a sequential RNG stream, which makes the build embarrassingly
+// parallel over vertices — every worker computes identical paths regardless
+// of scheduling — and makes an index fully reproducible from (graph,
+// Options) alone.
+//
+// A single-source query against vertex q scans the stored paths: for every
+// other vertex v and every fingerprint, the first step t at which q's and
+// v's walkers stand on the same vertex contributes C^t, and the average
+// over fingerprints estimates s(q, v) truncated at horizon K. The scan is
+// O(R*K) per vertex with sequential access into one flat []int32, so a
+// query costs O(n*R*K) independent of the graph — no Theta(n^2) state is
+// ever materialized.
+//
+// Storage is a single flat slice laid out vertex-major —
+// paths[(v*R + r)*K + t] is the position of v's fingerprint-r walker after
+// step t+1, or -1 once the walk has died at an in-degree-0 vertex — so the
+// per-vertex query scan is one contiguous range. See serialize.go for the
+// versioned on-disk format.
+package walkindex
+
+import (
+	"fmt"
+	"math"
+
+	"oipsr/graph"
+	"oipsr/internal/par"
+)
+
+// Options configure Build.
+type Options struct {
+	// C is the damping factor in (0,1); 0 means 0.6.
+	C float64
+	// K is the walk horizon; 0 derives it from Eps as the smallest K with
+	// C^(K+1) <= Eps, matching the iterative engines' truncation.
+	K int
+	// Eps is the truncation target used when K == 0; 0 means 1e-3.
+	Eps float64
+	// Walks is the number of fingerprints R; 0 means 100. The standard
+	// error of each estimated score scales as 1/sqrt(R).
+	Walks int
+	// Seed makes the index deterministic: the same (graph, Options) always
+	// produce bit-identical indexes, for any worker count.
+	Seed int64
+	// Workers sets the build worker-pool size: 1 means serial, anything
+	// below 1 means runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// Index is a built walk index. It is immutable after Build/Load and safe
+// for concurrent queries.
+type Index struct {
+	n    int     // vertices
+	k    int     // walk horizon
+	r    int     // fingerprints per vertex
+	c    float64 // damping factor
+	seed int64
+
+	// paths[(v*r + fp)*k + t] is the position of v's fingerprint-fp walker
+	// after step t+1, or -1 if the walk died at or before that step.
+	paths []int32
+
+	// pow[t] = c^(t+1), the first-meeting weight of path index t.
+	pow []float64
+}
+
+// Build constructs the walk index for g.
+func Build(g *graph.Graph, opt Options) (*Index, error) {
+	if opt.C == 0 {
+		opt.C = 0.6
+	}
+	if !(opt.C > 0 && opt.C < 1) {
+		return nil, fmt.Errorf("walkindex: damping factor %v outside (0,1)", opt.C)
+	}
+	if opt.K < 0 || opt.Walks < 0 {
+		return nil, fmt.Errorf("walkindex: negative K or Walks")
+	}
+	if opt.K == 0 {
+		eps := opt.Eps
+		if eps == 0 {
+			eps = 1e-3
+		}
+		if !(eps > 0 && eps < 1) {
+			return nil, fmt.Errorf("walkindex: accuracy eps %v outside (0,1)", eps)
+		}
+		opt.K = int(math.Ceil(math.Log(eps)/math.Log(opt.C) - 1))
+		if opt.K < 1 {
+			opt.K = 1
+		}
+	}
+	if opt.Walks == 0 {
+		opt.Walks = 100
+	}
+	// edgeChoice packs fp and t into 16-bit fields; beyond that, distinct
+	// (fingerprint, step) pairs would alias and correlate the walks.
+	if opt.K > 0xFFFF || opt.Walks > 0xFFFF {
+		return nil, fmt.Errorf("walkindex: K = %d and Walks = %d must each be <= %d", opt.K, opt.Walks, 0xFFFF)
+	}
+
+	n := g.NumVertices()
+	ix := &Index{
+		n:     n,
+		k:     opt.K,
+		r:     opt.Walks,
+		c:     opt.C,
+		seed:  opt.Seed,
+		paths: make([]int32, n*opt.Walks*opt.K),
+	}
+	ix.initPow()
+
+	hseed := splitmix64(uint64(opt.Seed))
+	workers := par.ResolveMax(opt.Workers, n)
+	par.Do(workers, func(w int) {
+		lo, hi := par.Range(n, workers, w)
+		for v := lo; v < hi; v++ {
+			base := v * ix.r * ix.k
+			for fp := 0; fp < ix.r; fp++ {
+				off := base + fp*ix.k
+				p := v
+				for t := 0; t < ix.k; t++ {
+					in := g.In(p)
+					if len(in) == 0 {
+						for ; t < ix.k; t++ {
+							ix.paths[off+t] = -1
+						}
+						break
+					}
+					p = in[edgeChoice(hseed, fp, t, p, len(in))]
+					ix.paths[off+t] = int32(p)
+				}
+			}
+		}
+	})
+	return ix, nil
+}
+
+func (ix *Index) initPow() {
+	ix.pow = make([]float64, ix.k)
+	w := 1.0
+	for t := 0; t < ix.k; t++ {
+		w *= ix.c
+		ix.pow[t] = w
+	}
+}
+
+// edgeChoice is the shared coupled move: the in-edge index every walker
+// standing on vertex x takes at step t of fingerprint fp. It depends only
+// on (seed, fp, t, x), never on which start vertex the walker belongs to,
+// so co-located walkers coalesce exactly as in the batch estimator. The
+// three fields occupy disjoint bit ranges (fp: 48+, t: 32..47, x: 0..31;
+// Build enforces the fp/t bounds), so distinct (fp, t, x) triples can
+// never alias before mixing.
+func edgeChoice(hseed uint64, fp, t, x, deg int) int {
+	h := splitmix64(hseed ^ (uint64(fp)<<48 | uint64(t)<<32 | uint64(x)))
+	return int(h % uint64(deg))
+}
+
+// splitmix64 is the SplitMix64 finalizer, a fast high-quality bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// N returns the number of indexed vertices.
+func (ix *Index) N() int { return ix.n }
+
+// Horizon returns the walk horizon K.
+func (ix *Index) Horizon() int { return ix.k }
+
+// Walks returns the number of fingerprints R.
+func (ix *Index) Walks() int { return ix.r }
+
+// C returns the damping factor.
+func (ix *Index) C() float64 { return ix.c }
+
+// Seed returns the seed the index was built with.
+func (ix *Index) Seed() int64 { return ix.seed }
+
+// Bytes returns the in-memory size of the path storage.
+func (ix *Index) Bytes() int64 { return int64(len(ix.paths)) * 4 }
+
+// SingleSource estimates s(q, v) for every v and writes the result into
+// dst, which must have length N() (pass nil to allocate). It returns dst.
+// The estimate for q itself is exactly 1.
+func (ix *Index) SingleSource(q int, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, ix.n)
+	}
+	qp := ix.paths[q*ix.r*ix.k : (q+1)*ix.r*ix.k]
+	inv := 1 / float64(ix.r)
+	for v := 0; v < ix.n; v++ {
+		if v == q {
+			continue
+		}
+		vp := ix.paths[v*ix.r*ix.k : (v+1)*ix.r*ix.k]
+		var s float64
+		for fp := 0; fp < ix.r; fp++ {
+			off := fp * ix.k
+			for t := 0; t < ix.k; t++ {
+				pq, pv := qp[off+t], vp[off+t]
+				if pq < 0 || pv < 0 {
+					break // a dead walker never meets anyone
+				}
+				if pq == pv {
+					s += ix.pow[t] // first meeting only: C^(t+1)
+					break
+				}
+			}
+		}
+		dst[v] = s * inv
+	}
+	dst[q] = 1
+	return dst
+}
+
+// Pair estimates the single score s(a, b).
+func (ix *Index) Pair(a, b int) float64 {
+	if a == b {
+		return 1
+	}
+	ap := ix.paths[a*ix.r*ix.k : (a+1)*ix.r*ix.k]
+	bp := ix.paths[b*ix.r*ix.k : (b+1)*ix.r*ix.k]
+	var s float64
+	for fp := 0; fp < ix.r; fp++ {
+		off := fp * ix.k
+		for t := 0; t < ix.k; t++ {
+			pa, pb := ap[off+t], bp[off+t]
+			if pa < 0 || pb < 0 {
+				break
+			}
+			if pa == pb {
+				s += ix.pow[t]
+				break
+			}
+		}
+	}
+	return s / float64(ix.r)
+}
+
+// Equal reports whether two indexes hold identical parameters and paths
+// (and therefore answer every query bit-identically).
+func (ix *Index) Equal(other *Index) bool {
+	if ix.n != other.n || ix.k != other.k || ix.r != other.r ||
+		ix.c != other.c || ix.seed != other.seed || len(ix.paths) != len(other.paths) {
+		return false
+	}
+	for i, p := range ix.paths {
+		if other.paths[i] != p {
+			return false
+		}
+	}
+	return true
+}

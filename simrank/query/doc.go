@@ -1,0 +1,46 @@
+// Package query answers single-source and top-k SimRank queries from a
+// precomputed walk index, without ever materializing the Theta(n^2)
+// all-pairs matrix the batch engines in package simrank produce.
+//
+// # Serving model
+//
+// The batch engines (OIP-SR and friends) compute s(a, b) for every pair at
+// once: the right tool for offline analytics, and hopeless for a service
+// that must answer "who is most similar to q?" per request — n^2 state for
+// a million-vertex graph is terabytes. This package instead follows the
+// index-then-query design of SLING (Tian & Xiao) and ProbeSim (Liu et
+// al.): precompute a compact per-vertex index once, then answer each query
+// by scanning only the query vertex's share of it.
+//
+// The index here stores R coupled reverse random walks of horizon K per
+// vertex (the Fogaras-Racz first-meeting estimator, the same coupling as
+// the batch monte-carlo engine). Index size is 4*n*R*K bytes — linear in
+// n, independent of edge density — and a single-source query costs
+// O(n*R*K) sequential int32 comparisons, typically well under a
+// millisecond for graphs that fit in memory. Builds are deterministic:
+// edge choices are pure hashes of (seed, fingerprint, step, vertex), so
+// the same graph, options, and seed produce a bit-identical index at any
+// worker count, and a saved index reloads into bit-identical query
+// results.
+//
+// # Accuracy trade-off
+//
+// Estimates carry Monte Carlo error O(1/sqrt(R)) plus the small
+// coalescence bias of coupled walks, where the batch engines are exact to
+// their iteration truncation. Two mitigations are built in:
+//
+//   - Raise Walks (R). Error shrinks as 1/sqrt(R); index size and query
+//     time grow linearly.
+//   - TopKOptions.Rerank. The index proposes a candidate pool by estimated
+//     score; each candidate pair is then re-scored exactly with a pruned
+//     partial-sums iteration (memoized truncated SimRank recursion,
+//     descending only while a branch's maximum possible contribution to
+//     the root score stays above a prune threshold) and the pool is
+//     re-ranked by the exact scores. This buys near-exact ordering within
+//     the pool at a per-query cost that depends on in-degree, not on n.
+//
+// Use the batch engines for all-pairs analytics, convergence studies, or
+// exact scores; use this package when queries arrive one vertex at a
+// time and latency or memory rules out n^2 work — the simrankd server
+// (cmd/simrankd) is a ready-made HTTP front end.
+package query

@@ -1,0 +1,91 @@
+package query
+
+import (
+	"oipsr/graph"
+)
+
+// exactScorer computes exact truncated SimRank scores for individual pairs
+// by the memoized recursion
+//
+//	s_0(a,b) = [a == b]
+//	s_d(a,b) = C/(|I(a)||I(b)|) * sum_{x in I(a), y in I(b)} s_{d-1}(x,y)
+//
+// — the per-pair form of the partial-sums iteration, pruned by branch
+// contribution: a subtree entered with accumulated weight w (the product
+// of C/(|I||I|) factors along the path from the root pair) can change the
+// root score by at most w, so descent stops once w < pruneEps. The weight
+// collapses quickly through high-degree vertices — exactly where naive
+// expansion explodes — so reranking stays fast even on hub-heavy graphs.
+//
+// The memo is keyed on (pair, remaining depth) and shared across all
+// candidates of one rerank call. Each entry records the weight it was
+// computed at; a lookup reuses it only for weights <= that (pruned
+// branches lost at most pruneEps of root contribution when stored, and
+// rescaling by a smaller weight only shrinks that loss), so reuse never
+// degrades accuracy. Cost depends on in-degrees and C, not on n, which is
+// the point: reranking a candidate pool touches only the reverse
+// neighborhood of the query.
+type exactScorer struct {
+	g        *graph.Graph
+	c        float64
+	k        int // truncation depth (matches the index horizon)
+	pruneEps float64
+	memo     map[memoKey]memoVal
+}
+
+type memoKey struct {
+	a, b int // canonical a <= b (SimRank is symmetric)
+	rem  int // remaining iterations
+}
+
+type memoVal struct {
+	score  float64
+	weight float64 // branch weight the entry was computed at
+}
+
+func newExactScorer(g *graph.Graph, c float64, k int, pruneEps float64) *exactScorer {
+	return &exactScorer{
+		g:        g,
+		c:        c,
+		k:        k,
+		pruneEps: pruneEps,
+		memo:     make(map[memoKey]memoVal),
+	}
+}
+
+// pair returns s_k(a, b), the value iteration k of the batch engines
+// assigns, up to the pruning threshold.
+func (e *exactScorer) pair(a, b int) float64 {
+	return e.score(a, b, e.k, 1)
+}
+
+func (e *exactScorer) score(a, b, rem int, w float64) float64 {
+	if a == b {
+		return 1
+	}
+	if rem == 0 || w < e.pruneEps {
+		return 0
+	}
+	if a > b {
+		a, b = b, a
+	}
+	key := memoKey{a: a, b: b, rem: rem}
+	if ent, ok := e.memo[key]; ok && w <= ent.weight {
+		return ent.score
+	}
+	ia, ib := e.g.In(a), e.g.In(b)
+	var s float64
+	if len(ia) > 0 && len(ib) > 0 {
+		scale := e.c / float64(len(ia)*len(ib))
+		cw := w * scale
+		var sum float64
+		for _, x := range ia {
+			for _, y := range ib {
+				sum += e.score(x, y, rem-1, cw)
+			}
+		}
+		s = scale * sum
+	}
+	e.memo[key] = memoVal{score: s, weight: w}
+	return s
+}

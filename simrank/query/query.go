@@ -1,0 +1,265 @@
+package query
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"oipsr/graph"
+	"oipsr/internal/walkindex"
+)
+
+// Options configure BuildIndex. The zero value means C = 0.6, horizon from
+// eps = 1e-3, 100 walks per vertex, seed 0, all CPUs.
+type Options struct {
+	// C is the damping factor in (0,1); 0 means 0.6.
+	C float64
+	// K is the walk horizon; 0 derives the smallest K with C^(K+1) <= Eps,
+	// matching the iterative engines' truncation.
+	K int
+	// Eps is the truncation target used when K == 0; 0 means 1e-3.
+	Eps float64
+	// Walks is the number of walk fingerprints R stored per vertex; 0
+	// means 100. Estimate error scales as 1/sqrt(R); index size as R.
+	Walks int
+	// Seed makes the index deterministic and reproducible.
+	Seed int64
+	// Workers sets the build worker-pool size: 1 means serial, anything
+	// below 1 means runtime.GOMAXPROCS(0). The index is bit-identical for
+	// every worker count.
+	Workers int
+}
+
+// Index answers single-source and top-k SimRank queries. It is immutable
+// after build/load and safe for concurrent use.
+type Index struct {
+	wi *walkindex.Index
+	// g is the graph the index was built from; needed only for exact
+	// reranking. Nil after Load until AttachGraph.
+	g *graph.Graph
+}
+
+// Ranked is one entry of a top-k result.
+type Ranked struct {
+	Vertex int     `json:"vertex"`
+	Score  float64 `json:"score"`
+}
+
+// BuildIndex precomputes the walk index for g. The graph stays attached,
+// so TopK reranking works immediately.
+func BuildIndex(g *graph.Graph, opt Options) (*Index, error) {
+	wi, err := walkindex.Build(g, walkindex.Options{
+		C:       opt.C,
+		K:       opt.K,
+		Eps:     opt.Eps,
+		Walks:   opt.Walks,
+		Seed:    opt.Seed,
+		Workers: opt.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Index{wi: wi, g: g}, nil
+}
+
+// N returns the number of indexed vertices.
+func (ix *Index) N() int { return ix.wi.N() }
+
+// C returns the damping factor the index was built with.
+func (ix *Index) C() float64 { return ix.wi.C() }
+
+// Horizon returns the walk horizon K.
+func (ix *Index) Horizon() int { return ix.wi.Horizon() }
+
+// Walks returns the number of fingerprints R per vertex.
+func (ix *Index) Walks() int { return ix.wi.Walks() }
+
+// Seed returns the build seed.
+func (ix *Index) Seed() int64 { return ix.wi.Seed() }
+
+// Bytes returns the in-memory size of the walk storage.
+func (ix *Index) Bytes() int64 { return ix.wi.Bytes() }
+
+// Graph returns the attached graph, or nil for a loaded index without
+// AttachGraph.
+func (ix *Index) Graph() *graph.Graph { return ix.g }
+
+// AttachGraph re-attaches the source graph to a loaded index, enabling
+// exact reranking. The graph must have the same vertex count the index was
+// built from (a different graph silently poisons rerank scores, so at
+// least the cheap invariant is enforced).
+func (ix *Index) AttachGraph(g *graph.Graph) error {
+	if g.NumVertices() != ix.wi.N() {
+		return fmt.Errorf("query: graph has %d vertices, index was built on %d", g.NumVertices(), ix.wi.N())
+	}
+	ix.g = g
+	return nil
+}
+
+// SingleSource estimates s(q, v) for every vertex v and returns the dense
+// score vector; entry q is exactly 1.
+func (ix *Index) SingleSource(q int) ([]float64, error) {
+	if q < 0 || q >= ix.wi.N() {
+		return nil, fmt.Errorf("query: vertex %d out of range [0,%d)", q, ix.wi.N())
+	}
+	return ix.wi.SingleSource(q, nil), nil
+}
+
+// Pair estimates the single score s(a, b).
+func (ix *Index) Pair(a, b int) (float64, error) {
+	n := ix.wi.N()
+	if a < 0 || a >= n || b < 0 || b >= n {
+		return 0, fmt.Errorf("query: pair (%d,%d) out of range [0,%d)", a, b, n)
+	}
+	return ix.wi.Pair(a, b), nil
+}
+
+// TopKOptions tune a TopK call. The zero value (or a nil pointer) means:
+// rank by index estimates alone, no reranking.
+type TopKOptions struct {
+	// Rerank re-scores a candidate pool exactly (truncated SimRank via
+	// pruned partial-sums iteration) and re-ranks by the exact scores.
+	// Requires an attached graph.
+	Rerank bool
+	// Candidates is the pool size reranking draws from the estimated
+	// ranking; 0 means max(4k, k+16). Larger pools raise recall and cost.
+	Candidates int
+	// PruneEps stops the exact recursion once a branch's accumulated
+	// weight — its maximum possible contribution to the root score —
+	// falls below it; 0 means 1e-5. Larger values are faster and less
+	// exact.
+	PruneEps float64
+}
+
+// TopK returns the k vertices most similar to q, excluding q itself, in
+// decreasing score order with ties broken by vertex id. With opt.Rerank
+// the scores are exact truncated SimRank values for the candidate pool;
+// otherwise they are the index estimates.
+func (ix *Index) TopK(q, k int, opt *TopKOptions) ([]Ranked, error) {
+	n := ix.wi.N()
+	if q < 0 || q >= n {
+		return nil, fmt.Errorf("query: vertex %d out of range [0,%d)", q, n)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("query: top-k size %d < 1", k)
+	}
+	if k > n-1 {
+		k = n - 1
+	}
+	if opt == nil {
+		opt = &TopKOptions{}
+	}
+	if opt.Rerank && ix.g == nil {
+		return nil, fmt.Errorf("query: rerank needs the source graph (AttachGraph after Load)")
+	}
+
+	scores := ix.wi.SingleSource(q, nil)
+	pool := k
+	if opt.Rerank {
+		pool = opt.Candidates
+		if pool <= 0 {
+			pool = max(4*k, k+16)
+		}
+		if pool > n-1 {
+			pool = n - 1
+		}
+	}
+	cands := topByScore(scores, q, pool)
+
+	if opt.Rerank {
+		pruneEps := opt.PruneEps
+		if pruneEps == 0 {
+			pruneEps = 1e-5
+		}
+		ex := newExactScorer(ix.g, ix.wi.C(), ix.wi.Horizon(), pruneEps)
+		for i := range cands {
+			cands[i].Score = ex.pair(q, cands[i].Vertex)
+		}
+		sort.SliceStable(cands, func(i, j int) bool {
+			if cands[i].Score != cands[j].Score {
+				return cands[i].Score > cands[j].Score
+			}
+			return cands[i].Vertex < cands[j].Vertex
+		})
+	}
+	if k > len(cands) {
+		k = len(cands)
+	}
+	return cands[:k], nil
+}
+
+// topByScore selects the top-m vertices by score, excluding skip, in
+// decreasing score order with ties broken by vertex id. It keeps a small
+// sorted tail instead of sorting all n entries: O(n log m).
+func topByScore(scores []float64, skip, m int) []Ranked {
+	out := make([]Ranked, 0, max(m, 0))
+	if m <= 0 {
+		return out
+	}
+	for v, s := range scores {
+		if v == skip {
+			continue
+		}
+		if len(out) == m {
+			last := out[m-1]
+			if s < last.Score || (s == last.Score && v > last.Vertex) {
+				continue
+			}
+			out = out[:m-1]
+		}
+		// Insert keeping (score desc, id asc) order.
+		i := sort.Search(len(out), func(i int) bool {
+			return out[i].Score < s || (out[i].Score == s && out[i].Vertex > v)
+		})
+		out = append(out, Ranked{})
+		copy(out[i+1:], out[i:])
+		out[i] = Ranked{Vertex: v, Score: s}
+	}
+	return out
+}
+
+// Save writes the index (not the graph) to w in the versioned binary
+// walk-index format; see oipsr/internal/walkindex for the layout.
+func (ix *Index) Save(w io.Writer) error { return ix.wi.Save(w) }
+
+// Load reads an index written by Save. The result answers SingleSource,
+// Pair, and estimate-only TopK immediately; call AttachGraph to enable
+// reranking. Load rejects truncated files, corrupted payloads (CRC), and
+// format-version mismatches.
+func Load(r io.Reader) (*Index, error) {
+	wi, err := walkindex.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{wi: wi}, nil
+}
+
+// SaveFile writes the index to path (atomically via a sibling temp file,
+// so a crash mid-save never leaves a truncated index behind).
+func (ix *Index) SaveFile(path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".walkindex-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := ix.Save(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadFile reads an index from path.
+func LoadFile(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
