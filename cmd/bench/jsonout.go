@@ -19,8 +19,14 @@ import (
 // across PRs — and are additionally teed to the -json sink when given.
 var jsonOut *json.Encoder
 
-// benchJSONFile is the always-on NDJSON sink.
-const benchJSONFile = "BENCH_PR2.json"
+// benchJSONFile is the always-on NDJSON sink; prior trajectory files are
+// read for record preservation so renaming the sink between PRs keeps the
+// history.
+const benchJSONFile = "BENCH_PR3.json"
+
+// benchJSONPrev is the previous PR's trajectory file, consulted for
+// records to carry forward when benchJSONFile does not exist yet.
+const benchJSONPrev = "BENCH_PR2.json"
 
 var jsonFiles []*os.File
 
@@ -30,6 +36,11 @@ var jsonFiles []*os.File
 // must not destroy the rest of the trajectory.
 func initJSON(path string, running []string) error {
 	keep := preservedRecords(benchJSONFile, running)
+	if keep == nil {
+		if _, err := os.Stat(benchJSONFile); err != nil {
+			keep = preservedRecords(benchJSONPrev, running)
+		}
+	}
 	f, err := os.Create(benchJSONFile)
 	if err != nil {
 		return err

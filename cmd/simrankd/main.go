@@ -11,12 +11,21 @@
 //
 // Endpoints:
 //
-//	GET /v1/single_source?q=17            dense score vector for vertex 17
-//	GET /v1/single_source?q=17&min=0.01   only entries with score >= 0.01
-//	GET /v1/topk?q=17&k=10                top-10 by index estimate
-//	GET /v1/topk?q=17&k=10&rerank=1       top-10 after exact reranking
-//	GET /healthz                          liveness + index parameters
-//	GET /metrics                          Prometheus-style counters
+//	GET  /v1/single_source?q=17           dense score vector for vertex 17
+//	GET  /v1/single_source?q=17&min=0.01  only entries with score >= 0.01
+//	GET  /v1/topk?q=17&k=10               top-10 by index estimate
+//	GET  /v1/topk?q=17&k=10&rerank=1      top-10 after exact reranking
+//	POST /v1/edges                        batch edge adds/removes, applied live
+//	GET  /healthz                         liveness + index parameters
+//	GET  /metrics                         Prometheus-style counters
+//
+// /v1/edges takes {"edits":[{"op":"add","u":0,"v":1},{"op":"remove",...}]}
+// and repairs the walk index incrementally — only walks through vertices
+// whose in-neighbor list changed are recomputed, and the repaired index is
+// bit-identical to a full rebuild on the edited graph. Queries keep being
+// served concurrently (updates take the write side of an RWMutex) and the
+// response cache is invalidated atomically by folding the index generation
+// into cache keys.
 //
 // The process shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests before exiting.
@@ -56,8 +65,9 @@ func main() {
 		k         = flag.Int("k", 0, "walk horizon (0 = derive from -eps)")
 		eps       = flag.Float64("eps", 1e-3, "truncation target when -k is 0")
 		walks     = flag.Int("walks", 0, "walk fingerprints per vertex (0 = 100)")
-		workers   = flag.Int("workers", 0, "index build worker pool (0 = all CPUs, 1 = serial)")
+		workers   = flag.Int("workers", 0, "index build/update worker pool (0 = all CPUs, 1 = serial)")
 		cacheSize = flag.Int("cache", 1024, "LRU query-cache entries (0 = disabled)")
+		prewarm   = flag.Bool("prewarm-updates", false, "build the update-tracking visit index at startup instead of on the first POST /v1/edges")
 	)
 	flag.Parse()
 
@@ -77,8 +87,16 @@ func main() {
 	}
 	log.Printf("index: n=%d walks=%d horizon=%d c=%g (%d bytes)",
 		idx.N(), idx.Walks(), idx.Horizon(), idx.C(), idx.Bytes())
+	if *prewarm {
+		t0 := time.Now()
+		if err := idx.PrepareUpdates(*workers); err != nil {
+			fmt.Fprintf(os.Stderr, "simrankd: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("index: update-tracking visit index built in %v", time.Since(t0))
+	}
 
-	srv := &http.Server{Addr: *addr, Handler: newServer(idx, *cacheSize)}
+	srv := &http.Server{Addr: *addr, Handler: newServer(idx, *cacheSize, *workers)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

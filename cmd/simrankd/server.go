@@ -2,45 +2,67 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"oipsr/graph"
 	"oipsr/internal/lru"
 	"oipsr/simrank/query"
 )
 
 // server wires the query index into an http.Handler: the /v1 endpoints,
 // the health probe, and a /metrics counter dump. Responses are memoized in
-// an LRU keyed by the normalized request parameters — the index is
-// immutable, so cached answers never go stale.
+// an LRU keyed by the normalized request parameters plus the index
+// generation — POST /v1/edges bumps the generation, so pre-edit entries
+// can never be served post-edit.
+//
+// Concurrency: queries hold mu.RLock for their whole execution (the index
+// is repaired in place, not swapped), /v1/edges holds mu.Lock while it
+// applies the batch. Reads stay fully concurrent with each other.
 type server struct {
-	idx   *query.Index
-	cache *lru.Cache[string, []byte]
-	mux   *http.ServeMux
+	mu      sync.RWMutex
+	idx     *query.Index
+	workers int // worker pool for incremental index repair
+	cache   *lru.Cache[string, []byte]
+	mux     *http.ServeMux
 
 	// Counters exported on /metrics. Latency is tracked as a running sum
-	// plus count per endpoint, enough for an average without histograms.
+	// plus sample count per process, enough for an average without
+	// histograms; every /v1 request contributes, including error paths.
 	reqSingleSource atomic.Int64
 	reqTopK         atomic.Int64
+	reqEdges        atomic.Int64
 	reqErrors       atomic.Int64
 	latencyMicros   atomic.Int64
+	latencyCount    atomic.Int64
+
+	updatesTotal  atomic.Int64
+	updateMicros  atomic.Int64
+	edgesAdded    atomic.Int64
+	edgesRemoved  atomic.Int64
+	walksRepaired atomic.Int64
 
 	started time.Time
 }
 
-func newServer(idx *query.Index, cacheSize int) *server {
+func newServer(idx *query.Index, cacheSize, workers int) *server {
 	s := &server{
 		idx:     idx,
+		workers: workers,
 		cache:   lru.New[string, []byte](cacheSize),
 		mux:     http.NewServeMux(),
 		started: time.Now(),
 	}
 	s.mux.HandleFunc("/v1/single_source", s.handleSingleSource)
 	s.mux.HandleFunc("/v1/topk", s.handleTopK)
+	s.mux.HandleFunc("/v1/edges", s.handleEdges)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
@@ -59,6 +81,26 @@ func (s *server) writeError(w http.ResponseWriter, code int, format string, args
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// checkMethod enforces the endpoint's method set, answering 405 with an
+// Allow header otherwise.
+func (s *server) checkMethod(w http.ResponseWriter, r *http.Request, allowed ...string) bool {
+	for _, m := range allowed {
+		if r.Method == m {
+			return true
+		}
+	}
+	w.Header().Set("Allow", strings.Join(allowed, ", "))
+	s.writeError(w, http.StatusMethodNotAllowed, "method %s not allowed on %s", r.Method, r.URL.Path)
+	return false
+}
+
+// observeLatency folds one finished /v1 request into the latency sum and
+// sample count; deferred at handler entry so 4xx/5xx paths are counted too.
+func (s *server) observeLatency(t0 time.Time) {
+	s.latencyMicros.Add(time.Since(t0).Microseconds())
+	s.latencyCount.Add(1)
 }
 
 func writeJSONBytes(w http.ResponseWriter, body []byte) {
@@ -103,22 +145,39 @@ type singleSourceResponse struct {
 // handleSingleSource serves GET/POST /v1/single_source?q=17[&min=0.01].
 func (s *server) handleSingleSource(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
+	defer s.observeLatency(t0)
 	s.reqSingleSource.Add(1)
+	if !s.checkMethod(w, r, http.MethodGet, http.MethodPost) {
+		return
+	}
 	q, err := intParam(r, "q", 0, true)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// min is parsed before any cache key is formed, and the key uses its
+	// canonical decimal form: "0.01", "0.010", and "1e-2" are one entry.
 	minRaw := r.FormValue("min")
+	var minVal float64
+	if minRaw != "" {
+		minVal, err = strconv.ParseFloat(minRaw, 64)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "parameter \"min\": %v", err)
+			return
+		}
+	}
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	// Dense responses are O(n) bytes each; caching them would make cache
 	// memory scale with graph size times -cache entries, so only the
 	// thresholded (sparse) form is memoized.
 	cacheable := minRaw != ""
-	key := "ss:" + strconv.Itoa(q) + ":" + minRaw
+	var key string
 	if cacheable {
+		key = fmt.Sprintf("g%d:ss:%d:%s", s.idx.Generation(), q, strconv.FormatFloat(minVal, 'g', -1, 64))
 		if body, ok := s.cache.Get(key); ok {
 			writeJSONBytes(w, body)
-			s.latencyMicros.Add(time.Since(t0).Microseconds())
 			return
 		}
 	}
@@ -132,11 +191,6 @@ func (s *server) handleSingleSource(w http.ResponseWriter, r *http.Request) {
 	if minRaw == "" {
 		resp.Scores = scores
 	} else {
-		minVal, err := strconv.ParseFloat(minRaw, 64)
-		if err != nil {
-			s.writeError(w, http.StatusBadRequest, "parameter \"min\": %v", err)
-			return
-		}
 		resp.Results = sparseAbove(scores, q, minVal)
 	}
 	body, err := json.Marshal(resp)
@@ -149,7 +203,6 @@ func (s *server) handleSingleSource(w http.ResponseWriter, r *http.Request) {
 		s.cache.Put(key, body)
 	}
 	writeJSONBytes(w, body)
-	s.latencyMicros.Add(time.Since(t0).Microseconds())
 }
 
 // sparseAbove filters a dense score vector down to the entries (other than
@@ -181,7 +234,11 @@ type topKResponse struct {
 // handleTopK serves GET/POST /v1/topk?q=17&k=10[&rerank=1].
 func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
+	defer s.observeLatency(t0)
 	s.reqTopK.Add(1)
+	if !s.checkMethod(w, r, http.MethodGet, http.MethodPost) {
+		return
+	}
 	q, err := intParam(r, "q", 0, true)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
@@ -194,10 +251,11 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	rerank := boolParam(r, "rerank")
 
-	key := fmt.Sprintf("topk:%d:%d:%t", q, k, rerank)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	key := fmt.Sprintf("g%d:topk:%d:%d:%t", s.idx.Generation(), q, k, rerank)
 	if body, ok := s.cache.Get(key); ok {
 		writeJSONBytes(w, body)
-		s.latencyMicros.Add(time.Since(t0).Microseconds())
 		return
 	}
 
@@ -214,7 +272,111 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	body = append(body, '\n')
 	s.cache.Put(key, body)
 	writeJSONBytes(w, body)
-	s.latencyMicros.Add(time.Since(t0).Microseconds())
+}
+
+// maxEditsBody bounds a /v1/edges request body (~8 MB is tens of
+// thousands of edits, far beyond a sane online batch).
+const maxEditsBody = 8 << 20
+
+type edgeEdit struct {
+	Op string `json:"op"` // "add" | "remove"
+	U  int    `json:"u"`
+	V  int    `json:"v"`
+}
+
+type edgesRequest struct {
+	Edits []edgeEdit `json:"edits"`
+}
+
+type edgesResponse struct {
+	// Added/Removed count effective changes; no-op edits are accepted and
+	// simply don't contribute.
+	Added   int `json:"added"`
+	Removed int `json:"removed"`
+	// DirtyVertices and WalksRepaired describe the incremental repair.
+	DirtyVertices int    `json:"dirty_vertices"`
+	WalksRepaired int    `json:"walks_repaired"`
+	Generation    uint64 `json:"generation"`
+	Edges         int    `json:"edges"` // graph edge count after the batch
+	UpdateMicros  int64  `json:"update_micros"`
+}
+
+// handleEdges serves POST /v1/edges: a batch of edge adds/removes applied
+// to the live graph with an incremental, bit-identical index repair.
+func (s *server) handleEdges(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	defer s.observeLatency(t0)
+	s.reqEdges.Add(1)
+	if !s.checkMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req edgesRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxEditsBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", maxEditsBody)
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	edits := make([]graph.Edit, len(req.Edits))
+	for i, e := range req.Edits {
+		switch e.Op {
+		case "add":
+			edits[i] = graph.Edit{Op: graph.EditAdd, U: e.U, V: e.V}
+		case "remove":
+			edits[i] = graph.Edit{Op: graph.EditRemove, U: e.U, V: e.V}
+		default:
+			s.writeError(w, http.StatusBadRequest, "edit %d: unknown op %q (want \"add\" or \"remove\")", i, e.Op)
+			return
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u0 := time.Now()
+	gen0 := s.idx.Generation()
+	stats, err := s.idx.ApplyEdits(edits, s.workers)
+	if err != nil {
+		// Invalid edits are the client's fault; an index beyond the
+		// incremental-maintenance capacity is ours.
+		code := http.StatusBadRequest
+		if errors.Is(err, query.ErrTooLarge) {
+			code = http.StatusInternalServerError
+		}
+		s.writeError(w, code, "%v", err)
+		return
+	}
+	if stats.Generation != gen0 {
+		// The old generation's cached bodies can never be served again;
+		// drop them now instead of letting them squat in the LRU until
+		// capacity-evicted.
+		s.cache.Clear()
+	}
+	updateMicros := time.Since(u0).Microseconds()
+	s.updatesTotal.Add(1)
+	s.updateMicros.Add(updateMicros)
+	s.edgesAdded.Add(int64(stats.EdgesAdded))
+	s.edgesRemoved.Add(int64(stats.EdgesRemoved))
+	s.walksRepaired.Add(int64(stats.WalksRepaired))
+
+	body, err := json.Marshal(edgesResponse{
+		Added:         stats.EdgesAdded,
+		Removed:       stats.EdgesRemoved,
+		DirtyVertices: stats.DirtyVertices,
+		WalksRepaired: stats.WalksRepaired,
+		Generation:    stats.Generation,
+		Edges:         s.idx.Graph().NumEdges(),
+		UpdateMicros:  updateMicros,
+	})
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "encoding response: %v", err)
+		return
+	}
+	writeJSONBytes(w, append(body, '\n'))
 }
 
 type healthzResponse struct {
@@ -224,10 +386,13 @@ type healthzResponse struct {
 	Horizon    int     `json:"horizon"`
 	C          float64 `json:"c"`
 	IndexBytes int64   `json:"index_bytes"`
+	Generation uint64  `json:"generation"`
 	UptimeSecs float64 `json:"uptime_seconds"`
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(healthzResponse{
 		Status:     "ok",
@@ -236,6 +401,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Horizon:    s.idx.Horizon(),
 		C:          s.idx.C(),
 		IndexBytes: s.idx.Bytes(),
+		Generation: s.idx.Generation(),
 		UptimeSecs: time.Since(s.started).Seconds(),
 	})
 }
@@ -244,13 +410,26 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // format (counters only — no client library dependency).
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	hits, misses := s.cache.Stats()
+	s.mu.RLock()
+	generation := s.idx.Generation()
+	vertices := s.idx.N()
+	indexBytes := s.idx.Bytes()
+	s.mu.RUnlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	fmt.Fprintf(w, "simrankd_requests_total{endpoint=\"single_source\"} %d\n", s.reqSingleSource.Load())
 	fmt.Fprintf(w, "simrankd_requests_total{endpoint=\"topk\"} %d\n", s.reqTopK.Load())
+	fmt.Fprintf(w, "simrankd_requests_total{endpoint=\"edges\"} %d\n", s.reqEdges.Load())
 	fmt.Fprintf(w, "simrankd_request_errors_total %d\n", s.reqErrors.Load())
 	fmt.Fprintf(w, "simrankd_cache_hits_total %d\n", hits)
 	fmt.Fprintf(w, "simrankd_cache_misses_total %d\n", misses)
 	fmt.Fprintf(w, "simrankd_request_latency_micros_total %d\n", s.latencyMicros.Load())
-	fmt.Fprintf(w, "simrankd_index_vertices %d\n", s.idx.N())
-	fmt.Fprintf(w, "simrankd_index_bytes %d\n", s.idx.Bytes())
+	fmt.Fprintf(w, "simrankd_request_latency_count %d\n", s.latencyCount.Load())
+	fmt.Fprintf(w, "simrankd_index_generation %d\n", generation)
+	fmt.Fprintf(w, "simrankd_updates_total %d\n", s.updatesTotal.Load())
+	fmt.Fprintf(w, "simrankd_update_latency_micros_total %d\n", s.updateMicros.Load())
+	fmt.Fprintf(w, "simrankd_update_edges_added_total %d\n", s.edgesAdded.Load())
+	fmt.Fprintf(w, "simrankd_update_edges_removed_total %d\n", s.edgesRemoved.Load())
+	fmt.Fprintf(w, "simrankd_update_walks_repaired_total %d\n", s.walksRepaired.Load())
+	fmt.Fprintf(w, "simrankd_index_vertices %d\n", vertices)
+	fmt.Fprintf(w, "simrankd_index_bytes %d\n", indexBytes)
 }

@@ -45,7 +45,7 @@ func get(t *testing.T, url string) (int, []byte) {
 // index and match exact OIP-SR top-k within the precision bound.
 func TestTopKEndToEnd(t *testing.T) {
 	g, idx := testIndex(t)
-	ts := httptest.NewServer(newServer(idx, 64))
+	ts := httptest.NewServer(newServer(idx, 64, 1))
 	defer ts.Close()
 
 	exact, _, err := simrank.Compute(g, simrank.Options{
@@ -96,9 +96,9 @@ func TestSaveLoadServesBitIdenticalResponses(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	tsA := httptest.NewServer(newServer(idx, 0))
+	tsA := httptest.NewServer(newServer(idx, 0, 1))
 	defer tsA.Close()
-	tsB := httptest.NewServer(newServer(loaded, 0))
+	tsB := httptest.NewServer(newServer(loaded, 0, 1))
 	defer tsB.Close()
 
 	for _, path := range []string{
@@ -120,7 +120,7 @@ func TestSaveLoadServesBitIdenticalResponses(t *testing.T) {
 
 func TestSingleSourceEndpoint(t *testing.T) {
 	_, idx := testIndex(t)
-	ts := httptest.NewServer(newServer(idx, 64))
+	ts := httptest.NewServer(newServer(idx, 64, 1))
 	defer ts.Close()
 
 	code, body := get(t, ts.URL+"/v1/single_source?q=12")
@@ -168,7 +168,7 @@ func TestSingleSourceEndpoint(t *testing.T) {
 
 func TestErrorResponses(t *testing.T) {
 	_, idx := testIndex(t)
-	ts := httptest.NewServer(newServer(idx, 64))
+	ts := httptest.NewServer(newServer(idx, 64, 1))
 	defer ts.Close()
 
 	for _, tc := range []string{
@@ -192,7 +192,7 @@ func TestErrorResponses(t *testing.T) {
 
 func TestHealthzAndMetrics(t *testing.T) {
 	_, idx := testIndex(t)
-	ts := httptest.NewServer(newServer(idx, 64))
+	ts := httptest.NewServer(newServer(idx, 64, 1))
 	defer ts.Close()
 
 	code, body := get(t, ts.URL+"/healthz")
@@ -237,4 +237,3 @@ func precisionAtK(exactRow []float64, q int, got []query.Ranked, k int) float64 
 	}
 	return eval.PrecisionAtK(exactRow, q, ids, k)
 }
-

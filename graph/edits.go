@@ -1,0 +1,157 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EditOp selects the operation an Edit performs.
+type EditOp uint8
+
+const (
+	// EditAdd inserts the directed edge U->V; a no-op if it already exists.
+	EditAdd EditOp = iota
+	// EditRemove deletes the directed edge U->V; a no-op if it is absent.
+	EditRemove
+)
+
+// String returns "add" or "remove".
+func (op EditOp) String() string {
+	switch op {
+	case EditAdd:
+		return "add"
+	case EditRemove:
+		return "remove"
+	}
+	return fmt.Sprintf("EditOp(%d)", uint8(op))
+}
+
+// Edit is one directed-edge change in an ApplyEdits batch.
+type Edit struct {
+	Op   EditOp
+	U, V int
+}
+
+// EditSummary describes the net effect of an ApplyEdits batch.
+type EditSummary struct {
+	// Added and Removed count the edges that actually changed: adds of
+	// already-present edges and removes of absent edges are no-ops and do
+	// not contribute.
+	Added, Removed int
+	// DirtyIn lists, sorted ascending, every vertex whose in-neighbor list
+	// differs between the old and new graph — exactly the dirty set an
+	// incremental walk-index repair (walkindex.Update) needs.
+	DirtyIn []int
+	// DirtyOut is the same for out-neighbor lists.
+	DirtyOut []int
+}
+
+// ApplyEdits returns a new graph with the edit batch applied, leaving the
+// receiver untouched. Both CSR directions are rebuilt by merging each
+// affected adjacency row with its delta, so the cost is O(n + m + |edits|
+// log |edits|) regardless of how many edits are no-ops.
+//
+// Semantics: edits are applied in order, so within one batch the last edit
+// to a given (U, V) pair wins; duplicate edits coalesce. Adding an existing
+// edge or removing an absent one is a silent no-op (reported only through
+// the summary counts). Self-loops may be added and removed like any other
+// edge. The vertex set is fixed: edits mentioning vertices outside
+// [0, NumVertices()) are rejected, as are unknown ops.
+func (g *Graph) ApplyEdits(edits []Edit) (*Graph, EditSummary, error) {
+	var sum EditSummary
+	for i, e := range edits {
+		if e.Op != EditAdd && e.Op != EditRemove {
+			return nil, sum, fmt.Errorf("graph: edit %d: unknown op %v", i, e.Op)
+		}
+		if e.U < 0 || e.U >= g.n || e.V < 0 || e.V >= g.n {
+			return nil, sum, fmt.Errorf("graph: edit %d: edge (%d, %d) outside vertex range [0,%d)", i, e.U, e.V, g.n)
+		}
+	}
+
+	// Net effect per edge pair: the last edit wins.
+	net := make(map[[2]int]EditOp, len(edits))
+	for _, e := range edits {
+		net[[2]int{e.U, e.V}] = e.Op
+	}
+
+	// Split the effective changes (those that disagree with the current
+	// graph) into per-vertex deltas for each CSR direction.
+	addOut := map[int][]int{} // u -> new out-neighbors
+	rmOut := map[int][]int{}
+	addIn := map[int][]int{} // v -> new in-neighbors
+	rmIn := map[int][]int{}
+	for uv, op := range net {
+		u, v := uv[0], uv[1]
+		has := g.HasEdge(u, v)
+		switch {
+		case op == EditAdd && !has:
+			addOut[u] = append(addOut[u], v)
+			addIn[v] = append(addIn[v], u)
+			sum.Added++
+		case op == EditRemove && has:
+			rmOut[u] = append(rmOut[u], v)
+			rmIn[v] = append(rmIn[v], u)
+			sum.Removed++
+		}
+	}
+
+	m2 := g.m + sum.Added - sum.Removed
+	ng := &Graph{
+		n:        g.n,
+		m:        m2,
+		inStart:  make([]int, g.n+1),
+		inList:   make([]int, 0, m2),
+		outStart: make([]int, g.n+1),
+		outList:  make([]int, 0, m2),
+	}
+	for v := 0; v < g.n; v++ {
+		ng.inList = appendMergedRow(ng.inList, g.In(v), addIn[v], rmIn[v])
+		ng.inStart[v+1] = len(ng.inList)
+		ng.outList = appendMergedRow(ng.outList, g.Out(v), addOut[v], rmOut[v])
+		ng.outStart[v+1] = len(ng.outList)
+	}
+
+	sum.DirtyIn = sortedKeys(addIn, rmIn)
+	sum.DirtyOut = sortedKeys(addOut, rmOut)
+	return ng, sum, nil
+}
+
+// appendMergedRow appends old ∪ add ∖ rm to dst in sorted order. old is
+// already sorted; add and rm are sorted in place here. add and rm are
+// disjoint from each other by construction (one net op per edge pair), add
+// is disjoint from old, and rm ⊆ old.
+func appendMergedRow(dst, old, add, rm []int) []int {
+	if len(add) == 0 && len(rm) == 0 {
+		return append(dst, old...)
+	}
+	sort.Ints(add)
+	sort.Ints(rm)
+	ai, ri := 0, 0
+	for _, x := range old {
+		for ai < len(add) && add[ai] < x {
+			dst = append(dst, add[ai])
+			ai++
+		}
+		if ri < len(rm) && rm[ri] == x {
+			ri++
+			continue
+		}
+		dst = append(dst, x)
+	}
+	return append(dst, add[ai:]...)
+}
+
+// sortedKeys returns the sorted union of the key sets of two maps.
+func sortedKeys(a, b map[int][]int) []int {
+	keys := make([]int, 0, len(a)+len(b))
+	for k := range a {
+		keys = append(keys, k)
+	}
+	for k := range b {
+		if _, dup := a[k]; !dup {
+			keys = append(keys, k)
+		}
+	}
+	sort.Ints(keys)
+	return keys
+}

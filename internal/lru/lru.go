@@ -1,8 +1,8 @@
 // Package lru provides a small thread-safe least-recently-used cache, used
 // by cmd/simrankd to memoize query responses. It is deliberately minimal:
-// fixed entry capacity, no TTL, no weighing — SimRank indexes are immutable
-// once built, so cached answers never go stale and eviction only bounds
-// memory.
+// fixed entry capacity, no TTL, no weighing. Entries only go stale
+// wholesale — when a graph update bumps the index generation — and Clear
+// handles that case; eviction otherwise just bounds memory.
 package lru
 
 import (
@@ -76,6 +76,20 @@ func (c *Cache[K, V]) Put(key K, val V) {
 		delete(c.items, oldest.Value.(*entry[K, V]).key)
 	}
 	c.items[key] = c.order.PushFront(&entry[K, V]{key: key, val: val})
+}
+
+// Clear drops every cached entry (hit/miss statistics are kept). Used when
+// the backing data changes wholesale — e.g. simrankd bumping the index
+// generation — so dead entries free their memory immediately instead of
+// waiting for capacity eviction.
+func (c *Cache[K, V]) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cap <= 0 {
+		return
+	}
+	c.order.Init()
+	clear(c.items)
 }
 
 // Len returns the number of cached entries.

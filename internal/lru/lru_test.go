@@ -88,3 +88,32 @@ func TestConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestClear(t *testing.T) {
+	c := New[string, int](4)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Get("a")
+	c.Clear()
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after Clear, want 0", c.Len())
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("Get hit a cleared entry")
+	}
+	// Statistics survive; the cache stays usable.
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("Stats after Clear = %d/%d, want 1 hit, 1 miss", hits, misses)
+	}
+	c.Put("c", 3)
+	if v, ok := c.Get("c"); !ok || v != 3 {
+		t.Fatal("cache unusable after Clear")
+	}
+
+	// Clear on a disabled cache is a no-op.
+	d := New[string, int](0)
+	d.Clear()
+	if d.Len() != 0 {
+		t.Fatal("disabled cache reports entries")
+	}
+}

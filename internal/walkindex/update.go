@@ -1,0 +1,288 @@
+package walkindex
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"oipsr/graph"
+	"oipsr/internal/par"
+)
+
+// ErrTooLarge reports an index whose walk count exceeds what incremental
+// maintenance supports — a capacity limit of this build, not a caller
+// mistake (servers should map it to a 5xx, not a 4xx).
+var ErrTooLarge = errors.New("walkindex: index too large for incremental updates")
+
+// Incremental maintenance under graph edits.
+//
+// The hash-driven coupling makes repair local: the in-edge a walker takes at
+// step t is a pure function of (seed, fingerprint, step, current vertex), so
+// a walk's path can only change if the walk occupies a vertex whose
+// in-neighbor list changed — and then only from the first such occupancy
+// onward. Update therefore recomputes just the suffixes of affected walks,
+// and the repaired index is bit-identical to a fresh Build on the edited
+// graph by construction (the untouched prefixes contain no dirty vertex, so
+// every hash argument along them is unchanged).
+//
+// Affected walks are found through an inverted visit index: for every
+// vertex x, a posting list of (walk, first time the walk occupies x).
+// Occupancy time 0 is the walk's start vertex; time t in [1, K] is the
+// stored position after step t. The visit index is built lazily on the
+// first Update (in parallel over vertices) and patched incrementally as
+// walks are repaired, so a long stream of small edit batches never rescans
+// the whole path store.
+
+// visitPosting says a walk's path occupies some vertex, first at the given
+// time. Walk ids are v*R + fp, bounded by maxWalks.
+type visitPosting struct {
+	walk int32
+	time uint16
+}
+
+// maxWalks bounds n*R so walk ids fit in the posting's int32.
+const maxWalks = math.MaxInt32
+
+// rawVisit is a posting tagged with its vertex, the per-worker scratch
+// format of buildVisits and the patch format of Update.
+type rawVisit struct {
+	x int32
+	p visitPosting
+}
+
+// visitPair is one (vertex, first occupancy time) entry of a single walk's
+// visit list — the walk-side view of a posting.
+type visitPair struct {
+	x    int32
+	time uint16
+}
+
+// lookupVisit returns the first-visit time of x in one walk's visit list.
+func lookupVisit(list []visitPair, x int32) (uint16, bool) {
+	for _, p := range list {
+		if p.x == x {
+			return p.time, true
+		}
+	}
+	return 0, false
+}
+
+// PrepareUpdate builds the inverted visit index eagerly (it is otherwise
+// built lazily by the first Update call). Workers follow the Build
+// convention: 1 means serial, below 1 means all CPUs. It returns an error
+// when the index is too large for incremental maintenance.
+func (ix *Index) PrepareUpdate(workers int) error {
+	if ix.visits != nil {
+		return nil
+	}
+	if int64(ix.n)*int64(ix.r) > maxWalks {
+		return fmt.Errorf("%w: n*R = %d*%d exceeds %d walks", ErrTooLarge, ix.n, ix.r, maxWalks)
+	}
+	ix.buildVisits(workers)
+	return nil
+}
+
+// buildVisits scans every stored path once, in parallel over vertices, and
+// assembles per-vertex posting lists holding each walk's first occupancy.
+func (ix *Index) buildVisits(workers int) {
+	parts := par.ResolveMax(workers, ix.n)
+	bufs := make([][]rawVisit, parts)
+	par.Do(parts, func(w int) {
+		lo, hi := par.Range(ix.n, parts, w)
+		var buf []rawVisit
+		scratch := make([]visitPair, 0, ix.k+1)
+		for v := lo; v < hi; v++ {
+			for fp := 0; fp < ix.r; fp++ {
+				walk := int32(v*ix.r + fp)
+				scratch = ix.firstVisits(v, fp, scratch[:0])
+				for _, p := range scratch {
+					buf = append(buf, rawVisit{x: p.x, p: visitPosting{walk: walk, time: p.time}})
+				}
+			}
+		}
+		bufs[w] = buf
+	})
+
+	counts := make([]int, ix.n)
+	total := 0
+	for _, buf := range bufs {
+		for _, rv := range buf {
+			counts[rv.x]++
+		}
+		total += len(buf)
+	}
+	// One flat allocation sliced per vertex; later patches that grow a list
+	// reallocate just that vertex's slice.
+	flat := make([]visitPosting, total)
+	visits := make([][]visitPosting, ix.n)
+	off := 0
+	for x, c := range counts {
+		visits[x] = flat[off : off : off+c]
+		off += c
+	}
+	for _, buf := range bufs {
+		for _, rv := range buf {
+			visits[rv.x] = append(visits[rv.x], rv.p)
+		}
+	}
+	ix.visits = visits
+}
+
+// firstVisits appends (vertex, first occupancy time) pairs for walk
+// (v, fp) to dst and returns it: time 0 at the start vertex, time t+1 at
+// stored path entry t, stopping at death. Pairs are appended in occupancy
+// order, so times are strictly increasing. The list is at most K+1 long
+// and K is small, so the linear dedup scan beats a map by a wide margin.
+func (ix *Index) firstVisits(v, fp int, dst []visitPair) []visitPair {
+	dst = append(dst, visitPair{x: int32(v), time: 0})
+	path := ix.paths[(v*ix.r+fp)*ix.k : (v*ix.r+fp+1)*ix.k]
+	for t, p := range path {
+		if p < 0 {
+			break
+		}
+		seen := false
+		for _, d := range dst {
+			if d.x == p {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			dst = append(dst, visitPair{x: p, time: uint16(t + 1)})
+		}
+	}
+	return dst
+}
+
+// Update repairs the index in place after the graph it was built on changed
+// into g. dirty must list every vertex whose in-neighbor list differs
+// between the two graphs (graph.ApplyEdits reports exactly this set as
+// EditSummary.DirtyIn); listing extra vertices is harmless, omitting a
+// changed one silently corrupts the repair. The vertex count must be
+// unchanged.
+//
+// Update recomputes only the suffixes of walks that occupy a dirty vertex
+// before the horizon, so its cost scales with the number of affected walks
+// rather than n·R·K; the result is bit-identical to Build(g) with the same
+// options, for every worker count. It returns the number of walks repaired.
+//
+// Update must not run concurrently with queries or other Updates; callers
+// serving live traffic serialize it behind a write lock (see cmd/simrankd).
+func (ix *Index) Update(g *graph.Graph, dirty []int, workers int) (int, error) {
+	if g.NumVertices() != ix.n {
+		return 0, fmt.Errorf("walkindex: updated graph has %d vertices, index was built on %d", g.NumVertices(), ix.n)
+	}
+	for _, d := range dirty {
+		if d < 0 || d >= ix.n {
+			return 0, fmt.Errorf("walkindex: dirty vertex %d out of range [0,%d)", d, ix.n)
+		}
+	}
+	if err := ix.PrepareUpdate(workers); err != nil {
+		return 0, err
+	}
+
+	// A walk is affected iff it occupies some dirty vertex at a time from
+	// which a further move is made, i.e. before the horizon; repair starts
+	// at the earliest such occupancy.
+	firstDirty := make(map[int32]uint16)
+	for _, d := range dirty {
+		for _, p := range ix.visits[d] {
+			if int(p.time) >= ix.k {
+				continue // occupied only at the final position: no move follows
+			}
+			if cur, ok := firstDirty[p.walk]; !ok || p.time < cur {
+				firstDirty[p.walk] = p.time
+			}
+		}
+	}
+	if len(firstDirty) == 0 {
+		return 0, nil
+	}
+	walks := make([]int32, 0, len(firstDirty))
+	for w := range firstDirty {
+		walks = append(walks, w)
+	}
+	sort.Slice(walks, func(i, j int) bool { return walks[i] < walks[j] })
+
+	// Phase 1 (parallel over affected walks, disjoint path rows): recompute
+	// each walk's suffix on the new graph and collect posting diffs.
+	hseed := splitmix64(uint64(ix.seed))
+	parts := par.ResolveMax(workers, len(walks))
+	removals := make([][]rawVisit, parts) // stale postings (time ignored)
+	additions := make([][]rawVisit, parts)
+	par.Do(parts, func(w int) {
+		lo, hi := par.Range(len(walks), parts, w)
+		oldFV := make([]visitPair, 0, ix.k+1)
+		newFV := make([]visitPair, 0, ix.k+1)
+		for _, walk := range walks[lo:hi] {
+			v, fp := int(walk)/ix.r, int(walk)%ix.r
+			oldFV = ix.firstVisits(v, fp, oldFV[:0])
+
+			// Replay from the first dirty occupancy; the prefix is valid
+			// for the new graph because it never stands on a dirty vertex.
+			tau := int(firstDirty[walk])
+			off := int(walk) * ix.k
+			p := v
+			if tau > 0 {
+				p = int(ix.paths[off+tau-1])
+			}
+			for t := tau; t < ix.k; t++ {
+				in := g.In(p)
+				if len(in) == 0 {
+					for ; t < ix.k; t++ {
+						ix.paths[off+t] = -1
+					}
+					break
+				}
+				p = in[edgeChoice(hseed, fp, t, p, len(in))]
+				ix.paths[off+t] = int32(p)
+			}
+
+			newFV = ix.firstVisits(v, fp, newFV[:0])
+			// The visit lists are short (≤ K+1), so the O(K²) nested
+			// membership scans stay cheaper than building maps.
+			for _, o := range oldFV {
+				nt, ok := lookupVisit(newFV, o.x)
+				if !ok || nt != o.time {
+					removals[w] = append(removals[w], rawVisit{x: o.x, p: visitPosting{walk: walk}})
+				}
+			}
+			for _, nv := range newFV {
+				ot, ok := lookupVisit(oldFV, nv.x)
+				if !ok || ot != nv.time {
+					additions[w] = append(additions[w], rawVisit{x: nv.x, p: visitPosting{walk: walk, time: nv.time}})
+				}
+			}
+		}
+	})
+
+	// Phase 2 (serial): patch the posting lists, removals before additions
+	// so a changed first-visit time replaces its stale posting. Stale walks
+	// are grouped per vertex and sorted once, so the filter pass does a
+	// binary search per posting instead of map lookups.
+	rmByVertex := map[int32][]int32{}
+	for _, buf := range removals {
+		for _, rv := range buf {
+			rmByVertex[rv.x] = append(rmByVertex[rv.x], rv.p.walk)
+		}
+	}
+	for x, stale := range rmByVertex {
+		sort.Slice(stale, func(i, j int) bool { return stale[i] < stale[j] })
+		keep := ix.visits[x][:0]
+		for _, p := range ix.visits[x] {
+			i := sort.Search(len(stale), func(i int) bool { return stale[i] >= p.walk })
+			if i < len(stale) && stale[i] == p.walk {
+				continue
+			}
+			keep = append(keep, p)
+		}
+		ix.visits[x] = keep
+	}
+	for _, buf := range additions {
+		for _, rv := range buf {
+			ix.visits[rv.x] = append(ix.visits[rv.x], rv.p)
+		}
+	}
+	return len(walks), nil
+}

@@ -58,8 +58,9 @@ type Options struct {
 	Workers int
 }
 
-// Index is a built walk index. It is immutable after Build/Load and safe
-// for concurrent queries.
+// Index is a built walk index, safe for concurrent queries. Update (see
+// update.go) is the one mutating operation; callers must serialize it
+// against queries and other Updates.
 type Index struct {
 	n    int     // vertices
 	k    int     // walk horizon
@@ -73,6 +74,12 @@ type Index struct {
 
 	// pow[t] = c^(t+1), the first-meeting weight of path index t.
 	pow []float64
+
+	// visits is the inverted visit index used for incremental updates:
+	// visits[x] lists every walk whose path occupies x, with the first
+	// occupancy time. Nil until PrepareUpdate / the first Update builds it
+	// (see update.go); derived state, excluded from Equal and Save.
+	visits [][]visitPosting
 }
 
 // Build constructs the walk index for g.

@@ -39,6 +39,21 @@
 //     re-ranked by the exact scores. This buys near-exact ordering within
 //     the pool at a per-query cost that depends on in-degree, not on n.
 //
+// # Dynamic updates
+//
+// The graph need not be frozen: ApplyEdits applies a batch of edge
+// adds/removes and repairs the index incrementally instead of rebuilding.
+// The hash-driven coupling makes the repair local — a walk's path can only
+// change from the first time it stands on a vertex whose in-neighbor list
+// changed — so only those suffixes are recomputed (tracked through an
+// inverted visit index built lazily on first use, or eagerly via
+// PrepareUpdates). The repaired index is bit-identical to a fresh
+// BuildIndex on the edited graph, so incremental serving never drifts
+// from a restart. Each update bumps Generation(); cache layers fold the
+// generation into their keys to invalidate atomically. Updates mutate the
+// index and must be serialized against queries — cmd/simrankd does this
+// with an RWMutex and exposes the whole path as POST /v1/edges.
+//
 // Use the batch engines for all-pairs analytics, convergence studies, or
 // exact scores; use this package when queries arrive one vertex at a
 // time and latency or memory rules out n^2 work — the simrankd server

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync/atomic"
 
 	"oipsr/graph"
 	"oipsr/internal/walkindex"
@@ -32,13 +33,19 @@ type Options struct {
 	Workers int
 }
 
-// Index answers single-source and top-k SimRank queries. It is immutable
-// after build/load and safe for concurrent use.
+// Index answers single-source and top-k SimRank queries. It is safe for
+// concurrent queries; Update and ApplyEdits are the only mutating
+// operations and must be serialized against queries by the caller (the
+// simrankd server holds an RWMutex: queries under the read lock, updates
+// under the write lock).
 type Index struct {
 	wi *walkindex.Index
-	// g is the graph the index was built from; needed only for exact
-	// reranking. Nil after Load until AttachGraph.
+	// g is the graph the index was built from; needed for exact reranking
+	// and for ApplyEdits. Nil after Load until AttachGraph.
 	g *graph.Graph
+	// gen counts applied updates; cache layers fold it into their keys so
+	// pre-update responses can never be served post-update.
+	gen atomic.Uint64
 }
 
 // Ranked is one entry of a top-k result.
@@ -85,6 +92,91 @@ func (ix *Index) Bytes() int64 { return ix.wi.Bytes() }
 // Graph returns the attached graph, or nil for a loaded index without
 // AttachGraph.
 func (ix *Index) Graph() *graph.Graph { return ix.g }
+
+// Generation returns the number of updates applied since build/load.
+// Response caches fold it into their keys, so bumping it invalidates every
+// pre-update entry at once.
+func (ix *Index) Generation() uint64 { return ix.gen.Load() }
+
+// Equal reports whether two indexes answer every query bit-identically
+// (same parameters and walk paths; attached graphs and generations are not
+// compared).
+func (ix *Index) Equal(other *Index) bool { return ix.wi.Equal(other.wi) }
+
+// ErrTooLarge is returned by Update/ApplyEdits/PrepareUpdates when the
+// index has too many walks for incremental maintenance (n·R beyond the
+// 32-bit posting limit). It marks a capacity limit of this build, not a
+// bad request — servers map it to a 5xx.
+var ErrTooLarge = walkindex.ErrTooLarge
+
+// UpdateStats describes one applied edit batch.
+type UpdateStats struct {
+	// EdgesAdded and EdgesRemoved count the effective edge changes (no-op
+	// edits excluded).
+	EdgesAdded, EdgesRemoved int
+	// DirtyVertices is the number of vertices whose in-neighbor list
+	// changed — the repair frontier handed to the walk index.
+	DirtyVertices int
+	// WalksRepaired is the number of walks whose suffix was recomputed.
+	WalksRepaired int
+	// Generation is the index generation after this update.
+	Generation uint64
+}
+
+// Update repairs the index in place after the graph changed into g2, where
+// dirty lists every vertex whose in-neighbor list differs (see
+// graph.EditSummary.DirtyIn). The repaired index is bit-identical to a
+// fresh BuildIndex on g2 with the same options; only the suffixes of walks
+// through dirty vertices are recomputed, in parallel across workers (1 =
+// serial, <1 = all CPUs). g2 replaces the attached graph and the
+// generation is bumped. Update must not run concurrently with queries.
+func (ix *Index) Update(g2 *graph.Graph, dirty []int, workers int) (walksRepaired int, err error) {
+	changed, err := ix.wi.Update(g2, dirty, workers)
+	if err != nil {
+		return 0, err
+	}
+	ix.g = g2
+	ix.gen.Add(1)
+	return changed, nil
+}
+
+// ApplyEdits applies a batch of edge edits to the attached graph and
+// repairs the index incrementally (see Update for the guarantees). It
+// requires an attached graph — call AttachGraph first on a loaded index.
+// On error the index and graph are unchanged.
+func (ix *Index) ApplyEdits(edits []graph.Edit, workers int) (UpdateStats, error) {
+	if ix.g == nil {
+		return UpdateStats{}, fmt.Errorf("query: ApplyEdits needs the source graph (AttachGraph after Load)")
+	}
+	g2, sum, err := ix.g.ApplyEdits(edits)
+	if err != nil {
+		return UpdateStats{}, err
+	}
+	// A batch of pure no-ops changes nothing: keep the generation (and
+	// with it every cached response) instead of invalidating for naught.
+	if len(sum.DirtyIn) == 0 && len(sum.DirtyOut) == 0 {
+		return UpdateStats{Generation: ix.gen.Load()}, nil
+	}
+	changed, err := ix.Update(g2, sum.DirtyIn, workers)
+	if err != nil {
+		return UpdateStats{}, err
+	}
+	return UpdateStats{
+		EdgesAdded:    sum.Added,
+		EdgesRemoved:  sum.Removed,
+		DirtyVertices: len(sum.DirtyIn),
+		WalksRepaired: changed,
+		Generation:    ix.gen.Load(),
+	}, nil
+}
+
+// PrepareUpdates eagerly builds the inverted visit index that Update
+// otherwise builds lazily on first use, moving that one-time cost out of
+// the first edit batch's latency (the simrankd server calls this at
+// startup when updates are enabled).
+func (ix *Index) PrepareUpdates(workers int) error {
+	return ix.wi.PrepareUpdate(workers)
+}
 
 // AttachGraph re-attaches the source graph to a loaded index, enabling
 // exact reranking. The graph must have the same vertex count the index was
@@ -236,10 +328,14 @@ func Load(r io.Reader) (*Index, error) {
 	return &Index{wi: wi}, nil
 }
 
-// SaveFile writes the index to path (atomically via a sibling temp file,
-// so a crash mid-save never leaves a truncated index behind).
+// SaveFile writes the index to path durably and atomically: the payload is
+// written to a sibling temp file, fsynced, renamed over path, and the
+// directory is fsynced so the rename itself survives a crash. A crash at
+// any point leaves either the old file or the complete new one — never a
+// truncated or empty index.
 func (ix *Index) SaveFile(path string) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".walkindex-*")
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".walkindex-*")
 	if err != nil {
 		return err
 	}
@@ -248,10 +344,27 @@ func (ix *Index) SaveFile(path string) error {
 		tmp.Close()
 		return err
 	}
+	// The data must be on stable storage before the rename publishes the
+	// name, or a crash could expose an empty/partial file at path.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
 }
 
 // LoadFile reads an index from path.

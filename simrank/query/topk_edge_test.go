@@ -1,0 +1,135 @@
+package query
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"oipsr/graph"
+)
+
+// TestTopKSingleVertexGraph: with n = 1 there is nothing besides the query
+// vertex, so k clamps to 0 and the result is empty (not an error).
+func TestTopKSingleVertexGraph(t *testing.T) {
+	g := graph.MustFromEdges(1, nil)
+	ix, err := BuildIndex(g, Options{Walks: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix.TopK(0, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("TopK on a single-vertex graph returned %v", got)
+	}
+	// Rerank takes the same clamp path.
+	got, err = ix.TopK(0, 1, &TopKOptions{Rerank: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("reranked TopK on a single-vertex graph returned %v", got)
+	}
+}
+
+// TestTopKClampsToNMinusOne: k far beyond n-1 returns exactly the n-1
+// other vertices.
+func TestTopKClampsToNMinusOne(t *testing.T) {
+	g := graph.MustFromEdges(6, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}, {4, 5}, {5, 0}})
+	ix, err := BuildIndex(g, Options{Walks: 50, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix.TopK(3, 1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("TopK(k=1000) on n=6 returned %d results, want 5", len(got))
+	}
+	seen := map[int]bool{}
+	for _, r := range got {
+		if r.Vertex == 3 || seen[r.Vertex] {
+			t.Fatalf("TopK returned self or duplicate: %v", got)
+		}
+		seen[r.Vertex] = true
+	}
+}
+
+// TestTopKAllDeadWalkerSource: a source with in-degree 0 kills every one
+// of its walkers at step one, so every score is 0 — TopK must still return
+// k entries, tie-ordered by vertex id.
+func TestTopKAllDeadWalkerSource(t *testing.T) {
+	// Vertex 0 has no in-edges; the rest form a cycle.
+	g := graph.MustFromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 1}})
+	ix, err := BuildIndex(g, Options{Walks: 30, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := ix.SingleSource(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < 5; v++ {
+		if scores[v] != 0 {
+			t.Fatalf("s(0,%d) = %g, want 0 for a dead-walker source", v, scores[v])
+		}
+	}
+	got, err := ix.TopK(0, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Ranked{{Vertex: 1}, {Vertex: 2}, {Vertex: 3}}
+	if len(got) != len(want) {
+		t.Fatalf("TopK = %v, want 3 zero-score entries", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopK[%d] = %+v, want %+v (ties break by vertex id)", i, got[i], want[i])
+		}
+	}
+}
+
+// TestTopByScoreVsOracle: topByScore's partial selection must agree with a
+// sort-everything oracle on random score vectors with heavy ties, for
+// every m.
+func TestTopByScoreVsOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		scores := make([]float64, n)
+		for i := range scores {
+			// Few distinct values force ties.
+			scores[i] = float64(rng.Intn(4)) / 8
+		}
+		skip := rng.Intn(n)
+		m := rng.Intn(n + 2)
+
+		oracle := make([]Ranked, 0, n)
+		for v, s := range scores {
+			if v != skip {
+				oracle = append(oracle, Ranked{Vertex: v, Score: s})
+			}
+		}
+		sort.SliceStable(oracle, func(i, j int) bool {
+			if oracle[i].Score != oracle[j].Score {
+				return oracle[i].Score > oracle[j].Score
+			}
+			return oracle[i].Vertex < oracle[j].Vertex
+		})
+		if m < len(oracle) {
+			oracle = oracle[:m]
+		}
+
+		got := topByScore(scores, skip, m)
+		if len(got) != len(oracle) {
+			t.Fatalf("trial %d (n=%d m=%d): got %d entries, oracle %d", trial, n, m, len(got), len(oracle))
+		}
+		for i := range oracle {
+			if got[i] != oracle[i] {
+				t.Fatalf("trial %d (n=%d m=%d): entry %d = %+v, oracle %+v", trial, n, m, i, got[i], oracle[i])
+			}
+		}
+	}
+}

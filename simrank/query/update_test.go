@@ -1,0 +1,152 @@
+package query
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"oipsr/graph"
+	"oipsr/graph/gen"
+)
+
+// saveLoadQueryIndex round-trips an index through Save/Load, dropping the
+// attached graph and any derived update state.
+func saveLoadQueryIndex(t *testing.T, ix *Index) *Index {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loaded
+}
+
+// TestApplyEditsMatchesRebuild: the public edit path (graph edit + index
+// repair + generation bump) must leave the index Equal() to a fresh build
+// on the edited graph, with queries agreeing exactly — including reranked
+// top-k, which exercises the re-attached graph.
+func TestApplyEditsMatchesRebuild(t *testing.T) {
+	g := gen.WebGraph(120, 7, 21)
+	opt := Options{Walks: 150, Seed: 4}
+	ix, err := BuildIndex(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Generation() != 0 {
+		t.Fatalf("fresh index generation = %d", ix.Generation())
+	}
+
+	rng := rand.New(rand.NewSource(77))
+	cur := g
+	for batch := 1; batch <= 3; batch++ {
+		edits := make([]graph.Edit, 8)
+		for i := range edits {
+			edits[i] = graph.Edit{Op: graph.EditOp(rng.Intn(2)), U: rng.Intn(120), V: rng.Intn(120)}
+		}
+		stats, err := ix.ApplyEdits(edits, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Generation != uint64(batch) || ix.Generation() != uint64(batch) {
+			t.Fatalf("batch %d: generation = %d/%d", batch, stats.Generation, ix.Generation())
+		}
+
+		cur, _, err = cur.ApplyEdits(edits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := BuildIndex(cur, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ix.Equal(fresh) {
+			t.Fatalf("batch %d: updated index != fresh build", batch)
+		}
+
+		for _, q := range []int{0, 33, 119} {
+			got, err := ix.TopK(q, 10, &TopKOptions{Rerank: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := fresh.TopK(q, 10, &TopKOptions{Rerank: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("batch %d q %d: result sizes differ", batch, q)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("batch %d q %d: reranked entry %d = %+v, want %+v", batch, q, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestApplyEditsErrors: error paths leave graph, index, and generation
+// untouched.
+func TestApplyEditsErrors(t *testing.T) {
+	g := gen.WebGraph(30, 4, 5)
+	ix, err := BuildIndex(g, Options{Walks: 40, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := BuildIndex(g, Options{Walks: 40, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.ApplyEdits([]graph.Edit{{Op: graph.EditAdd, U: 0, V: 99}}, 1); err == nil {
+		t.Fatal("ApplyEdits accepted an out-of-range edit")
+	}
+	if ix.Generation() != 0 || ix.Graph() != g || !ix.Equal(before) {
+		t.Fatal("failed ApplyEdits mutated the index")
+	}
+
+	loaded := saveLoadQueryIndex(t, ix)
+	if _, err := loaded.ApplyEdits([]graph.Edit{{Op: graph.EditAdd, U: 0, V: 1}}, 1); err == nil {
+		t.Fatal("ApplyEdits worked without an attached graph")
+	}
+}
+
+// TestUpdateAfterLoadFile: a loaded index plus AttachGraph supports the
+// full update path.
+func TestUpdateAfterLoadFile(t *testing.T) {
+	g := gen.CitationGraph(60, 4, 9)
+	ix, err := BuildIndex(g, Options{Walks: 60, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := saveLoadQueryIndex(t, ix)
+	if err := loaded.AttachGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.PrepareUpdates(1); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := loaded.ApplyEdits([]graph.Edit{
+		{Op: graph.EditAdd, U: 10, V: 20},
+		{Op: graph.EditRemove, U: 10, V: 20},
+		{Op: graph.EditAdd, U: 3, V: 50},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.EdgesAdded != 1 || stats.EdgesRemoved != 0 {
+		t.Fatalf("stats = %+v, want one net add", stats)
+	}
+	g2, _, err := g.ApplyEdits([]graph.Edit{{Op: graph.EditAdd, U: 3, V: 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := BuildIndex(g2, Options{Walks: 60, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Equal(fresh) {
+		t.Fatal("loaded+updated index != fresh build on edited graph")
+	}
+}
