@@ -43,10 +43,11 @@ func runAlgo(b *testing.B, g *graph.Graph, opt simrank.Options) {
 	b.Helper()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		_, st, err := simrank.Compute(g, opt)
+		s, st, err := simrank.Compute(g, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
+		s.Close() // tiled-backend results hold tiles + spill files
 		if i == 0 {
 			b.ReportMetric(float64(st.Iterations), "iters")
 			if st.InnerAdds > 0 {
@@ -228,6 +229,26 @@ func BenchmarkSweepParallel(b *testing.B) {
 			runAlgo(b, g, simrank.Options{Algorithm: simrank.OIPSR, C: 0.6, K: 15, Workers: w})
 		})
 	}
+}
+
+// BenchmarkSweepTiled tracks the tiled backend's overhead against the
+// dense engine on the same workload: unbounded (storage layout cost only)
+// and under a memory cap at half the dense state (adds eviction and
+// spill-to-disk traffic). Scores are bit-identical in every configuration,
+// so the delta is pure storage-path cost.
+func BenchmarkSweepTiled(b *testing.B) {
+	g := workload("tiled", func() *graph.Graph { return gen.WebGraph(1000, 11, 1) })
+	denseState := 2 * int64(g.NumVertices()) * int64(g.NumVertices()) * 8
+	b.Run("dense", func(b *testing.B) {
+		runAlgo(b, g, simrank.Options{Algorithm: simrank.OIPSR, C: 0.6, K: 8})
+	})
+	b.Run("tiled-unbounded", func(b *testing.B) {
+		runAlgo(b, g, simrank.Options{Algorithm: simrank.OIPSR, C: 0.6, K: 8, BlockSize: 128})
+	})
+	b.Run("tiled-capped", func(b *testing.B) {
+		runAlgo(b, g, simrank.Options{Algorithm: simrank.OIPSR, C: 0.6, K: 8,
+			BlockSize: 128, MaxMemoryBytes: denseState / 2, SpillDir: b.TempDir()})
+	})
 }
 
 // --- Ablations (DESIGN.md) ---

@@ -3,6 +3,7 @@
 //
 //	simrank -graph web.txt -algo oip-sr -c 0.6 -eps 1e-3 -query 17 -top 10
 //	simrank -gen web -n 1000 -d 11 -algo oip-dsr -query 5 -top 20 -stats
+//	simrank -gen web -n 20000 -block 2048 -max-mem 2000000000 -query 5 -stats
 //
 // Graphs come either from an edge-list file (-graph) or from a built-in
 // generator (-gen, see cmd/gengraph for the types). Algorithms: oip-sr
@@ -36,6 +37,9 @@ func main() {
 		cout      = flag.Float64("cout", 0, "p-rank out-link damping (0 = same as -c)")
 		walks     = flag.Int("walks", 0, "monte-carlo fingerprints (0 = 100)")
 		workers   = flag.Int("workers", 0, "iteration worker pool size (0 = all CPUs, 1 = serial)")
+		block     = flag.Int("block", 0, "tiled backend block size B (0 = dense; oip-sr, oip-dsr, psum-sr, naive)")
+		maxMem    = flag.Int64("max-mem", 0, "tiled backend: cap resident score-matrix bytes, spilling tiles to disk (0 = unbounded)")
+		spillDir  = flag.String("spill-dir", "", "tiled backend: directory for spilled tiles (default: fresh temp dir)")
 		query     = flag.Int("query", -1, "query vertex for a top-k search (-1 = none)")
 		top       = flag.Int("top", 10, "top-k size")
 		pair      = flag.String("pair", "", "print a single score, format \"a,b\"")
@@ -50,22 +54,44 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "graph: %s\n", graph.ComputeStats(g))
 
+	// Validate request flags before computing: exiting later would skip the
+	// deferred Close that releases the tiled backend's spill directory.
+	var pairA, pairB int
+	if *pair != "" {
+		if _, err := fmt.Sscanf(*pair, "%d,%d", &pairA, &pairB); err != nil {
+			fmt.Fprintf(os.Stderr, "simrank: bad -pair %q: %v\n", *pair, err)
+			os.Exit(2)
+		}
+		if pairA < 0 || pairB < 0 || pairA >= g.NumVertices() || pairB >= g.NumVertices() {
+			fmt.Fprintf(os.Stderr, "simrank: -pair %q out of range\n", *pair)
+			os.Exit(2)
+		}
+	}
+	if *query >= g.NumVertices() {
+		fmt.Fprintf(os.Stderr, "simrank: query vertex %d out of range\n", *query)
+		os.Exit(2)
+	}
+
 	scores, st, err := simrank.Compute(g, simrank.Options{
-		Algorithm: simrank.Algorithm(*algo),
-		C:         *c,
-		K:         *k,
-		Eps:       *eps,
-		Rank:      *rank,
-		Lambda:    *lambda,
-		COut:      *cout,
-		Walks:     *walks,
-		Seed:      *seed,
-		Workers:   *workers,
+		Algorithm:      simrank.Algorithm(*algo),
+		C:              *c,
+		K:              *k,
+		Eps:            *eps,
+		Rank:           *rank,
+		Lambda:         *lambda,
+		COut:           *cout,
+		Walks:          *walks,
+		Seed:           *seed,
+		Workers:        *workers,
+		BlockSize:      *block,
+		MaxMemoryBytes: *maxMem,
+		SpillDir:       *spillDir,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simrank: %v\n", err)
 		os.Exit(1)
 	}
+	defer scores.Close()
 
 	if *stats {
 		fmt.Printf("algorithm      %s\n", st.Algorithm)
@@ -82,22 +108,16 @@ func main() {
 		if st.Rank > 0 {
 			fmt.Printf("svd rank       %d\n", st.Rank)
 		}
+		if *block > 0 {
+			fmt.Printf("tile peak      %d B (spills %d, loads %d)\n", st.TilePeakBytes, st.TileSpills, st.TileLoads)
+		}
 	}
 
 	if *pair != "" {
-		var a, b int
-		if _, err := fmt.Sscanf(*pair, "%d,%d", &a, &b); err != nil {
-			fmt.Fprintf(os.Stderr, "simrank: bad -pair %q: %v\n", *pair, err)
-			os.Exit(2)
-		}
-		fmt.Printf("s(%d,%d) = %.6f\n", a, b, scores.Score(a, b))
+		fmt.Printf("s(%d,%d) = %.6f\n", pairA, pairB, scores.Score(pairA, pairB))
 	}
 
 	if *query >= 0 {
-		if *query >= g.NumVertices() {
-			fmt.Fprintf(os.Stderr, "simrank: query vertex %d out of range\n", *query)
-			os.Exit(2)
-		}
 		fmt.Printf("top-%d most similar to vertex %d:\n", *top, *query)
 		for i, r := range scores.TopK(*query, *top) {
 			fmt.Printf("%3d. vertex %-8d score %.6f\n", i+1, r.Vertex, r.Score)

@@ -1,0 +1,51 @@
+package gio
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadEdgeList: the edge-list parser must return an error — never
+// panic, never blow up allocation — on arbitrary bytes. Successful parses
+// must produce a graph that passes its own validation and respects the
+// vertex cap.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add([]byte("0 1\n1 2\n2 0\n"))
+	f.Add([]byte("# comment\n% also comment\n\n3 4\n"))
+	f.Add([]byte("0 0\n0 0\n"))                 // self-loop + duplicate
+	f.Add([]byte("1 2 999 extra tokens\n"))     // trailing fields are ignored
+	f.Add([]byte("a b\n"))                      // non-numeric
+	f.Add([]byte("5\n"))                        // missing destination
+	f.Add([]byte("-1 2\n"))                     // negative id
+	f.Add([]byte("0 99999999999999999999\n"))   // id overflows int
+	f.Add([]byte("0 999999999\n"))              // id over the cap
+	f.Add([]byte("\xff\xfe invalid utf8 \x00")) // binary noise
+	f.Add([]byte(""))
+	const limit = 1 << 12
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadEdgeListLimit(bytes.NewReader(data), limit)
+		if err != nil {
+			return
+		}
+		if g.NumVertices() > limit {
+			t.Fatalf("parser exceeded vertex limit: %d > %d", g.NumVertices(), limit)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+		// Round-trip: what the writer emits must parse back to the same
+		// shape.
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("writing accepted graph: %v", err)
+		}
+		g2, err := ReadEdgeListN(bytes.NewReader(buf.Bytes()), g.NumVertices())
+		if err != nil {
+			t.Fatalf("re-parsing written graph: %v", err)
+		}
+		if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed shape: %d/%d -> %d/%d",
+				g.NumVertices(), g.NumEdges(), g2.NumVertices(), g2.NumEdges())
+		}
+	})
+}

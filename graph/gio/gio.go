@@ -22,12 +22,28 @@ import (
 
 // ReadEdgeList parses an edge list from r and builds a graph.
 func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
-	return ReadEdgeListN(r, 0)
+	return readEdgeList(r, 0, 0)
 }
 
 // ReadEdgeListN is ReadEdgeList but guarantees at least n vertices in the
 // result, which matters for datasets with trailing isolated vertices.
 func ReadEdgeListN(r io.Reader, n int) (*graph.Graph, error) {
+	return readEdgeList(r, n, 0)
+}
+
+// ReadEdgeListLimit is ReadEdgeList with a hard cap on vertex ids: any edge
+// naming an id >= maxVertices is rejected with an error instead of growing
+// the graph. Use it on untrusted inputs, where a single adversarial line
+// like "0 99999999999999" would otherwise force an absurd allocation
+// before any semantic validation can run.
+func ReadEdgeListLimit(r io.Reader, maxVertices int) (*graph.Graph, error) {
+	if maxVertices <= 0 {
+		return nil, fmt.Errorf("gio: vertex limit %d, want > 0", maxVertices)
+	}
+	return readEdgeList(r, 0, maxVertices)
+}
+
+func readEdgeList(r io.Reader, n, maxVertices int) (*graph.Graph, error) {
 	b := graph.NewBuilder(n, 0)
 	b.EnsureVertices(n)
 	sc := bufio.NewScanner(r)
@@ -53,6 +69,9 @@ func ReadEdgeListN(r io.Reader, n int) (*graph.Graph, error) {
 		}
 		if u < 0 || v < 0 {
 			return nil, fmt.Errorf("gio: line %d: negative vertex id", lineno)
+		}
+		if maxVertices > 0 && (u >= maxVertices || v >= maxVertices) {
+			return nil, fmt.Errorf("gio: line %d: vertex id %d exceeds limit %d", lineno, max(u, v), maxVertices)
 		}
 		b.AddEdge(u, v)
 	}

@@ -39,6 +39,10 @@ type Options struct {
 	// below 1 means runtime.GOMAXPROCS(0). Scores and operation counts are
 	// bit-identical for every value (see the package comment).
 	Workers int
+
+	// Tile selects the tiled score-matrix backend when Tile.BlockSize > 0
+	// (ComputeTiled only; Compute ignores it).
+	Tile simmat.TileOptions
 }
 
 func (o *Options) normalize() error {
@@ -82,6 +86,9 @@ type Stats struct {
 	ShareRatio       float64 // fraction of additions avoided
 	AvgDiff          float64 // d_(+): mean symmetric-difference size on shared edges
 	FinalDiff        float64 // max-norm difference of the last two iterates (0 if K=0)
+
+	// Tile reports the tile store's accounting (ComputeTiled only).
+	Tile simmat.TileMetrics
 }
 
 // Compute runs OIP-SR (Algorithm 1) on g and returns s_K plus statistics.
@@ -127,5 +134,78 @@ func Compute(g *graph.Graph, opt Options) (*simmat.Matrix, *Stats, error) {
 	st.InnerAdds, st.OuterAdds = sws.InnerAdds, sws.OuterAdds
 	st.AuxBytes = sw.AuxBytes() + plan.Bytes()
 	st.StateBytes = prev.Bytes() + next.Bytes()
+	return prev, st, nil
+}
+
+// ComputeTiled runs OIP-SR against the tiled score-matrix backend selected
+// by opt.Tile: both iterates live in one TileStore, so opt.Tile's
+// MaxMemoryBytes bounds the whole n^2 state, with evicted tiles spilled to
+// disk. Scores are bit-identical to Compute for every block size and worker
+// count. The caller owns the result: Close it to release the store and its
+// spill files.
+func ComputeTiled(g *graph.Graph, opt Options) (*simmat.Tiled, *Stats, error) {
+	if err := opt.normalize(); err != nil {
+		return nil, nil, err
+	}
+	store, err := simmat.NewTileStore(opt.Tile)
+	if err != nil {
+		return nil, nil, err
+	}
+	st := &Stats{}
+
+	t0 := time.Now()
+	plan, err := partition.BuildPlan(g, opt.Partition)
+	if err != nil {
+		store.Close()
+		return nil, nil, err
+	}
+	st.PlanTime = time.Since(t0)
+	st.NumSets = plan.NumSets
+	st.PlanAdditions = plan.Additions
+	st.ScratchAdditions = plan.ScratchAdditions
+	st.ShareRatio = plan.ShareRatio()
+	st.AvgDiff = plan.AvgDiff
+
+	n := g.NumVertices()
+	prev, err := store.NewIdentity(n)
+	if err != nil {
+		store.Close()
+		return nil, nil, err
+	}
+	next, err := store.NewTiled(n)
+	if err != nil {
+		store.Close()
+		return nil, nil, err
+	}
+	sw := NewParallelSweeper(g, plan, opt.DisableOuter, opt.Workers)
+
+	t1 := time.Now()
+	for iter := 0; iter < opt.K; iter++ {
+		if err := sw.SweepTiled(prev, next, opt.C, true); err != nil {
+			store.Close()
+			return nil, nil, err
+		}
+		st.Iterations++
+		if opt.StopDiff > 0 {
+			st.FinalDiff, err = simmat.MaxDiffTiled(prev, next)
+			if err != nil {
+				store.Close()
+				return nil, nil, err
+			}
+			prev, next = next, prev
+			if st.FinalDiff <= opt.StopDiff {
+				break
+			}
+			continue
+		}
+		prev, next = next, prev
+	}
+	st.SweepTime = time.Since(t1)
+	sws := sw.Stats()
+	st.InnerAdds, st.OuterAdds = sws.InnerAdds, sws.OuterAdds
+	st.AuxBytes = sw.AuxBytes() + plan.Bytes()
+	st.StateBytes = prev.Bytes() + next.Bytes()
+	next.Release()
+	st.Tile = store.Metrics()
 	return prev, st, nil
 }

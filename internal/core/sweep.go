@@ -28,6 +28,17 @@
 // by which worker runs the chain or when. Sweep output is therefore
 // bit-identical for every worker count, including the serial workers == 1
 // path, and InnerAdds/OuterAdds are identical as well.
+//
+// # Canonical symmetry and the tiled backend
+//
+// Every sweep ends with a mirror pass that copies the upper triangle of
+// next onto the lower one (simmat.MirrorUpper): the value computed while
+// emitting row min(a,b) is the canonical score of the pair. The pass is
+// pure copies, so determinism is unaffected. SweepTiled runs the identical
+// per-row arithmetic against the tiled backend — rows of prev are assembled
+// from tiles, emitted rows land in an O(n) buffer, and only the canonical
+// upper segment is stored — which is why tiled output is bit-identical to
+// the dense path for every block size and worker count.
 package core
 
 import (
@@ -48,10 +59,15 @@ type SweepStats struct {
 }
 
 // sweepWorker is the per-worker mutable state of a sweep: the O(n) scratch
-// buffers and the operation counters. Workers never share these.
+// buffers and the operation counters. Workers never share these. rowBuf and
+// rowTmp are allocated lazily on the first tiled sweep: rowBuf receives the
+// emitted row before its canonical segment is stored, rowTmp stages rows of
+// prev assembled from tiles.
 type sweepWorker struct {
 	partial []float64 // Partial_{I(u)}(y) for the current chain position
 	vals    []float64 // per-tree-step outer partial sums (procedure OP)
+	rowBuf  []float64 // tiled sweeps: emit target row
+	rowTmp  []float64 // tiled sweeps: staged prev row
 	stats   SweepStats
 }
 
@@ -168,11 +184,13 @@ func (sw *Sweeper) Stats() SweepStats {
 
 // AuxBytes reports the auxiliary memory held by the sweeper's O(n) buffers
 // (the "intermediate memory" of Proposition 5; score matrices excluded).
-// Parallel sweepers hold one partial/vals pair per worker.
+// Parallel sweepers hold one partial/vals pair per worker, plus two row
+// buffers per worker once a tiled sweep has run.
 func (sw *Sweeper) AuxBytes() int64 {
 	var b int64
 	for w := range sw.ws {
-		b += int64(len(sw.ws[w].partial))*8 + int64(len(sw.ws[w].vals))*8
+		b += int64(len(sw.ws[w].partial))*8 + int64(len(sw.ws[w].vals))*8 +
+			int64(len(sw.ws[w].rowBuf))*8 + int64(len(sw.ws[w].rowTmp))*8
 	}
 	return b + int64(len(sw.invDeg))*8
 }
@@ -219,7 +237,7 @@ func (sw *Sweeper) Sweep(prev, next *simmat.Matrix, damp float64, pinDiag bool) 
 				} else {
 					sw.applyDiff(st, prev, sw.plan.Add[u], sw.plan.Sub[u])
 				}
-				sw.emitRow(st, next, u, damp)
+				sw.emitRow(st, next.Row(u), u, damp)
 			}
 		}
 	})
@@ -232,6 +250,92 @@ func (sw *Sweeper) Sweep(prev, next *simmat.Matrix, damp float64, pinDiag bool) 
 			}
 		})
 	}
+
+	// Canonicalize: the row-min(a,b) value becomes the score of both (a,b)
+	// and (b,a) (see the package comment). Copies only, so determinism and
+	// operation counts are untouched.
+	next.MirrorUpper(sw.workers)
+}
+
+// SweepTiled is Sweep against the tiled backend: identical chain schedule,
+// identical per-row arithmetic (rows of prev are staged from tiles, the
+// emitted row lands in an O(n) buffer), with only the canonical upper
+// segment of each row stored. Output — and SweepStats — are bit-identical
+// to Sweep over dense matrices for every block size and worker count. prev
+// and next should come from the same computation's TileStore so one memory
+// budget governs both; unlike Sweep, the full upper row is rewritten every
+// time, so next needs no prior-state contract.
+func (sw *Sweeper) SweepTiled(prev, next *simmat.Tiled, damp float64, pinDiag bool) error {
+	n := sw.g.NumVertices()
+	errs := make([]error, sw.workers)
+	par.Do(sw.workers, func(w int) {
+		st := &sw.ws[w]
+		if st.rowBuf == nil {
+			st.rowBuf = make([]float64, n)
+			st.rowTmp = make([]float64, n)
+		}
+		// The emit stage writes the same cell set for every row (the tree
+		// steps, or the non-empty-set columns without outer sharing), so
+		// zeroing once per sweep keeps never-emitted cells — empty
+		// in-neighbor-set columns — at their a-priori zero.
+		for i := range st.rowBuf {
+			st.rowBuf[i] = 0
+		}
+
+		// Rows of empty in-neighbor sets are all-zero except a pinned
+		// diagonal; rowBuf is all-zero here by construction.
+		lo, hi := par.Range(n, sw.workers, w)
+		for v := lo; v < hi; v++ {
+			if sw.invDeg[v] != 0 {
+				continue
+			}
+			if pinDiag {
+				st.rowBuf[v] = 1
+			}
+			err := next.SetRowUpper(v, st.rowBuf)
+			if pinDiag {
+				st.rowBuf[v] = 0
+			}
+			if err != nil {
+				errs[w] = err
+				return
+			}
+		}
+
+		for _, ch := range sw.sched[w] {
+			for i := ch.Start; i < ch.End; i++ {
+				step := sw.plan.ChainSteps[i]
+				u := step.Vertex
+				var err error
+				if step.Parent < 0 {
+					err = sw.buildScratchTiled(st, prev, u)
+				} else {
+					err = sw.applyDiffTiled(st, prev, sw.plan.Add[u], sw.plan.Sub[u])
+				}
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				sw.emitRow(st, st.rowBuf, u, damp)
+				if pinDiag {
+					// The diagonal cell belongs to row u's canonical
+					// segment alone; u heads a non-empty set, so the next
+					// emit overwrites rowBuf[u] regardless.
+					st.rowBuf[u] = 1
+				}
+				if err := next.SetRowUpper(u, st.rowBuf); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // buildScratch fills st.partial with the sum of prev rows over I(root).
@@ -265,14 +369,56 @@ func (sw *Sweeper) applyDiff(st *sweepWorker, prev *simmat.Matrix, add, sub []in
 	st.stats.InnerAdds += int64(len(add)+len(sub)) * int64(len(st.partial))
 }
 
-// emitRow computes next(u, w) for all w from the current partial vector.
+// buildScratchTiled is buildScratch with prev rows staged out of tiles:
+// the per-element accumulation order over I(root) is unchanged, so partial
+// is bit-identical to the dense build.
+func (sw *Sweeper) buildScratchTiled(st *sweepWorker, prev *simmat.Tiled, root int) error {
+	in := sw.g.In(root)
+	if err := prev.RowInto(in[0], st.partial); err != nil {
+		return err
+	}
+	for _, x := range in[1:] {
+		if err := prev.RowInto(x, st.rowTmp); err != nil {
+			return err
+		}
+		for y, v := range st.rowTmp {
+			st.partial[y] += v
+		}
+	}
+	st.stats.InnerAdds += int64(len(in)-1) * int64(len(st.partial))
+	return nil
+}
+
+// applyDiffTiled is applyDiff with prev rows staged out of tiles.
+func (sw *Sweeper) applyDiffTiled(st *sweepWorker, prev *simmat.Tiled, add, sub []int) error {
+	for _, x := range add {
+		if err := prev.RowInto(x, st.rowTmp); err != nil {
+			return err
+		}
+		for y, v := range st.rowTmp {
+			st.partial[y] += v
+		}
+	}
+	for _, x := range sub {
+		if err := prev.RowInto(x, st.rowTmp); err != nil {
+			return err
+		}
+		for y, v := range st.rowTmp {
+			st.partial[y] -= v
+		}
+	}
+	st.stats.InnerAdds += int64(len(add)+len(sub)) * int64(len(st.partial))
+	return nil
+}
+
+// emitRow computes next(u, w) for all w from the current partial vector
+// into row — the dense matrix row, or a tiled sweep's staging buffer.
 // With outer sharing it is procedure OP over the flattened tree steps:
 // outer partial sums are scalars, the parent's value sits in st.vals, and
 // branching costs nothing, so the per-row additions equal the MST weight.
 // Without outer sharing it is the psum-SR per-target summation.
-func (sw *Sweeper) emitRow(st *sweepWorker, next *simmat.Matrix, u int, damp float64) {
+func (sw *Sweeper) emitRow(st *sweepWorker, row []float64, u int, damp float64) {
 	g, plan := sw.g, sw.plan
-	row := next.Row(u)
 	scaleU := damp * sw.invDeg[u]
 
 	if sw.disableOuter {

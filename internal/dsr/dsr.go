@@ -58,6 +58,10 @@ type Options struct {
 	// below 1 means runtime.GOMAXPROCS(0). Scores and operation counts are
 	// bit-identical for every value (see the core package comment).
 	Workers int
+
+	// Tile selects the tiled score-matrix backend when Tile.BlockSize > 0
+	// (ComputeTiled only; Compute ignores it).
+	Tile simmat.TileOptions
 }
 
 func (o *Options) normalize() error {
@@ -98,6 +102,9 @@ type Stats struct {
 	ScratchAdditions int
 	ShareRatio       float64
 	AvgDiff          float64
+
+	// Tile reports the tile store's accounting (ComputeTiled only).
+	Tile simmat.TileMetrics
 }
 
 // Compute runs the differential SimRank iteration Eq. 15 and returns S^_K
@@ -161,5 +168,83 @@ func Compute(g *graph.Graph, opt Options) (*simmat.Matrix, *Stats, error) {
 	st.InnerAdds, st.OuterAdds = sws.InnerAdds, sws.OuterAdds
 	st.AuxBytes = sw.AuxBytes() + plan.Bytes()
 	st.StateBytes = acc.Bytes() + tPrev.Bytes() + tNext.Bytes()
+	return acc, st, nil
+}
+
+// ComputeTiled runs the differential iteration against the tiled backend
+// selected by opt.Tile: the accumulator and both T_k ping-pong iterates
+// share one TileStore, so opt.Tile's MaxMemoryBytes bounds the whole 3n^2
+// state. Scores are bit-identical to Compute for every block size and
+// worker count. The caller owns the result: Close it to release the store.
+func ComputeTiled(g *graph.Graph, opt Options) (*simmat.Tiled, *Stats, error) {
+	if err := opt.normalize(); err != nil {
+		return nil, nil, err
+	}
+	store, err := simmat.NewTileStore(opt.Tile)
+	if err != nil {
+		return nil, nil, err
+	}
+	fail := func(err error) (*simmat.Tiled, *Stats, error) {
+		store.Close()
+		return nil, nil, err
+	}
+	st := &Stats{}
+
+	t0 := time.Now()
+	var plan *partition.Plan
+	if opt.DisableSharing {
+		plan = partition.TrivialPlan(g)
+	} else {
+		plan, err = partition.BuildPlan(g, opt.Partition)
+		if err != nil {
+			return fail(err)
+		}
+	}
+	st.PlanTime = time.Since(t0)
+	st.NumSets = plan.NumSets
+	st.PlanAdditions = plan.Additions
+	st.ScratchAdditions = plan.ScratchAdditions
+	st.ShareRatio = plan.ShareRatio()
+	st.AvgDiff = plan.AvgDiff
+
+	n := g.NumVertices()
+	expC := math.Exp(-opt.C)
+
+	acc, err := store.NewDiagonal(n, expC) // S^_0 = e^-C I
+	if err != nil {
+		return fail(err)
+	}
+	tPrev, err := store.NewIdentity(n) // T_0 = I
+	if err != nil {
+		return fail(err)
+	}
+	tNext, err := store.NewTiled(n)
+	if err != nil {
+		return fail(err)
+	}
+	sw := core.NewParallelSweeper(g, plan, opt.DisableSharing, opt.Workers)
+	workers := sw.Workers()
+
+	t1 := time.Now()
+	coeff := expC
+	for k := 0; k < opt.K; k++ {
+		if err := sw.SweepTiled(tPrev, tNext, 1, false); err != nil {
+			return fail(err)
+		}
+		st.Iterations++
+		coeff *= opt.C / float64(k+1) // e^-C * C^(k+1)/(k+1)!
+		if err := acc.AddScaled(tNext, coeff, workers); err != nil {
+			return fail(err)
+		}
+		tPrev, tNext = tNext, tPrev
+	}
+	st.SweepTime = time.Since(t1)
+	sws := sw.Stats()
+	st.InnerAdds, st.OuterAdds = sws.InnerAdds, sws.OuterAdds
+	st.AuxBytes = sw.AuxBytes() + plan.Bytes()
+	st.StateBytes = acc.Bytes() + tPrev.Bytes() + tNext.Bytes()
+	tPrev.Release()
+	tNext.Release()
+	st.Tile = store.Metrics()
 	return acc, st, nil
 }

@@ -1,0 +1,54 @@
+package naive
+
+import (
+	"math/rand"
+	"testing"
+
+	"oipsr/graph"
+	"oipsr/internal/simmat"
+)
+
+// TestComputeTiledBitIdentical: the tiled oracle equals the dense oracle
+// bit for bit for every block size and worker count, including under a
+// memory budget that forces spills.
+func TestComputeTiledBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n := 23
+	b := graph.NewBuilder(n, 0)
+	b.EnsureVertices(n)
+	for i := 0; i < 4*n; i++ {
+		b.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	g := b.MustBuild()
+	dense, err := Compute(g, 0.6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, n)
+	for _, block := range []int{1, 4, n, n + 3} {
+		for _, workers := range []int{1, 4} {
+			for _, budget := range []int64{0, int64(4 * block * block * 8)} {
+				tile := simmat.TileOptions{BlockSize: block, MaxMemoryBytes: budget}
+				if budget > 0 {
+					tile.SpillDir = t.TempDir()
+				}
+				tiled, err := ComputeTiledWorkers(g, 0.6, 5, workers, tile)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < n; i++ {
+					if err := tiled.RowInto(i, buf); err != nil {
+						t.Fatal(err)
+					}
+					for j := 0; j < n; j++ {
+						if buf[j] != dense.At(i, j) {
+							t.Fatalf("block=%d workers=%d budget=%d: (%d,%d): %v != %v",
+								block, workers, budget, i, j, buf[j], dense.At(i, j))
+						}
+					}
+				}
+				tiled.Close()
+			}
+		}
+	}
+}

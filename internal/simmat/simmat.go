@@ -1,11 +1,27 @@
-// Package simmat provides the dense n x n similarity-score matrix shared by
-// every SimRank engine in this repository, along with the comparison
-// utilities the tests and experiments use (max-norm distance, symmetry and
-// range checks).
+// Package simmat provides the score-matrix storage shared by every SimRank
+// engine in this repository, along with the comparison utilities the tests
+// and experiments use (max-norm distance, symmetry and range checks).
 //
-// All-pairs SimRank inherently produces Theta(n^2) scores; engines hold two
-// such matrices (previous and next iterate). Rows are the natural unit of
-// work — s_k(a, *) — so the matrix exposes zero-copy row access.
+// Two backends implement the same logical n x n matrix:
+//
+//   - Matrix is the dense row-major backend. All-pairs SimRank inherently
+//     produces Theta(n^2) scores; engines hold two such matrices (previous
+//     and next iterate). Rows are the natural unit of work — s_k(a, *) — so
+//     the matrix exposes zero-copy row access.
+//   - Tiled (tiled.go) stores the upper triangle as a grid of B x B tiles
+//     with a bounded-memory working set and optional spill-to-disk, for runs
+//     where two dense matrices do not fit in RAM.
+//
+// # Canonical symmetry
+//
+// SimRank is symmetric by definition, but the row-oriented engines compute
+// s(a,b) and s(b,a) with differently-associated floating-point sums, so the
+// two roundings can differ in the last bits. To give both backends one
+// well-defined answer, every sweep engine canonicalizes each iterate: the
+// value computed while emitting row min(a,b) is authoritative, and the lower
+// triangle mirrors it (MirrorUpper for the dense backend; the tiled backend
+// stores only the canonical triangle). This is what makes tiled output
+// bit-identical to dense output for every block size and worker count.
 package simmat
 
 import (
@@ -15,11 +31,27 @@ import (
 	"oipsr/internal/par"
 )
 
+// Source is the read-only view of a score matrix shared by the dense and
+// tiled backends. Row assembly goes through RowInto so callers work
+// identically against zero-copy dense rows and tile-scattered storage.
+type Source interface {
+	// N returns the dimension.
+	N() int
+	// At returns the score at (i, j).
+	At(i, j int) float64
+	// RowInto assembles logical row i into dst (len >= n).
+	RowInto(i int, dst []float64) error
+	// Bytes reports the logical storage footprint of the matrix.
+	Bytes() int64
+}
+
 // Matrix is a dense row-major n x n score matrix.
 type Matrix struct {
 	n    int
 	data []float64
 }
+
+var _ Source = (*Matrix)(nil)
 
 // New returns an all-zero n x n matrix.
 func New(n int) *Matrix {
@@ -50,9 +82,35 @@ func (m *Matrix) Add(i, j int, v float64) { m.data[i*m.n+j] += v }
 // Row returns row i as a slice aliasing internal storage.
 func (m *Matrix) Row(i int) []float64 { return m.data[i*m.n : (i+1)*m.n] }
 
+// RowInto copies row i into dst, satisfying Source. Dense callers on hot
+// paths should prefer the zero-copy Row.
+func (m *Matrix) RowInto(i int, dst []float64) error {
+	copy(dst, m.Row(i))
+	return nil
+}
+
 // Data returns the backing slice (row-major). Intended for engines' inner
 // loops; external callers should prefer At/Row.
 func (m *Matrix) Data() []float64 { return m.data }
+
+// MirrorUpper copies the upper triangle onto the lower one, making the
+// matrix exactly symmetric with the row-min(a,b) value as the canonical
+// score of each pair (see the package comment). The pass is pure copies —
+// no arithmetic — so any work split is bit-identical; workers < 1 means
+// runtime.GOMAXPROCS(0).
+func (m *Matrix) MirrorUpper(workers int) {
+	n := m.n
+	workers = par.ResolveMax(workers, n)
+	par.Do(workers, func(w int) {
+		lo, hi := par.Range(n, workers, w)
+		for i := lo; i < hi; i++ {
+			row := m.data[i*n : i*n+i]
+			for j := range row {
+				row[j] = m.data[j*n+i]
+			}
+		}
+	})
+}
 
 // Fill sets every entry to v.
 func (m *Matrix) Fill(v float64) {
@@ -126,6 +184,32 @@ func MaxDiffWorkers(a, b *Matrix, workers int) float64 {
 		}
 	}
 	return d
+}
+
+// MaxDiffSource is MaxDiff over any pair of backends: rows are assembled
+// through the Source interface and compared cell by cell. Max is
+// order-independent, so for dense inputs the result equals MaxDiff exactly.
+func MaxDiffSource(a, b Source) (float64, error) {
+	if a.N() != b.N() {
+		return 0, fmt.Errorf("simmat: dimension mismatch %d vs %d", a.N(), b.N())
+	}
+	n := a.N()
+	ra, rb := make([]float64, n), make([]float64, n)
+	d := 0.0
+	for i := 0; i < n; i++ {
+		if err := a.RowInto(i, ra); err != nil {
+			return 0, err
+		}
+		if err := b.RowInto(i, rb); err != nil {
+			return 0, err
+		}
+		for j := range ra {
+			if x := math.Abs(ra[j] - rb[j]); x > d {
+				d = x
+			}
+		}
+	}
+	return d, nil
 }
 
 // CheckSymmetric returns an error if |m[i,j] - m[j,i]| > tol anywhere.

@@ -1,0 +1,150 @@
+package simmat
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+)
+
+// On-disk tile format (all integers little-endian), following the
+// walkindex convention of a versioned header plus a trailing CRC:
+//
+//	offset  size       field
+//	0       8          magic "SRTILE\x00\x00"
+//	8       4          format version (currently 1)
+//	12      4          rows (uint32)
+//	16      4          cols (uint32)
+//	20      8*rows*cols  payload (float64 IEEE-754 bits)
+//	...     4          CRC-32 (IEEE) of every preceding byte
+//
+// The checksum makes truncation and bit corruption of an evicted tile
+// detectable when it is paged back in; the version field rejects spill files
+// written by an incompatible revision. Round-tripping is bit-exact: payload
+// float64s are stored as their raw IEEE bits.
+
+// TileFormatVersion is the current spill-file format revision.
+const TileFormatVersion = 1
+
+var tileMagic = [8]byte{'S', 'R', 'T', 'I', 'L', 'E', 0, 0}
+
+const tileHeaderSize = 8 + 4 + 4 + 4
+
+// Sentinel errors returned when a spilled tile cannot be read back.
+var (
+	ErrTileMagic    = errors.New("simmat: not a tile spill file (bad magic)")
+	ErrTileVersion  = errors.New("simmat: unsupported tile format version")
+	ErrTileChecksum = errors.New("simmat: tile checksum mismatch (corrupted spill file)")
+)
+
+// writeTileFile writes data (rows x cols, row-major) to path in the
+// versioned spill format, replacing any previous file.
+func writeTileFile(path string, rows, cols int, data []float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("simmat: creating spill file: %w", err)
+	}
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriterSize(io.MultiWriter(f, crc), 1<<16)
+
+	var hdr [tileHeaderSize]byte
+	copy(hdr[:8], tileMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:], TileFormatVersion)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(rows))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(cols))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("simmat: writing tile header: %w", err)
+	}
+	var buf [1 << 13]byte
+	for off := 0; off < len(data); {
+		nb := 0
+		for off < len(data) && nb+8 <= len(buf) {
+			binary.LittleEndian.PutUint64(buf[nb:], math.Float64bits(data[off]))
+			nb += 8
+			off++
+		}
+		if _, err := bw.Write(buf[:nb]); err != nil {
+			f.Close()
+			return fmt.Errorf("simmat: writing tile payload: %w", err)
+		}
+	}
+	// Flush the payload into the CRC before sealing it; the checksum is not
+	// part of its own coverage.
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("simmat: writing tile payload: %w", err)
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err := f.Write(sum[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("simmat: writing tile checksum: %w", err)
+	}
+	return f.Close()
+}
+
+// readTileFile reads a tile spilled by writeTileFile into dst, verifying the
+// magic, version, dimensions and checksum.
+func readTileFile(path string, rows, cols int, dst []float64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("simmat: opening spill file: %w", err)
+	}
+	defer f.Close()
+	crc := crc32.NewIEEE()
+	br := bufio.NewReaderSize(f, 1<<16)
+
+	var hdr [tileHeaderSize]byte
+	if err := readTileFull(br, hdr[:], "header"); err != nil {
+		return err
+	}
+	crc.Write(hdr[:])
+	if [8]byte(hdr[:8]) != tileMagic {
+		return ErrTileMagic
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != TileFormatVersion {
+		return fmt.Errorf("%w: file has version %d, this build reads version %d", ErrTileVersion, v, TileFormatVersion)
+	}
+	gotRows := int(binary.LittleEndian.Uint32(hdr[12:]))
+	gotCols := int(binary.LittleEndian.Uint32(hdr[16:]))
+	if gotRows != rows || gotCols != cols {
+		return fmt.Errorf("simmat: spill file is %dx%d, expected %dx%d tile", gotRows, gotCols, rows, cols)
+	}
+
+	var buf [1 << 13]byte
+	for off := 0; off < len(dst); {
+		nb := min(len(buf), (len(dst)-off)*8)
+		if err := readTileFull(br, buf[:nb], "payload"); err != nil {
+			return err
+		}
+		crc.Write(buf[:nb])
+		for b := 0; b < nb; b += 8 {
+			dst[off] = math.Float64frombits(binary.LittleEndian.Uint64(buf[b:]))
+			off++
+		}
+	}
+	want := crc.Sum32()
+	var sum [4]byte
+	if err := readTileFull(br, sum[:], "checksum"); err != nil {
+		return err
+	}
+	if got := binary.LittleEndian.Uint32(sum[:]); got != want {
+		return fmt.Errorf("%w: stored %08x, computed %08x", ErrTileChecksum, got, want)
+	}
+	return nil
+}
+
+func readTileFull(br *bufio.Reader, p []byte, section string) error {
+	if _, err := io.ReadFull(br, p); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return fmt.Errorf("simmat: truncated spill file (short read in %s): %w", section, io.ErrUnexpectedEOF)
+		}
+		return fmt.Errorf("simmat: reading spill %s: %w", section, err)
+	}
+	return nil
+}

@@ -1,0 +1,265 @@
+package simmat
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func newTestStore(t *testing.T, opt TileOptions) *TileStore {
+	t.Helper()
+	s, err := NewTileStore(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// fillCanonical writes random values through SetRowUpper and mirrors them
+// into a dense reference.
+func fillCanonical(t *testing.T, tm *Tiled, rng *rand.Rand) *Matrix {
+	t.Helper()
+	n := tm.N()
+	ref := New(n)
+	row := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			row[j] = rng.Float64()
+			ref.Set(i, j, row[j])
+			ref.Set(j, i, row[j])
+		}
+		if err := tm.SetRowUpper(i, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ref
+}
+
+// TestTiledRoundTrip: SetRowUpper + At/RowInto reproduce a dense symmetric
+// matrix exactly for many (n, B) shapes, including B = 1, B = n and ragged
+// borders.
+func TestTiledRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 7, 16, 33} {
+		for _, b := range []int{1, 2, 3, 5, 16, 64} {
+			s := newTestStore(t, TileOptions{BlockSize: b})
+			tm, err := s.NewTiled(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := fillCanonical(t, tm, rng)
+			buf := make([]float64, n)
+			for i := 0; i < n; i++ {
+				if err := tm.RowInto(i, buf); err != nil {
+					t.Fatal(err)
+				}
+				for j := 0; j < n; j++ {
+					if buf[j] != ref.At(i, j) {
+						t.Fatalf("n=%d B=%d: RowInto(%d)[%d] = %v, want %v", n, b, i, j, buf[j], ref.At(i, j))
+					}
+					if got := tm.At(i, j); got != ref.At(i, j) {
+						t.Fatalf("n=%d B=%d: At(%d,%d) = %v, want %v", n, b, i, j, got, ref.At(i, j))
+					}
+				}
+			}
+			s.Close()
+		}
+	}
+}
+
+// TestTiledIdentityAndZero: fresh matrices read as zeros without
+// materializing tiles; NewIdentity materializes only the diagonal.
+func TestTiledIdentityAndZero(t *testing.T) {
+	s := newTestStore(t, TileOptions{BlockSize: 4})
+	z, err := s.NewTiled(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Metrics().ResidentBytes; got != 0 {
+		t.Errorf("zero matrix resident bytes = %d, want 0", got)
+	}
+	id, err := s.NewIdentity(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			if z.At(i, j) != 0 {
+				t.Fatalf("zero At(%d,%d) != 0", i, j)
+			}
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if id.At(i, j) != want {
+				t.Fatalf("identity At(%d,%d) = %v, want %v", i, j, id.At(i, j), want)
+			}
+		}
+	}
+	// 3 diagonal tiles of a 10/4 grid: 4x4 + 4x4 + 2x2 = 36 cells.
+	if got := s.Metrics().ResidentBytes; got != 36*8 {
+		t.Errorf("identity resident bytes = %d, want %d", got, 36*8)
+	}
+}
+
+// TestTiledSpillRoundTrip: a budget that cannot hold the working set forces
+// spills; values survive eviction and reload bit-exactly, and the resident
+// high-water mark respects the cap.
+func TestTiledSpillRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	const n, b = 32, 8
+	tileBytes := int64(b * b * 8)
+	budget := 3 * tileBytes
+	s := newTestStore(t, TileOptions{BlockSize: b, MaxMemoryBytes: budget, SpillDir: dir})
+	tm, err := s.NewTiled(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	ref := fillCanonical(t, tm, rng)
+	m := s.Metrics()
+	if m.Spills == 0 {
+		t.Fatalf("no spills under budget %d with working set %d", budget, tm.Bytes())
+	}
+	if m.HighWaterBytes > budget {
+		t.Errorf("high-water %d exceeds budget %d", m.HighWaterBytes, budget)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.tile"))
+	if len(files) == 0 {
+		t.Fatal("no spill files in SpillDir")
+	}
+	buf := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if err := tm.RowInto(i, buf); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < n; j++ {
+			if buf[j] != ref.At(i, j) {
+				t.Fatalf("after spill: (%d,%d) = %v, want %v", i, j, buf[j], ref.At(i, j))
+			}
+		}
+	}
+	if s.Metrics().Loads == 0 {
+		t.Error("reads touched no spilled tiles")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files, _ = filepath.Glob(filepath.Join(dir, "*.tile"))
+	if len(files) != 0 {
+		t.Errorf("Close left %d spill files behind", len(files))
+	}
+}
+
+// TestTiledCorruptSpillDetected: flipping a byte of a spill file must
+// surface ErrTileChecksum on reload, and truncation must error too.
+func TestTiledCorruptSpillDetected(t *testing.T) {
+	dir := t.TempDir()
+	const n, b = 16, 8
+	s := newTestStore(t, TileOptions{BlockSize: b, MaxMemoryBytes: int64(b * b * 8), SpillDir: dir})
+	tm, err := s.NewTiled(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	fillCanonical(t, tm, rng)
+	files, _ := filepath.Glob(filepath.Join(dir, "*.tile"))
+	if len(files) == 0 {
+		t.Fatal("expected spill files")
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)/2] ^= 0x40
+	if err := os.WriteFile(files[0], corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, n)
+	var readErr error
+	for i := 0; i < n && readErr == nil; i++ {
+		readErr = tm.RowInto(i, buf)
+	}
+	if !errors.Is(readErr, ErrTileChecksum) {
+		t.Errorf("corrupted spill file: got %v, want ErrTileChecksum", readErr)
+	}
+	if err := os.WriteFile(files[0], data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	readErr = nil
+	for i := 0; i < n && readErr == nil; i++ {
+		readErr = tm.RowInto(i, buf)
+	}
+	if readErr == nil {
+		t.Error("truncated spill file read back without error")
+	}
+}
+
+// TestTiledBudgetTooSmall: a budget below one tile cannot be satisfied and
+// must surface ErrMemoryBudget rather than thrash or panic.
+func TestTiledBudgetTooSmall(t *testing.T) {
+	s := newTestStore(t, TileOptions{BlockSize: 8, MaxMemoryBytes: 8, SpillDir: t.TempDir()})
+	tm, err := s.NewTiled(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := make([]float64, 16)
+	err = tm.SetRowUpper(0, row)
+	if !errors.Is(err, ErrMemoryBudget) {
+		t.Errorf("got %v, want ErrMemoryBudget", err)
+	}
+}
+
+// TestMaxDiffTiledMatchesDense on mixed materialized/zero tiles.
+func TestMaxDiffTiledMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := newTestStore(t, TileOptions{BlockSize: 4})
+	a, err := s.NewTiled(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.NewIdentity(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da := fillCanonical(t, a, rng)
+	db := NewIdentity(13)
+	got, err := MaxDiffTiled(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := MaxDiff(da, db); got != want {
+		t.Errorf("MaxDiffTiled = %v, dense MaxDiff = %v", got, want)
+	}
+}
+
+// TestMirrorUpper: the dense canonicalization pass copies the upper
+// triangle onto the lower one for every worker count.
+func TestMirrorUpper(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, workers := range []int{1, 2, 5} {
+		m := New(9)
+		for i := 0; i < 9; i++ {
+			for j := 0; j < 9; j++ {
+				m.Set(i, j, rng.Float64())
+			}
+		}
+		ref := m.Copy()
+		m.MirrorUpper(workers)
+		for i := 0; i < 9; i++ {
+			for j := 0; j < 9; j++ {
+				want := ref.At(i, j)
+				if i > j {
+					want = ref.At(j, i)
+				}
+				if m.At(i, j) != want {
+					t.Fatalf("workers=%d: (%d,%d) = %v, want %v", workers, i, j, m.At(i, j), want)
+				}
+			}
+		}
+	}
+}

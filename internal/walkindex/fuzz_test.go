@@ -1,0 +1,57 @@
+package walkindex
+
+import (
+	"bytes"
+	"testing"
+
+	"oipsr/graph"
+)
+
+// fuzzSeedIndex returns the serialized bytes of a small valid index, the
+// structured seed every mutation starts from.
+func fuzzSeedIndex(f *testing.F) []byte {
+	f.Helper()
+	g := graph.MustFromEdges(6, [][2]int{{0, 1}, {1, 2}, {2, 0}, {3, 1}, {4, 2}, {5, 4}})
+	ix, err := Build(g, Options{C: 0.6, K: 4, Walks: 3, Seed: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzLoad: Load must return an error — never panic, never allocate
+// proportionally to a forged header — on arbitrary bytes. Anything it does
+// accept must round-trip through Save bit-identically.
+func FuzzLoad(f *testing.F) {
+	valid := fuzzSeedIndex(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5])        // truncated payload
+	f.Add(valid[:headerSize])          // header only
+	f.Add([]byte{})                    // empty
+	f.Add([]byte("SRWKIDX\x00junk"))   // magic, garbage after
+	f.Add(bytes.Repeat([]byte{0}, 64)) // zeros
+	corrupt := append([]byte(nil), valid...)
+	corrupt[headerSize+3] ^= 0x20 // payload bit flip -> checksum mismatch
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := ix.Save(&buf); err != nil {
+			t.Fatalf("re-saving accepted index: %v", err)
+		}
+		// Load is a stream reader: it consumes exactly one index and
+		// ignores trailing bytes, so the round-trip invariant is on the
+		// consumed prefix.
+		out := buf.Bytes()
+		if len(data) < len(out) || !bytes.Equal(out, data[:len(out)]) {
+			t.Fatal("accepted index did not round-trip bit-identically")
+		}
+	})
+}

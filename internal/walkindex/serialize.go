@@ -46,6 +46,12 @@ var (
 // absurd allocation before the checksum is ever seen.
 const maxElems = int64(1) << 33
 
+// maxHorizon caps k on its own: initPow allocates k floats even when a
+// forged header claims n = 0 (zero payload elements), so the product guard
+// alone does not bound it. Real horizons are the iteration counts of the
+// Lizorkin bound — double digits.
+const maxHorizon = int64(1) << 20
+
 // Save writes the index to w in the versioned binary format.
 func (ix *Index) Save(w io.Writer) error {
 	crc := crc32.NewIEEE()
@@ -116,6 +122,9 @@ func Load(r io.Reader) (*Index, error) {
 	if n < 0 || k < 1 || fps < 1 {
 		return nil, fmt.Errorf("walkindex: invalid header (n=%d, k=%d, r=%d)", n, k, fps)
 	}
+	if k > maxHorizon {
+		return nil, fmt.Errorf("walkindex: implausible walk horizon k = %d", k)
+	}
 	if !(c > 0 && c < 1) {
 		return nil, fmt.Errorf("walkindex: invalid header damping factor %v", c)
 	}
@@ -124,21 +133,26 @@ func Load(r io.Reader) (*Index, error) {
 		return nil, fmt.Errorf("walkindex: implausible index size n*r*k = %d*%d*%d", n, fps, k)
 	}
 
-	ix := &Index{n: int(n), k: int(k), r: int(fps), c: c, seed: seed,
-		paths: make([]int32, elems)}
-	ix.initPow()
-
+	// The payload array grows with the bytes actually read instead of being
+	// sized from the header up front: a forged header claiming a huge n*r*k
+	// on a short stream fails with a truncation error after a proportional
+	// allocation, not an absurd up-front one.
+	paths := make([]int32, 0, min(elems, 1<<16))
 	var buf [1 << 14]byte
-	for off := 0; off < len(ix.paths); {
-		nb := min(len(buf), (len(ix.paths)-off)*4)
+	for int64(len(paths)) < elems {
+		nb := len(buf)
+		if rem := elems - int64(len(paths)); rem < int64(len(buf)/4) {
+			nb = int(rem) * 4
+		}
 		if err := readFull(br, crc, buf[:nb], "paths"); err != nil {
 			return nil, err
 		}
 		for b := 0; b < nb; b += 4 {
-			ix.paths[off] = int32(binary.LittleEndian.Uint32(buf[b:]))
-			off++
+			paths = append(paths, int32(binary.LittleEndian.Uint32(buf[b:])))
 		}
 	}
+	ix := &Index{n: int(n), k: int(k), r: int(fps), c: c, seed: seed, paths: paths}
+	ix.initPow()
 
 	// The stored checksum covers everything read so far; the trailing 4
 	// bytes are not part of their own coverage.

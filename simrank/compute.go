@@ -19,6 +19,11 @@ import (
 
 // Compute runs the selected SimRank engine over g and returns the all-pairs
 // scores plus run statistics. See Options for the engine-specific knobs.
+//
+// When opt.BlockSize > 0 the supported engines (OIPSR, OIPDSR, PsumSR,
+// Naive) run against the tiled score-matrix backend: bounded resident
+// memory (opt.MaxMemoryBytes) with spill-to-disk, and scores bit-identical
+// to the dense backend. Call Scores.Close on tiled results when done.
 func Compute(g *graph.Graph, opt Options) (*Scores, *Stats, error) {
 	if err := opt.validate(); err != nil {
 		return nil, nil, err
@@ -26,6 +31,9 @@ func Compute(g *graph.Graph, opt Options) (*Scores, *Stats, error) {
 	alg := opt.Algorithm
 	if alg == "" {
 		alg = OIPSR
+	}
+	if opt.BlockSize > 0 {
+		return computeTiled(g, alg, opt)
 	}
 	switch alg {
 	case OIPSR:
@@ -59,7 +67,7 @@ func computePRank(g *graph.Graph, opt Options) (*Scores, *Stats, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return &Scores{m: m}, &Stats{
+	return &Scores{src: m}, &Stats{
 		Algorithm:   PRank,
 		Iterations:  st.Iterations,
 		PlanTime:    st.PlanTime,
@@ -84,7 +92,7 @@ func computeMonteCarlo(g *graph.Graph, opt Options) (*Scores, *Stats, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return &Scores{m: m}, &Stats{
+	return &Scores{src: m}, &Stats{
 		Algorithm:   MonteCarlo,
 		Iterations:  st.Walks,
 		ComputeTime: st.Elapsed,
@@ -101,6 +109,130 @@ func partitionOptions(opt Options) partition.Options {
 	}
 }
 
+func tileOptions(opt Options) simmat.TileOptions {
+	return simmat.TileOptions{
+		BlockSize:      opt.BlockSize,
+		MaxMemoryBytes: opt.MaxMemoryBytes,
+		SpillDir:       opt.SpillDir,
+	}
+}
+
+// computeTiled dispatches to the tiled-backend engines.
+func computeTiled(g *graph.Graph, alg Algorithm, opt Options) (*Scores, *Stats, error) {
+	switch alg {
+	case OIPSR:
+		m, st, err := core.ComputeTiled(g, core.Options{
+			C:            opt.C,
+			K:            opt.K,
+			Eps:          opt.Eps,
+			StopDiff:     opt.StopDiff,
+			Partition:    partitionOptions(opt),
+			DisableOuter: opt.DisableOuterSharing,
+			Workers:      opt.Workers,
+			Tile:         tileOptions(opt),
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return &Scores{src: m}, &Stats{
+			Algorithm:        OIPSR,
+			Iterations:       st.Iterations,
+			PlanTime:         st.PlanTime,
+			ComputeTime:      st.SweepTime,
+			InnerAdds:        st.InnerAdds,
+			OuterAdds:        st.OuterAdds,
+			AuxBytes:         st.AuxBytes,
+			StateBytes:       st.StateBytes,
+			ShareRatio:       st.ShareRatio,
+			AvgDiff:          st.AvgDiff,
+			NumSets:          st.NumSets,
+			FinalDiff:        st.FinalDiff,
+			TilePeakBytes:    st.Tile.HighWaterBytes,
+			TileSpills:       st.Tile.Spills,
+			TileLoads:        st.Tile.Loads,
+			TileSpilledBytes: st.Tile.SpilledBytes,
+		}, nil
+	case OIPDSR:
+		m, st, err := dsr.ComputeTiled(g, dsr.Options{
+			C:         opt.C,
+			K:         opt.K,
+			Eps:       opt.Eps,
+			Partition: partitionOptions(opt),
+			Workers:   opt.Workers,
+			Tile:      tileOptions(opt),
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return &Scores{src: m}, &Stats{
+			Algorithm:        OIPDSR,
+			Iterations:       st.Iterations,
+			PlanTime:         st.PlanTime,
+			ComputeTime:      st.SweepTime,
+			InnerAdds:        st.InnerAdds,
+			OuterAdds:        st.OuterAdds,
+			AuxBytes:         st.AuxBytes,
+			StateBytes:       st.StateBytes,
+			ShareRatio:       st.ShareRatio,
+			AvgDiff:          st.AvgDiff,
+			NumSets:          st.NumSets,
+			TilePeakBytes:    st.Tile.HighWaterBytes,
+			TileSpills:       st.Tile.Spills,
+			TileLoads:        st.Tile.Loads,
+			TileSpilledBytes: st.Tile.SpilledBytes,
+		}, nil
+	case PsumSR:
+		c, k, err := resolveGeometricSchedule(opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		t0 := time.Now()
+		m, st, err := psum.ComputeTiled(g, psum.Options{
+			C: c, K: k, Threshold: opt.Threshold, Workers: opt.Workers,
+			Tile: tileOptions(opt),
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return &Scores{src: m}, &Stats{
+			Algorithm:        PsumSR,
+			Iterations:       st.Iterations,
+			ComputeTime:      time.Since(t0),
+			InnerAdds:        st.InnerAdds,
+			OuterAdds:        st.OuterAdds,
+			AuxBytes:         st.AuxBytes,
+			StateBytes:       m.Bytes() * 2,
+			SievedPairs:      st.SievedPairs,
+			TilePeakBytes:    st.Tile.HighWaterBytes,
+			TileSpills:       st.Tile.Spills,
+			TileLoads:        st.Tile.Loads,
+			TileSpilledBytes: st.Tile.SpilledBytes,
+		}, nil
+	case Naive:
+		c, k, err := resolveGeometricSchedule(opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		t0 := time.Now()
+		m, err := naive.ComputeTiledWorkers(g, c, k, opt.Workers, tileOptions(opt))
+		if err != nil {
+			return nil, nil, err
+		}
+		met := m.Store().Metrics()
+		return &Scores{src: m}, &Stats{
+			Algorithm:        Naive,
+			Iterations:       k,
+			ComputeTime:      time.Since(t0),
+			StateBytes:       m.Bytes() * 2,
+			TilePeakBytes:    met.HighWaterBytes,
+			TileSpills:       met.Spills,
+			TileLoads:        met.Loads,
+			TileSpilledBytes: met.SpilledBytes,
+		}, nil
+	}
+	return nil, nil, fmt.Errorf("simrank: the tiled backend (BlockSize > 0) does not support algorithm %q", alg)
+}
+
 func computeOIP(g *graph.Graph, opt Options) (*Scores, *Stats, error) {
 	m, st, err := core.Compute(g, core.Options{
 		C:            opt.C,
@@ -114,7 +246,7 @@ func computeOIP(g *graph.Graph, opt Options) (*Scores, *Stats, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return &Scores{m: m}, &Stats{
+	return &Scores{src: m}, &Stats{
 		Algorithm:   OIPSR,
 		Iterations:  st.Iterations,
 		PlanTime:    st.PlanTime,
@@ -141,7 +273,7 @@ func computeDSR(g *graph.Graph, opt Options) (*Scores, *Stats, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return &Scores{m: m}, &Stats{
+	return &Scores{src: m}, &Stats{
 		Algorithm:   OIPDSR,
 		Iterations:  st.Iterations,
 		PlanTime:    st.PlanTime,
@@ -166,7 +298,7 @@ func computePsum(g *graph.Graph, opt Options) (*Scores, *Stats, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return &Scores{m: m}, &Stats{
+	return &Scores{src: m}, &Stats{
 		Algorithm:   PsumSR,
 		Iterations:  st.Iterations,
 		ComputeTime: time.Since(t0),
@@ -188,7 +320,7 @@ func computeNaive(g *graph.Graph, opt Options) (*Scores, *Stats, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return &Scores{m: m}, &Stats{
+	return &Scores{src: m}, &Stats{
 		Algorithm:   Naive,
 		Iterations:  k,
 		ComputeTime: time.Since(t0),
@@ -209,7 +341,7 @@ func computeMtx(g *graph.Graph, opt Options) (*Scores, *Stats, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return &Scores{m: m}, &Stats{
+	return &Scores{src: m}, &Stats{
 		Algorithm:   MtxSR,
 		Iterations:  st.SolveIters,
 		PlanTime:    st.SVDTime,

@@ -46,6 +46,17 @@
 // Theta(n^2) * 8 bytes per matrix; budget accordingly (n = 10,000 needs
 // ~1.6 GB for the two iteration buffers).
 //
+// # Memory-bounded runs
+//
+// When two dense matrices do not fit, Options.BlockSize > 0 selects the
+// tiled backend (OIPSR, OIPDSR, PsumSR, Naive): the score matrix becomes a
+// grid of B x B tiles with symmetric upper-triangular storage, a working
+// set bounded by Options.MaxMemoryBytes, and spill-to-disk for evicted
+// tiles under Options.SpillDir. Scores are bit-identical to the dense
+// backend for every block size and worker count; call Scores.Close on
+// tiled results to release resident tiles and spill files. See the README
+// section "Memory-bounded runs" for guidance on picking B.
+//
 // # Parallelism
 //
 // Options.Workers sets the worker-pool size of the iteration phase (0 = all

@@ -1,0 +1,43 @@
+package simrank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Property checks on the public metrics wrappers (the implementations have
+// their own property suite in internal/eval; this pins the exported
+// surface to the same laws).
+func TestMetricsProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(20)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i], b[i] = rng.Float64(), rng.Float64()
+		}
+		if KendallTau(a, b) != KendallTau(b, a) {
+			t.Fatal("KendallTau not symmetric")
+		}
+		if rho := SpearmanRho(a, b); rho < -1-1e-12 || rho > 1+1e-12 {
+			t.Fatalf("SpearmanRho = %v outside [-1,1]", rho)
+		}
+		ideal := rng.Perm(n)
+		rel := GradeByRank(n, ideal, []int{n / 3, 2 * n / 3})
+		ranking := rng.Perm(n)
+		if v := NDCG(rel, ranking, n); v < 0 || v > 1+1e-12 || math.IsNaN(v) {
+			t.Fatalf("NDCG = %v outside [0,1]", v)
+		}
+		if v := NDCG(rel, ideal, n); math.Abs(v-1) > 1e-12 {
+			t.Fatalf("NDCG of the grading's own ideal ranking = %v, want 1", v)
+		}
+		if ov := TopKOverlap(ideal, ideal); ov != 1 {
+			t.Fatalf("TopKOverlap(x,x) = %v", ov)
+		}
+		if inv := Inversions(ideal, ideal); inv != 0 {
+			t.Fatalf("Inversions(x,x) = %d", inv)
+		}
+	}
+}

@@ -105,6 +105,26 @@ type Options struct {
 	// PairCap bounds candidate-pair generation per shared in-neighbor
 	// (OIPSR / OIPDSR); 0 means unlimited.
 	PairCap int
+
+	// BlockSize, when positive, selects the tiled score-matrix backend:
+	// the n x n state becomes a grid of BlockSize x BlockSize tiles with
+	// symmetric (upper-triangular) storage, a bounded working set, and
+	// spill-to-disk for evicted tiles. Supported by OIPSR, OIPDSR, PsumSR
+	// and Naive; scores are bit-identical to the dense backend for every
+	// block size and worker count. Results computed this way hold tile
+	// resources — call Scores.Close when done.
+	BlockSize int
+
+	// MaxMemoryBytes caps the resident tile bytes of the whole computation
+	// (all score matrices together) when the tiled backend is selected;
+	// least-recently-used tiles are evicted to SpillDir when the cap is
+	// hit. 0 means unbounded. Ignored unless BlockSize > 0.
+	MaxMemoryBytes int64
+
+	// SpillDir is where evicted tiles are written (a fresh temporary
+	// directory when empty, removed on Scores.Close). Ignored unless
+	// BlockSize > 0.
+	SpillDir string
 }
 
 func (o Options) validate() error {
@@ -152,4 +172,13 @@ type Stats struct {
 
 	// SievedPairs counts threshold-sieved scores (PsumSR).
 	SievedPairs int64
+
+	// Tiled-backend accounting (zero unless Options.BlockSize > 0):
+	// TilePeakBytes is the peak resident tile memory, TileSpills counts
+	// dirty tiles evicted to disk, TileLoads counts tiles paged back in,
+	// and TileSpilledBytes is the exact cumulative spill traffic.
+	TilePeakBytes    int64
+	TileSpills       int64
+	TileLoads        int64
+	TileSpilledBytes int64
 }

@@ -1,0 +1,46 @@
+package query
+
+import (
+	"bytes"
+	"testing"
+
+	"oipsr/graph"
+)
+
+// FuzzLoad: the public index loader must return an error — never panic —
+// on arbitrary bytes, and anything it accepts must serve queries without
+// panicking.
+func FuzzLoad(f *testing.F) {
+	g := graph.MustFromEdges(6, [][2]int{{0, 1}, {1, 2}, {2, 0}, {3, 1}, {4, 2}, {5, 4}})
+	ix, err := BuildIndex(g, Options{C: 0.6, K: 4, Walks: 3, Seed: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // truncated
+	f.Add([]byte{})
+	corrupt := append([]byte(nil), valid...)
+	corrupt[len(corrupt)-2] ^= 0x01 // checksum flip
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A loaded index must answer estimate-only queries for every
+		// vertex without panicking, even on adversarial payload values.
+		for v := 0; v < got.N(); v++ {
+			if _, err := got.SingleSource(v); err != nil {
+				t.Fatalf("SingleSource(%d) on accepted index: %v", v, err)
+			}
+			if _, err := got.TopK(v, 3, nil); err != nil {
+				t.Fatalf("TopK(%d) on accepted index: %v", v, err)
+			}
+		}
+	})
+}

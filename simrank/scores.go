@@ -6,9 +6,11 @@ import (
 	"oipsr/internal/simmat"
 )
 
-// Scores holds the all-pairs similarity matrix produced by Compute.
+// Scores holds the all-pairs similarity matrix produced by Compute, backed
+// either by a dense matrix or — when Options.BlockSize selected the tiled
+// backend — by tiled storage with a bounded working set.
 type Scores struct {
-	m *simmat.Matrix
+	src simmat.Source
 }
 
 // Ranked is one entry of a top-k result.
@@ -18,19 +20,30 @@ type Ranked struct {
 }
 
 // N returns the number of vertices.
-func (s *Scores) N() int { return s.m.N() }
+func (s *Scores) N() int { return s.src.N() }
 
 // Score returns s(a, b).
-func (s *Scores) Score(a, b int) float64 { return s.m.At(a, b) }
+func (s *Scores) Score(a, b int) float64 { return s.src.At(a, b) }
 
-// Row returns the similarity row s(a, *). The slice aliases internal
-// storage and must not be modified.
-func (s *Scores) Row(a int) []float64 { return s.m.Row(a) }
+// Row returns the similarity row s(a, *). For the dense backend the slice
+// aliases internal storage and must not be modified; the tiled backend
+// assembles a fresh slice from tiles (and panics if a spilled tile cannot
+// be read back — possible only with spill enabled on a failing disk).
+func (s *Scores) Row(a int) []float64 {
+	if m, ok := s.src.(*simmat.Matrix); ok {
+		return m.Row(a)
+	}
+	row := make([]float64, s.src.N())
+	if err := s.src.RowInto(a, row); err != nil {
+		panic(err)
+	}
+	return row
+}
 
 // TopK returns the k vertices most similar to query, excluding the query
 // itself, in decreasing score order with ties broken by vertex id.
 func (s *Scores) TopK(query, k int) []Ranked {
-	row := s.m.Row(query)
+	row := s.Row(query)
 	idx := rankDesc(row, query)
 	if k > len(idx) {
 		k = len(idx)
@@ -43,16 +56,32 @@ func (s *Scores) TopK(query, k int) []Ranked {
 }
 
 // MaxDiff returns the max-norm distance to another score matrix of the same
-// dimension.
+// dimension, across any backend combination.
 func (s *Scores) MaxDiff(other *Scores) float64 {
-	return simmat.MaxDiff(s.m, other.m)
+	if a, ok := s.src.(*simmat.Matrix); ok {
+		if b, ok := other.src.(*simmat.Matrix); ok {
+			return simmat.MaxDiff(a, b)
+		}
+	}
+	d, err := simmat.MaxDiffSource(s.src, other.src)
+	if err != nil {
+		panic(err)
+	}
+	return d
 }
 
-// Bytes reports the memory footprint of the score matrix.
-func (s *Scores) Bytes() int64 { return s.m.Bytes() }
+// Bytes reports the logical storage footprint of the score matrix.
+func (s *Scores) Bytes() int64 { return s.src.Bytes() }
 
-// matrix exposes the underlying storage to the package internals.
-func (s *Scores) matrix() *simmat.Matrix { return s.m }
+// Close releases the resources behind tiled-backend scores (resident tiles
+// and spill files). It is a no-op for the dense backend; calling it is
+// always safe and always correct once the scores are no longer needed.
+func (s *Scores) Close() error {
+	if t, ok := s.src.(*simmat.Tiled); ok {
+		return t.Close()
+	}
+	return nil
+}
 
 // rankDesc orders all vertices except skip by decreasing score, breaking
 // ties by vertex id for determinism.
