@@ -1,0 +1,119 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"oipsr/graph"
+	"oipsr/simrank/query"
+)
+
+// runBatchWorkload measures the batched serving path simrankd's /v1/batch
+// and /v1/join put online: one shared traversal of the walk index for a
+// whole batch of sources versus N independent SingleSource calls, across
+// batch sizes, plus the all-pairs top-k similarity join. Every batched
+// result is verified bit-identical to the independent calls before timing
+// is reported — the speedup must never come from answering a different
+// question.
+func runBatchWorkload(cfg config) {
+	header("Batched queries: shared traversal vs independent calls", "simrankd /v1/batch workload")
+
+	const walks = 200
+	batchSizes := []int{1, 4, 16, 64}
+
+	type workload struct {
+		name string
+		g    *graph.Graph
+	}
+	workloads := []workload{
+		{"berkstan*", webGraph(cfg)},
+		{"patent*", patentGraph(cfg)},
+	}
+
+	fmt.Printf("walks per vertex R=%d, workers=%d\n\n", walks, benchWorkers)
+	fmt.Printf("%-10s | %7s %6s | %12s %12s | %12s %12s | %8s\n",
+		"workload", "n", "batch", "indep total", "batch total", "indep/src", "batch/src", "speedup")
+
+	for _, wl := range workloads {
+		g := wl.g
+		n := g.NumVertices()
+		idx, err := query.BuildIndex(g, query.Options{Walks: walks, Seed: cfg.seed, Workers: benchWorkers})
+		must(err)
+
+		for _, batch := range batchSizes {
+			sources := queryVertices(n, batch)
+
+			// Independent baseline: one SingleSource traversal per source.
+			t0 := time.Now()
+			indep := make([][]float64, len(sources))
+			for i, q := range sources {
+				indep[i], err = idx.SingleSource(q)
+				must(err)
+			}
+			indepTime := time.Since(t0)
+
+			// Batched: one shared traversal for the whole batch.
+			t0 = time.Now()
+			rows, err := idx.MultiSource(sources, benchWorkers)
+			must(err)
+			batchTime := time.Since(t0)
+
+			for i := range sources {
+				for v := range rows[i] {
+					if rows[i][v] != indep[i][v] {
+						panic("batch workload: MultiSource not bit-identical to SingleSource")
+					}
+				}
+			}
+
+			perSrcIndep := indepTime / time.Duration(len(sources))
+			perSrcBatch := batchTime / time.Duration(len(sources))
+			speedup := float64(indepTime) / float64(max(batchTime, 1))
+			emitJSON("batch", map[string]any{
+				"workload":                       wl.name,
+				"n":                              n,
+				"m":                              g.NumEdges(),
+				"walks":                          walks,
+				"batch":                          len(sources),
+				"independent_seconds":            seconds(indepTime),
+				"batched_seconds":                seconds(batchTime),
+				"independent_per_source_seconds": seconds(perSrcIndep),
+				"batched_per_source_seconds":     seconds(perSrcBatch),
+				"speedup":                        speedup,
+			})
+			fmt.Printf("%-10s | %7d %6d | %12v %12v | %12v %12v | %7.2fx\n",
+				wl.name, n, len(sources),
+				indepTime.Round(time.Microsecond), batchTime.Round(time.Microsecond),
+				perSrcIndep.Round(time.Microsecond), perSrcBatch.Round(time.Microsecond), speedup)
+		}
+
+		// The similarity join at a few thresholds: pair yield and time.
+		for _, threshold := range []float64{0.2, 0.1, 0.05} {
+			t0 := time.Now()
+			pairs, err := idx.Join(50, threshold, &query.JoinOptions{Workers: benchWorkers})
+			joinTime := time.Since(t0)
+			if err != nil {
+				fmt.Printf("%-10s | join theta=%.2f: %v\n", wl.name, threshold, err)
+				continue
+			}
+			emitJSON("batch", map[string]any{
+				"workload":     wl.name,
+				"n":            n,
+				"m":            g.NumEdges(),
+				"walks":        walks,
+				"join_theta":   threshold,
+				"join_k":       50,
+				"join_pairs":   len(pairs),
+				"join_seconds": seconds(joinTime),
+			})
+			var top string
+			if len(pairs) > 0 {
+				top = fmt.Sprintf(", top (%d,%d)=%.3f", pairs[0].A, pairs[0].B, pairs[0].Score)
+			}
+			fmt.Printf("%-10s | join theta=%.2f: %d pairs in %v%s\n",
+				wl.name, threshold, len(pairs), joinTime.Round(time.Millisecond), top)
+		}
+	}
+	fmt.Println("\n(Batched rows are verified bit-identical to independent SingleSource calls")
+	fmt.Println(" before any timing is reported. speedup = independent total / batched total.)")
+}

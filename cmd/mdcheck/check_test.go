@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCheckFileClassifiesLinks: broken relative links are reported,
+// everything unckeckable or valid is not.
+func TestCheckFileClassifiesLinks(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "exists.md"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	doc := `# Doc
+[ok](exists.md) [ok dir](sub) [ok anchor](exists.md#part) [pure anchor](#here)
+[external](https://example.com/x.md) [mail](mailto:a@b.c)
+[broken](missing.md) and [broken2](sub/nope.md "title")
+` + "```\n[in fence](also-missing.md)\n```\n" + `
+[ref]: missing-ref.md
+`
+	path := filepath.Join(dir, "doc.md")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	problems, err := CheckFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"missing.md": true, `sub/nope.md "title"`: true, "missing-ref.md": true}
+	if len(problems) != len(want) {
+		t.Fatalf("got %d problems %v, want %d", len(problems), problems, len(want))
+	}
+	for _, p := range problems {
+		if !want[p.Target] {
+			t.Errorf("unexpected problem: %v", p)
+		}
+	}
+}
+
+// TestRepositoryDocsHaveNoBrokenLinks runs the checker over the committed
+// documentation — the same gate CI's docs job applies, kept in tier-1 so a
+// doc rot is caught by a plain `go test ./...`.
+func TestRepositoryDocsHaveNoBrokenLinks(t *testing.T) {
+	root := filepath.Join("..", "..")
+	docs := []string{"README.md", "ARCHITECTURE.md", "TESTING.md",
+		filepath.Join("docs", "API.md")}
+	for _, doc := range docs {
+		path := filepath.Join(root, doc)
+		problems, err := CheckFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", doc, err)
+		}
+		for _, p := range problems {
+			t.Errorf("%v", p)
+		}
+	}
+}

@@ -1,0 +1,339 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"oipsr/simrank/query"
+)
+
+// Batched serving: POST /v1/batch answers many sources in one request
+// through the shared-traversal MultiSource/TopKBatch path of simrank/query,
+// streaming one NDJSON line per source; POST /v1/join serves the all-pairs
+// top-k similarity join.
+//
+// Batch lines are byte-identical to the corresponding single-endpoint
+// responses and share their cache entries (same generation-aware keys), so
+// a batch warms the cache for /v1/topk and /v1/single_source and vice
+// versa. Items fail independently: an out-of-range source yields an error
+// line in its position while the rest of the batch is answered normally.
+
+// defaultMaxBatch caps the sources of one /v1/batch request unless main's
+// -max-batch overrides it.
+const defaultMaxBatch = 1024
+
+// maxRequestBody bounds every JSON request body (/v1/batch, /v1/join,
+// /v1/edges): ~8 MB is thousands of sources or tens of thousands of edits,
+// far beyond a sane online request.
+const maxRequestBody = 8 << 20
+
+// maxDenseBatchScores bounds the total score values a dense (no "min")
+// single_source batch may produce: dense rows are O(n) each and the whole
+// NDJSON response is buffered before streaming, so without this cap one
+// modest-looking request on a large graph could hold gigabytes of response.
+// 8M float64 scores is 64 MB of rows before encoding. The same figure
+// bounds the per-chunk MultiSource intermediate of every batch mode (see
+// batchChunk) — there the response stays small, so chunking suffices and
+// no request has to be refused.
+const maxDenseBatchScores = 8 << 20
+
+// batchChunk returns how many sources one MultiSource call may carry so
+// its dense intermediate rows stay within maxDenseBatchScores.
+func batchChunk(n int) int {
+	chunk := maxDenseBatchScores / max(n, 1)
+	return max(chunk, 1)
+}
+
+type batchRequest struct {
+	// Mode selects the per-source query: "topk" (the default) or
+	// "single_source".
+	Mode    string `json:"mode"`
+	Sources []int  `json:"sources"`
+	// K and Rerank apply to topk mode only.
+	K      int  `json:"k"`
+	Rerank bool `json:"rerank"`
+	// Min applies to single_source mode only: present means the sparse,
+	// thresholded response form (the only cacheable one).
+	Min *float64 `json:"min"`
+}
+
+// batchItemError is the NDJSON line of a failed batch item.
+type batchItemError struct {
+	Source int    `json:"source"`
+	Error  string `json:"error"`
+}
+
+// decodeJSONBody decodes a bounded, strict JSON request body, translating
+// the oversize error. Returns false after answering the request.
+func (s *server) decodeJSONBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", maxRequestBody)
+			return false
+		}
+		s.writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return false
+	}
+	return true
+}
+
+// handleBatch serves POST /v1/batch: one NDJSON response line per source,
+// in request order. Request-level problems (malformed JSON, unknown mode,
+// bad k, too many sources) fail the whole request with a JSON error;
+// per-source problems (an out-of-range id) fail only their own line.
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	defer s.observeLatency(t0)
+	s.reqBatch.Add(1)
+	if !s.checkMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req batchRequest
+	if !s.decodeJSONBody(w, r, &req) {
+		return
+	}
+	mode := req.Mode
+	if mode == "" {
+		mode = "topk"
+	}
+	switch mode {
+	case "topk":
+		if req.Min != nil {
+			s.writeError(w, http.StatusBadRequest, "\"min\" is only valid in single_source mode")
+			return
+		}
+		if req.K == 0 {
+			req.K = 10
+		}
+		if req.K < 1 {
+			s.writeError(w, http.StatusBadRequest, "top-k size %d < 1", req.K)
+			return
+		}
+	case "single_source":
+		if req.K != 0 || req.Rerank {
+			s.writeError(w, http.StatusBadRequest, "\"k\" and \"rerank\" are only valid in topk mode")
+			return
+		}
+	default:
+		s.writeError(w, http.StatusBadRequest, "unknown mode %q (want \"topk\" or \"single_source\")", mode)
+		return
+	}
+	if len(req.Sources) > s.maxBatch {
+		s.writeError(w, http.StatusBadRequest, "batch of %d sources exceeds the %d limit", len(req.Sources), s.maxBatch)
+		return
+	}
+	if mode == "single_source" && req.Min == nil {
+		s.mu.RLock()
+		n := s.idx.N()
+		s.mu.RUnlock()
+		if int64(len(req.Sources))*int64(n) > maxDenseBatchScores {
+			s.writeError(w, http.StatusBadRequest,
+				"dense batch of %d sources on %d vertices exceeds %d total scores; pass \"min\" or split the batch",
+				len(req.Sources), n, maxDenseBatchScores)
+			return
+		}
+	}
+	s.batchItems.Add(int64(len(req.Sources)))
+
+	// Compute every line under the read lock, then release it before
+	// streaming: a slow client must not block /v1/edges.
+	lines, itemErrors, err := s.computeBatchLines(&req, mode)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.batchItemErrors.Add(itemErrors)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	for _, line := range lines {
+		if _, err := w.Write(line); err != nil {
+			return // client went away; nothing sensible left to do
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// computeBatchLines resolves a validated batch request into one response
+// line per source: per-item validation, cache lookups, one shared-traversal
+// call for the misses, and cache fills. It holds the read lock for the
+// whole computation so every line reflects one index generation.
+func (s *server) computeBatchLines(req *batchRequest, mode string) (lines [][]byte, itemErrors int64, err error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	gen := s.idx.Generation()
+	n := s.idx.N()
+	sparse := req.Min != nil
+	var minVal float64
+	if sparse {
+		minVal = *req.Min
+	}
+
+	lines = make([][]byte, len(req.Sources))
+	// Misses are deduplicated per source id: the per-item parameters are
+	// shared batch-wide, so duplicate sources are computed (and cached)
+	// once and their lines reused.
+	missSlot := make(map[int]int)
+	var miss []int
+	for i, q := range req.Sources {
+		if q < 0 || q >= n {
+			line, merr := json.Marshal(batchItemError{Source: q, Error: fmt.Sprintf("query: vertex %d out of range [0,%d)", q, n)})
+			if merr != nil {
+				return nil, 0, merr
+			}
+			lines[i] = append(line, '\n')
+			itemErrors++
+			continue
+		}
+		var key string
+		cacheable := mode == "topk" || sparse
+		if cacheable {
+			if mode == "topk" {
+				key = topKCacheKey(gen, q, req.K, req.Rerank)
+			} else {
+				key = ssCacheKey(gen, q, minVal)
+			}
+			if body, ok := s.cache.Get(key); ok {
+				lines[i] = body
+				continue
+			}
+		}
+		if _, ok := missSlot[q]; !ok {
+			missSlot[q] = len(miss)
+			miss = append(miss, q)
+		}
+	}
+	if len(miss) == 0 {
+		return lines, itemErrors, nil
+	}
+
+	// Misses run through the shared traversal in chunks: MultiSource holds
+	// one dense float64 row per source, so an unchunked batch on a large
+	// graph would pin len(miss)*n*8 bytes at once. Each chunk's rows are
+	// released before the next starts; per-source results are unaffected
+	// (every row is independent of which batch it was computed in).
+	bodies := make([][]byte, len(miss))
+	chunk := batchChunk(n)
+	for lo := 0; lo < len(miss); lo += chunk {
+		hi := min(lo+chunk, len(miss))
+		switch mode {
+		case "topk":
+			results, berr := s.idx.TopKBatch(miss[lo:hi], req.K, &query.TopKOptions{Rerank: req.Rerank}, s.workers)
+			if berr != nil {
+				return nil, 0, berr
+			}
+			for j, q := range miss[lo:hi] {
+				body, berr := topKBody(q, req.K, req.Rerank, results[j])
+				if berr != nil {
+					return nil, 0, berr
+				}
+				bodies[lo+j] = body
+				s.cache.Put(topKCacheKey(gen, q, req.K, req.Rerank), body)
+			}
+		case "single_source":
+			rows, berr := s.idx.MultiSource(miss[lo:hi], s.workers)
+			if berr != nil {
+				return nil, 0, berr
+			}
+			for j, q := range miss[lo:hi] {
+				body, berr := singleSourceBody(q, rows[j], sparse, minVal)
+				if berr != nil {
+					return nil, 0, berr
+				}
+				bodies[lo+j] = body
+				if sparse {
+					// The same policy as /v1/single_source: dense rows are
+					// O(n) bytes and stay out of the cache.
+					s.cache.Put(ssCacheKey(gen, q, minVal), body)
+				}
+			}
+		}
+	}
+	for i, q := range req.Sources {
+		if lines[i] == nil {
+			lines[i] = bodies[missSlot[q]]
+		}
+	}
+	return lines, itemErrors, nil
+}
+
+type joinRequest struct {
+	K             int     `json:"k"`
+	Threshold     float64 `json:"threshold"`
+	MaxCandidates int     `json:"max_candidates"`
+}
+
+type joinResponse struct {
+	K         int              `json:"k"`
+	Threshold float64          `json:"threshold"`
+	Pairs     []query.JoinPair `json:"pairs"`
+}
+
+// handleJoin serves POST /v1/join: the top-k similarity join over all
+// vertex pairs at a score threshold. Responses are cached under the
+// generation-aware key of their canonicalized parameters.
+func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	defer s.observeLatency(t0)
+	s.reqJoin.Add(1)
+	if !s.checkMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req joinRequest
+	if !s.decodeJSONBody(w, r, &req) {
+		return
+	}
+	if req.K == 0 {
+		req.K = 10
+	}
+	maxCand := req.MaxCandidates
+	if maxCand <= 0 || maxCand > s.joinMaxCand {
+		maxCand = s.joinMaxCand
+	}
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	key := fmt.Sprintf("g%d:join:%d:%s:%d", s.idx.Generation(), req.K,
+		strconv.FormatFloat(req.Threshold, 'g', -1, 64), maxCand)
+	if body, ok := s.cache.Get(key); ok {
+		writeJSONBytes(w, body)
+		return
+	}
+	pairs, err := s.idx.Join(req.K, req.Threshold, &query.JoinOptions{MaxCandidates: maxCand, Workers: s.workers})
+	if err != nil {
+		// A too-dense join is the client's to fix (raise the threshold or
+		// lower k); so are out-of-range parameters.
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	body, err := json.Marshal(joinResponse{K: req.K, Threshold: req.Threshold, Pairs: pairs})
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "encoding response: %v", err)
+		return
+	}
+	body = append(body, '\n')
+	// The LRU is entry-count bounded, so only modest bodies may enter it —
+	// the same reasoning that keeps dense single-source rows out. A join
+	// with a large k can legitimately return megabytes; serve it, don't
+	// cache it.
+	if len(body) <= maxCachedJoinBody {
+		s.cache.Put(key, body)
+	}
+	writeJSONBytes(w, body)
+}
+
+// maxCachedJoinBody bounds the join response bodies admitted to the LRU
+// (whose capacity counts entries, not bytes). 256 KiB is thousands of
+// pairs; anything larger is recomputed per request rather than allowed to
+// blow up resident cache memory.
+const maxCachedJoinBody = 256 << 10

@@ -15,9 +15,21 @@
 //	GET  /v1/single_source?q=17&min=0.01  only entries with score >= 0.01
 //	GET  /v1/topk?q=17&k=10               top-10 by index estimate
 //	GET  /v1/topk?q=17&k=10&rerank=1      top-10 after exact reranking
+//	POST /v1/batch                        many sources, one shared traversal (NDJSON)
+//	POST /v1/join                         all-pairs top-k similarity join
 //	POST /v1/edges                        batch edge adds/removes, applied live
 //	GET  /healthz                         liveness + index parameters
 //	GET  /metrics                         Prometheus-style counters
+//
+// /v1/batch takes {"mode":"topk","sources":[17,42],"k":10} (or
+// {"mode":"single_source","sources":[...],"min":0.01}) and streams one
+// NDJSON line per source, in request order, each byte-identical to the
+// corresponding single-endpoint response; invalid sources produce error
+// lines without failing the rest of the batch. The whole batch is answered
+// by one shared traversal of the walk index, so per-source cost shrinks as
+// the batch grows. /v1/join takes {"k":50,"threshold":0.1} and returns the
+// k highest-scoring vertex pairs at or above the threshold. See
+// docs/API.md for the full reference.
 //
 // /v1/edges takes {"edits":[{"op":"add","u":0,"v":1},{"op":"remove",...}]}
 // and repairs the walk index incrementally — only walks through vertices
@@ -68,6 +80,8 @@ func main() {
 		workers   = flag.Int("workers", 0, "index build/update worker pool (0 = all CPUs, 1 = serial)")
 		cacheSize = flag.Int("cache", 1024, "LRU query-cache entries (0 = disabled)")
 		prewarm   = flag.Bool("prewarm-updates", false, "build the update-tracking visit index at startup instead of on the first POST /v1/edges")
+		maxBatch  = flag.Int("max-batch", defaultMaxBatch, "max sources per /v1/batch request")
+		joinCand  = flag.Int("join-max-candidates", query.DefaultMaxCandidates, "max candidate pairs a /v1/join may enumerate")
 	)
 	flag.Parse()
 
@@ -96,7 +110,14 @@ func main() {
 		log.Printf("index: update-tracking visit index built in %v", time.Since(t0))
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: newServer(idx, *cacheSize, *workers)}
+	if *maxBatch < 1 || *joinCand < 1 {
+		fmt.Fprintln(os.Stderr, "simrankd: -max-batch and -join-max-candidates must be at least 1")
+		os.Exit(1)
+	}
+	handler := newServer(idx, *cacheSize, *workers)
+	handler.maxBatch = *maxBatch
+	handler.joinMaxCand = *joinCand
+	srv := &http.Server{Addr: *addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

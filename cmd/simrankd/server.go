@@ -29,9 +29,15 @@ import (
 type server struct {
 	mu      sync.RWMutex
 	idx     *query.Index
-	workers int // worker pool for incremental index repair
+	workers int // worker pool for incremental index repair and batch queries
 	cache   *lru.Cache[string, []byte]
 	mux     *http.ServeMux
+
+	// maxBatch caps the number of sources one /v1/batch request may carry;
+	// joinMaxCand caps the candidate pairs a /v1/join may enumerate. Both
+	// are set by newServer and overridden by main's flags.
+	maxBatch    int
+	joinMaxCand int
 
 	// Counters exported on /metrics. Latency is tracked as a running sum
 	// plus sample count per process, enough for an average without
@@ -39,9 +45,14 @@ type server struct {
 	reqSingleSource atomic.Int64
 	reqTopK         atomic.Int64
 	reqEdges        atomic.Int64
+	reqBatch        atomic.Int64
+	reqJoin         atomic.Int64
 	reqErrors       atomic.Int64
 	latencyMicros   atomic.Int64
 	latencyCount    atomic.Int64
+
+	batchItems      atomic.Int64
+	batchItemErrors atomic.Int64
 
 	updatesTotal  atomic.Int64
 	updateMicros  atomic.Int64
@@ -54,14 +65,18 @@ type server struct {
 
 func newServer(idx *query.Index, cacheSize, workers int) *server {
 	s := &server{
-		idx:     idx,
-		workers: workers,
-		cache:   lru.New[string, []byte](cacheSize),
-		mux:     http.NewServeMux(),
-		started: time.Now(),
+		idx:         idx,
+		workers:     workers,
+		cache:       lru.New[string, []byte](cacheSize),
+		mux:         http.NewServeMux(),
+		maxBatch:    defaultMaxBatch,
+		joinMaxCand: query.DefaultMaxCandidates,
+		started:     time.Now(),
 	}
 	s.mux.HandleFunc("/v1/single_source", s.handleSingleSource)
 	s.mux.HandleFunc("/v1/topk", s.handleTopK)
+	s.mux.HandleFunc("/v1/batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/join", s.handleJoin)
 	s.mux.HandleFunc("/v1/edges", s.handleEdges)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -175,7 +190,7 @@ func (s *server) handleSingleSource(w http.ResponseWriter, r *http.Request) {
 	cacheable := minRaw != ""
 	var key string
 	if cacheable {
-		key = fmt.Sprintf("g%d:ss:%d:%s", s.idx.Generation(), q, strconv.FormatFloat(minVal, 'g', -1, 64))
+		key = ssCacheKey(s.idx.Generation(), q, minVal)
 		if body, ok := s.cache.Get(key); ok {
 			writeJSONBytes(w, body)
 			return
@@ -187,22 +202,41 @@ func (s *server) handleSingleSource(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	resp := singleSourceResponse{Query: q, N: len(scores)}
-	if minRaw == "" {
-		resp.Scores = scores
-	} else {
-		resp.Results = sparseAbove(scores, q, minVal)
-	}
-	body, err := json.Marshal(resp)
+	body, err := singleSourceBody(q, scores, cacheable, minVal)
 	if err != nil {
 		s.writeError(w, http.StatusInternalServerError, "encoding response: %v", err)
 		return
 	}
-	body = append(body, '\n')
 	if cacheable {
 		s.cache.Put(key, body)
 	}
 	writeJSONBytes(w, body)
+}
+
+// ssCacheKey is the response-cache key of a thresholded single-source
+// query: the index generation (so updates invalidate atomically), the
+// source, and the threshold in canonical decimal form — "0.01", "0.010"
+// and "1e-2" share one entry, whether they arrived as a query parameter on
+// /v1/single_source or as a JSON number on /v1/batch.
+func ssCacheKey(gen uint64, q int, min float64) string {
+	return fmt.Sprintf("g%d:ss:%d:%s", gen, q, strconv.FormatFloat(min, 'g', -1, 64))
+}
+
+// singleSourceBody marshals the /v1/single_source response body — also the
+// per-item line /v1/batch streams, so the two endpoints answer (and cache)
+// byte-identically.
+func singleSourceBody(q int, scores []float64, sparse bool, min float64) ([]byte, error) {
+	resp := singleSourceResponse{Query: q, N: len(scores)}
+	if sparse {
+		resp.Results = sparseAbove(scores, q, min)
+	} else {
+		resp.Scores = scores
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		return nil, err
+	}
+	return append(body, '\n'), nil
 }
 
 // sparseAbove filters a dense score vector down to the entries (other than
@@ -253,7 +287,7 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	key := fmt.Sprintf("g%d:topk:%d:%d:%t", s.idx.Generation(), q, k, rerank)
+	key := topKCacheKey(s.idx.Generation(), q, k, rerank)
 	if body, ok := s.cache.Get(key); ok {
 		writeJSONBytes(w, body)
 		return
@@ -264,19 +298,32 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	body, err := json.Marshal(topKResponse{Query: q, K: k, Reranked: rerank, Results: results})
+	body, err := topKBody(q, k, rerank, results)
 	if err != nil {
 		s.writeError(w, http.StatusInternalServerError, "encoding response: %v", err)
 		return
 	}
-	body = append(body, '\n')
 	s.cache.Put(key, body)
 	writeJSONBytes(w, body)
 }
 
-// maxEditsBody bounds a /v1/edges request body (~8 MB is tens of
-// thousands of edits, far beyond a sane online batch).
-const maxEditsBody = 8 << 20
+// topKCacheKey is the response-cache key of a top-k query, shared between
+// /v1/topk and the per-item entries of /v1/batch: a batch warms the cache
+// for single queries and vice versa, and the folded-in generation makes
+// pre-update entries unservable after an update.
+func topKCacheKey(gen uint64, q, k int, rerank bool) string {
+	return fmt.Sprintf("g%d:topk:%d:%d:%t", gen, q, k, rerank)
+}
+
+// topKBody marshals the /v1/topk response body — also the per-item line
+// /v1/batch streams, so the two endpoints answer byte-identically.
+func topKBody(q, k int, rerank bool, results []query.Ranked) ([]byte, error) {
+	body, err := json.Marshal(topKResponse{Query: q, K: k, Reranked: rerank, Results: results})
+	if err != nil {
+		return nil, err
+	}
+	return append(body, '\n'), nil
+}
 
 type edgeEdit struct {
 	Op string `json:"op"` // "add" | "remove"
@@ -311,15 +358,7 @@ func (s *server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req edgesRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxEditsBody))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			s.writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", maxEditsBody)
-			return
-		}
-		s.writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+	if !s.decodeJSONBody(w, r, &req) {
 		return
 	}
 	edits := make([]graph.Edit, len(req.Edits))
@@ -419,6 +458,10 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "simrankd_requests_total{endpoint=\"single_source\"} %d\n", s.reqSingleSource.Load())
 	fmt.Fprintf(w, "simrankd_requests_total{endpoint=\"topk\"} %d\n", s.reqTopK.Load())
 	fmt.Fprintf(w, "simrankd_requests_total{endpoint=\"edges\"} %d\n", s.reqEdges.Load())
+	fmt.Fprintf(w, "simrankd_requests_total{endpoint=\"batch\"} %d\n", s.reqBatch.Load())
+	fmt.Fprintf(w, "simrankd_requests_total{endpoint=\"join\"} %d\n", s.reqJoin.Load())
+	fmt.Fprintf(w, "simrankd_batch_items_total %d\n", s.batchItems.Load())
+	fmt.Fprintf(w, "simrankd_batch_item_errors_total %d\n", s.batchItemErrors.Load())
 	fmt.Fprintf(w, "simrankd_request_errors_total %d\n", s.reqErrors.Load())
 	fmt.Fprintf(w, "simrankd_cache_hits_total %d\n", hits)
 	fmt.Fprintf(w, "simrankd_cache_misses_total %d\n", misses)

@@ -1,0 +1,63 @@
+// Similarity join: find the most similar vertex pairs in a whole graph
+// without computing (or storing) the Theta(n^2) all-pairs matrix.
+//
+// Builds a DBLP-like co-authorship graph, precomputes the walk index of
+// simrank/query, and runs query.Join — the all-pairs top-k similarity
+// join cmd/simrankd serves as POST /v1/join. The join enumerates only
+// pairs whose random walkers ever co-locate at a depth the score
+// threshold allows (the contribution-weight prune), then scores exactly
+// those candidates, so its cost tracks the answer size rather than n^2.
+// The top pairs are cross-checked here against the batch OIP-SR engine,
+// which is exact but quadratic.
+//
+//	go run ./examples/join
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"oipsr/graph/gen"
+	"oipsr/simrank"
+	"oipsr/simrank/query"
+)
+
+func main() {
+	// Communities make the join non-trivial: co-authors inside one cluster
+	// share in-neighbors and score high against each other.
+	g := gen.CoauthorGraph(500, 4, 42)
+	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+
+	idx, err := query.BuildIndex(g, query.Options{Walks: 400, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("index: R=%d walks of horizon K=%d per vertex (%d KiB)\n\n",
+		idx.Walks(), idx.Horizon(), idx.Bytes()/1024)
+
+	// The join: top 15 pairs scoring at least 0.2. Bit-identical for every
+	// worker count; ErrTooDense would tell us the threshold admits more
+	// candidate pairs than JoinOptions.MaxCandidates.
+	const k, threshold = 15, 0.2
+	pairs, err := idx.Join(k, threshold, &query.JoinOptions{Workers: 0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("top-%d similarity join at threshold %.2f: %d pairs\n\n", k, threshold, len(pairs))
+
+	// Ground truth for the comparison column: the exact batch engine with
+	// the same truncation — the Theta(n^2) computation the join avoids.
+	exact, _, err := simrank.Compute(g, simrank.Options{
+		Algorithm: simrank.OIPSR, C: idx.C(), K: idx.Horizon(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%6s %6s | %9s %9s\n", "a", "b", "estimate", "exact")
+	for _, p := range pairs {
+		fmt.Printf("%6d %6d | %9.4f %9.4f\n", p.A, p.B, p.Score, exact.Score(p.A, p.B))
+	}
+	fmt.Println("\n(estimate = walk-index score, the same value SingleSource reports for the")
+	fmt.Println(" pair; exact = converged OIP-SR. Estimates carry O(1/sqrt(R)) sampling error.)")
+}

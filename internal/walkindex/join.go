@@ -1,0 +1,190 @@
+package walkindex
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"oipsr/internal/par"
+)
+
+// All-pairs top-k similarity join.
+//
+// Join answers "which pairs of vertices are most similar?" without an
+// n-source MultiSource sweep, let alone the Theta(n^2) state of the batch
+// engines. It exploits the same structure the batched path does — walkers
+// standing on the same vertex at the same (fingerprint, step) — but
+// inverted: instead of looking sources up per target, it groups ALL
+// walkers of one slot by position, because exactly the co-located groups
+// are where estimate mass comes from. A pair that is never co-located has
+// estimate 0, and a pair whose earliest co-location (over every
+// fingerprint) is at step t has estimate at most C^(t+1): each
+// fingerprint's first-meeting weight is bounded by the earliest one, and
+// the estimate is an average of those weights.
+//
+// That bound is the contribution-weight prune: for a score threshold
+// theta, only the slots with C^(t+1) >= theta (t <= T_theta, a constant
+// depth for fixed theta) can introduce a pair that reaches theta, so
+// candidate generation touches R*(T_theta+1) slots instead of R*K — and,
+// more importantly, it enumerates only co-located pairs, whose count on
+// real graphs is far below n^2/2 at useful thresholds. Candidates are then
+// re-scored exactly (the same arithmetic as SingleSource/Pair) and the
+// top-k above the threshold survive.
+
+// JoinPair is one result pair of a similarity join, canonical A < B.
+type JoinPair struct {
+	A, B  int
+	Score float64
+}
+
+// ErrTooDense reports a join whose candidate set outgrew the caller's cap:
+// the threshold is too low (or the graph's walks coalesce too heavily) for
+// pair enumeration to stay bounded. Raise the threshold or the cap.
+var ErrTooDense = errors.New("walkindex: join candidate set exceeds the cap")
+
+// genSlack widens the candidate-generation depth by a hair: a pair whose
+// true bound sits exactly at the threshold could otherwise be pruned while
+// floating-point summation rounds its exact estimate to just above it.
+const genSlack = 1 - 1e-9
+
+// Join returns the top-k vertex pairs (a < b) with estimated SimRank score
+// at least threshold, in decreasing score order with ties broken by (a, b).
+// Scores are the same estimates SingleSource produces, bit-identically,
+// and the result is exhaustive: every pair the full n x n estimate matrix
+// ranks in its top-k above the threshold appears (threshold 0 means every
+// pair with a positive estimate). maxCandidates caps the enumerated
+// co-located pair set — ErrTooDense reports overflow before memory does.
+// The result is bit-identical for every worker count.
+func (ix *Index) Join(k int, threshold float64, maxCandidates, workers int) ([]JoinPair, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("walkindex: join top-k size %d < 1", k)
+	}
+	if threshold < 0 || threshold > 1 {
+		return nil, fmt.Errorf("walkindex: join threshold %v outside [0,1]", threshold)
+	}
+	if maxCandidates < 1 {
+		return nil, fmt.Errorf("walkindex: join candidate cap %d < 1", maxCandidates)
+	}
+	// Depth prune: slots past maxT cannot introduce a pair reaching the
+	// threshold (pow is strictly decreasing, so the scan stops early).
+	maxT := -1
+	for t := 0; t < ix.k; t++ {
+		if ix.pow[t] < threshold*genSlack {
+			break
+		}
+		maxT = t
+	}
+	if maxT < 0 || ix.n < 2 {
+		return []JoinPair{}, nil
+	}
+
+	// Phase 1 (parallel over fingerprints): enumerate co-located pairs into
+	// per-worker dedup sets. Grouping a slot by position uses intrusive
+	// chains (head/next over vertex ids) — two flat int32 arrays per
+	// worker, no per-slot map churn.
+	parts := par.ResolveMax(workers, ix.r)
+	sets := make([]map[uint64]struct{}, parts)
+	var overflow atomic.Bool
+	par.Do(parts, func(w int) {
+		lo, hi := par.Range(ix.r, parts, w)
+		set := make(map[uint64]struct{})
+		head := make([]int32, ix.n)
+		next := make([]int32, ix.n)
+		for fp := lo; fp < hi; fp++ {
+			for t := 0; t <= maxT; t++ {
+				if overflow.Load() {
+					return
+				}
+				for i := range head {
+					head[i] = -1
+				}
+				alive := false
+				for v := 0; v < ix.n; v++ {
+					p := ix.paths[(v*ix.r+fp)*ix.k+t]
+					if p < 0 {
+						continue
+					}
+					alive = true
+					next[v] = head[p]
+					head[p] = int32(v)
+				}
+				if !alive {
+					break // every walker of this fingerprint is dead
+				}
+				for p := 0; p < ix.n; p++ {
+					// The chain holds every walker standing on p, in
+					// decreasing vertex id; all pairs within it co-locate
+					// here, so all are candidates. Coalesced walks make
+					// huge chains the norm on hub graphs — one chain of
+					// length g yields g(g-1)/2 pairs — so the cap is
+					// enforced per insertion, before memory is committed,
+					// not per chain.
+					for b := head[p]; b >= 0; b = next[b] {
+						for a := next[b]; a >= 0; a = next[a] {
+							set[uint64(a)<<32|uint64(b)] = struct{}{}
+							if len(set) > maxCandidates {
+								overflow.Store(true)
+								return
+							}
+						}
+					}
+				}
+			}
+		}
+		sets[w] = set
+	})
+	if overflow.Load() {
+		return nil, fmt.Errorf("%w: threshold %v admits more than %d co-located pairs", ErrTooDense, threshold, maxCandidates)
+	}
+	// Merge with the cap enforced as the union grows: per-worker sets each
+	// respect the cap, but their union must too — and must fail before it
+	// occupies workers-times the promised memory bound.
+	merged := sets[0]
+	for _, set := range sets[1:] {
+		for key := range set {
+			merged[key] = struct{}{}
+			if len(merged) > maxCandidates {
+				return nil, fmt.Errorf("%w: threshold %v admits more than %d co-located pairs", ErrTooDense, threshold, maxCandidates)
+			}
+		}
+	}
+	keys := make([]uint64, 0, len(merged))
+	for key := range merged {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	// Phase 2 (parallel over candidates): exact estimates via the same
+	// arithmetic as SingleSource, so scores — and therefore the threshold
+	// filter and the final order — match the full estimate matrix bitwise.
+	pairs := make([]JoinPair, len(keys))
+	parts = par.ResolveMax(workers, len(keys))
+	par.Do(parts, func(w int) {
+		lo, hi := par.Range(len(keys), parts, w)
+		for i := lo; i < hi; i++ {
+			a, b := int(keys[i]>>32), int(keys[i]&0xFFFFFFFF)
+			pairs[i] = JoinPair{A: a, B: b, Score: ix.Pair(a, b)}
+		}
+	})
+
+	kept := pairs[:0]
+	for _, p := range pairs {
+		if p.Score >= threshold && p.Score > 0 {
+			kept = append(kept, p)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].Score != kept[j].Score {
+			return kept[i].Score > kept[j].Score
+		}
+		if kept[i].A != kept[j].A {
+			return kept[i].A < kept[j].A
+		}
+		return kept[i].B < kept[j].B
+	})
+	if k > len(kept) {
+		k = len(kept)
+	}
+	return kept[:k:k], nil
+}

@@ -1,0 +1,151 @@
+package walkindex
+
+import (
+	"sort"
+
+	"oipsr/internal/par"
+)
+
+// Batched multi-source queries.
+//
+// A SingleSource call sweeps the whole path store once, comparing every
+// stored target position against the source's walker at the same
+// (fingerprint, step). Answering a batch of S sources with S independent
+// calls therefore sweeps the store S times — O(S*n*R*K) — even though the
+// sweeps read identical data. MultiSource amortizes that shared traversal:
+// the batch's source walker positions are gathered into one sorted table
+// per (fingerprint, step) slot, and a single sweep over the path store
+// looks each target position up in its slot's table, crediting every
+// source whose walker stands there in one step. The sweep costs
+// O(n*R*K*log S) lookups plus one accumulator update per first meeting, so
+// cost per source shrinks as the batch grows.
+//
+// The sweep is node-parallel over targets: each worker owns a contiguous
+// target range and writes disjoint cells of the per-source score rows, with
+// the slot tables shared read-only — the same discipline as Build, so
+// results are bit-identical for every worker count.
+
+// srcEntry records that the batch source with ordinal si has its walker at
+// position pos in some (fingerprint, step) slot of the slot table.
+type srcEntry struct {
+	pos int32
+	si  int32
+}
+
+// MultiSource estimates s(q, v) for every source q in sources and every
+// target v, returning one dense score row per source (out[i][v] is
+// s(sources[i], v); the entry for the source itself is exactly 1). Every
+// row is bit-identical to SingleSource(sources[i], nil), for every worker
+// count (1 = serial, <1 = all CPUs): per (source, target) pair the same
+// first-meeting weights are accumulated in the same fingerprint order and
+// scaled by the same 1/R, so not even the floating-point rounding differs.
+//
+// Sources must be valid vertex ids (the query layer validates); duplicates
+// are allowed and produce identical rows.
+func (ix *Index) MultiSource(sources []int, workers int) [][]float64 {
+	out := make([][]float64, len(sources))
+	for i := range out {
+		out[i] = make([]float64, ix.n)
+	}
+	if len(sources) == 0 {
+		return out
+	}
+
+	// Slot tables: slot (fp, t) holds the living source walker positions at
+	// step t of fingerprint fp, sorted by position, as
+	// entries[off[fp*k+t]:off[fp*k+t+1]]. Dead walkers are excluded; since a
+	// dead walk stays dead, slot sizes are non-increasing in t within one
+	// fingerprint, and an empty slot ends the sweep's step loop early.
+	nslots := ix.r * ix.k
+	off := make([]int, nslots+1)
+	for _, q := range sources {
+		base := q * ix.r * ix.k
+		for fp := 0; fp < ix.r; fp++ {
+			row := ix.paths[base+fp*ix.k : base+(fp+1)*ix.k]
+			for t, p := range row {
+				if p < 0 {
+					break
+				}
+				off[fp*ix.k+t+1]++
+			}
+		}
+	}
+	for i := 1; i <= nslots; i++ {
+		off[i] += off[i-1]
+	}
+	entries := make([]srcEntry, off[nslots])
+	cur := make([]int, nslots)
+	copy(cur, off[:nslots])
+	for si, q := range sources {
+		base := q * ix.r * ix.k
+		for fp := 0; fp < ix.r; fp++ {
+			row := ix.paths[base+fp*ix.k : base+(fp+1)*ix.k]
+			for t, p := range row {
+				if p < 0 {
+					break
+				}
+				slot := fp*ix.k + t
+				entries[cur[slot]] = srcEntry{pos: p, si: int32(si)}
+				cur[slot]++
+			}
+		}
+	}
+	for s := 0; s < nslots; s++ {
+		seg := entries[off[s]:off[s+1]]
+		sort.Slice(seg, func(i, j int) bool {
+			if seg[i].pos != seg[j].pos {
+				return seg[i].pos < seg[j].pos
+			}
+			return seg[i].si < seg[j].si
+		})
+	}
+
+	inv := 1 / float64(ix.r)
+	parts := par.ResolveMax(workers, ix.n)
+	par.Do(parts, func(w int) {
+		lo, hi := par.Range(ix.n, parts, w)
+		acc := make([]float64, len(sources))
+		// met[si] == epoch marks "si already met the current (target,
+		// fingerprint)"; bumping the epoch clears all marks at once.
+		met := make([]int, len(sources))
+		epoch := 0
+		for v := lo; v < hi; v++ {
+			for i := range acc {
+				acc[i] = 0
+			}
+			base := v * ix.r * ix.k
+			for fp := 0; fp < ix.r; fp++ {
+				epoch++
+				row := ix.paths[base+fp*ix.k : base+(fp+1)*ix.k]
+				for t, pv := range row {
+					if pv < 0 {
+						break // a dead target never meets anyone
+					}
+					seg := entries[off[fp*ix.k+t]:off[fp*ix.k+t+1]]
+					if len(seg) == 0 {
+						break // every source walker is already dead
+					}
+					i := sort.Search(len(seg), func(i int) bool { return seg[i].pos >= pv })
+					for ; i < len(seg) && seg[i].pos == pv; i++ {
+						si := seg[i].si
+						if met[si] == epoch {
+							continue // first meeting only: C^(t+1) once per fp
+						}
+						met[si] = epoch
+						acc[si] += ix.pow[t]
+					}
+				}
+			}
+			for si := range acc {
+				out[si][v] = acc[si] * inv
+			}
+		}
+	})
+	// Overwrite each source's own entry with the exact 1 SingleSource
+	// promises (the sweep instead credits the trivial self-meeting at the
+	// first step, which would leave C there).
+	for si, q := range sources {
+		out[si][q] = 1
+	}
+	return out
+}

@@ -233,7 +233,11 @@ func (ix *Index) SingleSource(q int, dst []float64) []float64 {
 	return dst
 }
 
-// Pair estimates the single score s(a, b).
+// Pair estimates the single score s(a, b). It runs the same accumulation
+// as SingleSource — first-meeting weights in fingerprint order, scaled by
+// the same precomputed 1/R — so Pair(a, b) is bit-identical to
+// SingleSource(a, nil)[b] (and, by symmetry of the meeting computation, to
+// SingleSource(b, nil)[a] and to the MultiSource and Join estimates).
 func (ix *Index) Pair(a, b int) float64 {
 	if a == b {
 		return 1
@@ -254,7 +258,7 @@ func (ix *Index) Pair(a, b int) float64 {
 			}
 		}
 	}
-	return s / float64(ix.r)
+	return s * (1 / float64(ix.r))
 }
 
 // Equal reports whether two indexes hold identical parameters and paths

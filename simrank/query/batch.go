@@ -1,0 +1,76 @@
+package query
+
+import (
+	"fmt"
+
+	"oipsr/internal/par"
+)
+
+// Batched queries. Serving traffic rarely arrives one source at a time:
+// recommendation backfills, "similar items" widgets and offline audits ask
+// about many sources at once. MultiSource and TopKBatch answer a whole
+// batch in one shared traversal of the walk index (see
+// oipsr/internal/walkindex for the sweep), so cost per source shrinks as
+// the batch grows — while every row stays bit-identical to the
+// corresponding independent SingleSource/TopK call, for every worker
+// count. cmd/simrankd exposes this path as POST /v1/batch.
+
+// checkSources validates every vertex id of a batch.
+func (ix *Index) checkSources(sources []int) error {
+	n := ix.wi.N()
+	for i, q := range sources {
+		if q < 0 || q >= n {
+			return fmt.Errorf("query: source %d (batch item %d) out of range [0,%d)", q, i, n)
+		}
+	}
+	return nil
+}
+
+// MultiSource estimates s(q, v) for every source q in sources and every
+// vertex v, returning one dense row per source in batch order; entry
+// sources[i] of row i is exactly 1. Rows are bit-identical to independent
+// SingleSource calls, for every worker count (1 = serial, anything below 1
+// means all CPUs), but the whole batch costs a single traversal of the
+// walk index instead of one per source. Duplicate sources are allowed.
+func (ix *Index) MultiSource(sources []int, workers int) ([][]float64, error) {
+	if err := ix.checkSources(sources); err != nil {
+		return nil, err
+	}
+	return ix.wi.MultiSource(sources, workers), nil
+}
+
+// TopKBatch answers TopK(q, k, opt) for every source q in sources,
+// returning the result lists in batch order. Candidate scoring is one
+// shared MultiSource traversal; the optional exact rerank runs per source
+// (in parallel across sources, each with its own memo). Every result list
+// is bit-identical to the corresponding independent TopK call, for every
+// worker count.
+func (ix *Index) TopKBatch(sources []int, k int, opt *TopKOptions, workers int) ([][]Ranked, error) {
+	n := ix.wi.N()
+	if err := ix.checkSources(sources); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("query: top-k size %d < 1", k)
+	}
+	if k > n-1 {
+		k = n - 1
+	}
+	if opt == nil {
+		opt = &TopKOptions{}
+	}
+	if opt.Rerank && ix.g == nil {
+		return nil, fmt.Errorf("query: rerank needs the source graph (AttachGraph after Load)")
+	}
+
+	rows := ix.wi.MultiSource(sources, workers)
+	out := make([][]Ranked, len(sources))
+	parts := par.ResolveMax(workers, len(sources))
+	par.Do(parts, func(w int) {
+		lo, hi := par.Range(len(sources), parts, w)
+		for i := lo; i < hi; i++ {
+			out[i] = ix.rankFromScores(rows[i], sources[i], k, opt)
+		}
+	})
+	return out, nil
+}

@@ -39,6 +39,23 @@
 //     re-ranked by the exact scores. This buys near-exact ordering within
 //     the pool at a per-query cost that depends on in-degree, not on n.
 //
+// # Batched queries and similarity joins
+//
+// Serving traffic rarely asks one question at a time. MultiSource and
+// TopKBatch answer a whole batch of sources through one shared traversal
+// of the index — the batch's walker positions are tabulated once per
+// (fingerprint, step) and a single sweep of the path store credits every
+// source at once — so cost per source shrinks as the batch grows, while
+// every row and ranking stays bit-identical to the corresponding
+// independent SingleSource/TopK call, for every worker count. Join runs
+// the all-pairs top-k similarity join ("which pairs anywhere score at
+// least theta?"): only pairs whose walkers co-locate within the depth the
+// threshold allows are enumerated (a pair first co-locating at step t
+// scores at most C^(t+1) — the contribution-weight prune), then scored
+// exactly, so the join never materializes n^2 state either. cmd/simrankd
+// serves these as POST /v1/batch (NDJSON, one line per source, items fail
+// independently) and POST /v1/join.
+//
 // # Dynamic updates
 //
 // The graph need not be frozen: ApplyEdits applies a batch of edge

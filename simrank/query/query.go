@@ -246,8 +246,17 @@ func (ix *Index) TopK(q, k int, opt *TopKOptions) ([]Ranked, error) {
 	if opt.Rerank && ix.g == nil {
 		return nil, fmt.Errorf("query: rerank needs the source graph (AttachGraph after Load)")
 	}
+	return ix.rankFromScores(ix.wi.SingleSource(q, nil), q, k, opt), nil
+}
 
-	scores := ix.wi.SingleSource(q, nil)
+// rankFromScores turns one dense score row into the final top-k result:
+// candidate selection by estimated score, then the optional exact rerank.
+// TopK and TopKBatch both end here — sharing the code is what makes the
+// batched path bit-identical to independent calls by construction. Callers
+// validate q/k/opt (k already clamped to at most n-1) and, when reranking,
+// an attached graph.
+func (ix *Index) rankFromScores(scores []float64, q, k int, opt *TopKOptions) []Ranked {
+	n := ix.wi.N()
 	pool := k
 	if opt.Rerank {
 		pool = opt.Candidates
@@ -265,6 +274,11 @@ func (ix *Index) TopK(q, k int, opt *TopKOptions) ([]Ranked, error) {
 		if pruneEps == 0 {
 			pruneEps = 1e-5
 		}
+		// A fresh scorer per call: the memo's weight-bounded reuse is
+		// accuracy-preserving but not bit-stable across visiting orders, so
+		// sharing one scorer across a batch could (harmlessly but
+		// detectably) perturb scores. Independent memos keep the batch
+		// bit-identical to independent TopK calls.
 		ex := newExactScorer(ix.g, ix.wi.C(), ix.wi.Horizon(), pruneEps)
 		for i := range cands {
 			cands[i].Score = ex.pair(q, cands[i].Vertex)
@@ -279,7 +293,7 @@ func (ix *Index) TopK(q, k int, opt *TopKOptions) ([]Ranked, error) {
 	if k > len(cands) {
 		k = len(cands)
 	}
-	return cands[:k], nil
+	return cands[:k]
 }
 
 // topByScore selects the top-m vertices by score, excluding skip, in
