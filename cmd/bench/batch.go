@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -47,14 +48,14 @@ func runBatchWorkload(cfg config) {
 			t0 := time.Now()
 			indep := make([][]float64, len(sources))
 			for i, q := range sources {
-				indep[i], err = idx.SingleSource(q)
+				indep[i], err = idx.SingleSource(context.Background(), q)
 				must(err)
 			}
 			indepTime := time.Since(t0)
 
 			// Batched: one shared traversal for the whole batch.
 			t0 = time.Now()
-			rows, err := idx.MultiSource(sources, benchWorkers)
+			rows, err := idx.MultiSource(context.Background(), sources, benchWorkers)
 			must(err)
 			batchTime := time.Since(t0)
 
@@ -90,7 +91,7 @@ func runBatchWorkload(cfg config) {
 		// The similarity join at a few thresholds: pair yield and time.
 		for _, threshold := range []float64{0.2, 0.1, 0.05} {
 			t0 := time.Now()
-			pairs, err := idx.Join(50, threshold, &query.JoinOptions{Workers: benchWorkers})
+			pairs, err := idx.Join(context.Background(), 50, threshold, &query.JoinOptions{Workers: benchWorkers})
 			joinTime := time.Since(t0)
 			if err != nil {
 				fmt.Printf("%-10s | join theta=%.2f: %v\n", wl.name, threshold, err)

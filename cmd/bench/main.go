@@ -23,13 +23,14 @@
 //	query             walk-index build/latency/precision  (simrankd serving)
 //	updates           incremental repair vs full rebuild  (simrankd /v1/edges)
 //	batch             shared-traversal batched queries    (simrankd /v1/batch + /v1/join)
+//	serve             closed-loop load vs admission control (simrankd overload)
 //	memory            tiled engine under a memory cap     (spill-to-disk)
 //	ablate            design-choice ablations             (DESIGN.md)
 //
 // The -scale flag shrinks the workloads (absolute numbers change, shapes do
 // not); -quick is shorthand for a fast smoke run. -workers sets the
 // worker-pool size for the timed experiments (0 = all CPUs). One NDJSON
-// record per measured data point is always written to BENCH_PR5.json in
+// record per measured data point is always written to BENCH_PR6.json in
 // the working directory (the perf trajectory file); -json FILE (or "-" for
 // stdout) tees the same records to a second sink.
 package main
@@ -70,7 +71,7 @@ func main() {
 	args := flag.Args()
 	if len(args) == 0 {
 		flag.Usage()
-		fmt.Fprintln(os.Stderr, "\nrun \"bench all\" or pick experiments: datasets exp1-dblp exp1-web exp1-patent exp1-amortized exp1-density exp2-memory exp3-convergence exp3-bounds exp4-ndcg exp4-topk scaling query updates batch memory ablate")
+		fmt.Fprintln(os.Stderr, "\nrun \"bench all\" or pick experiments: datasets exp1-dblp exp1-web exp1-patent exp1-amortized exp1-density exp2-memory exp3-convergence exp3-bounds exp4-ndcg exp4-topk scaling query updates batch serve memory ablate")
 		os.Exit(2)
 	}
 
@@ -90,13 +91,14 @@ func main() {
 		"query":            runQueryWorkload,
 		"updates":          runUpdatesWorkload,
 		"batch":            runBatchWorkload,
+		"serve":            runServeWorkload,
 		"memory":           runMemoryWorkload,
 		"ablate":           runAblations,
 	}
 	order := []string{
 		"datasets", "exp1-dblp", "exp1-web", "exp1-patent", "exp1-amortized",
 		"exp1-density", "exp2-memory", "exp3-convergence", "exp3-bounds",
-		"exp4-ndcg", "exp4-topk", "scaling", "query", "updates", "batch", "memory", "ablate",
+		"exp4-ndcg", "exp4-topk", "scaling", "query", "updates", "batch", "serve", "memory", "ablate",
 	}
 
 	if len(args) == 1 && args[0] == "all" {

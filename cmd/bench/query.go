@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -51,15 +52,15 @@ func runQueryWorkload(cfg config) {
 
 		queries := queryVertices(n, 64)
 		ssP50, ssP99 := latencies(queries, func(q int) {
-			_, err := idx.SingleSource(q)
+			_, err := idx.SingleSource(context.Background(), q)
 			must(err)
 		})
 		tkP50, tkP99 := latencies(queries, func(q int) {
-			_, err := idx.TopK(q, topK, nil)
+			_, err := idx.TopK(context.Background(), q, topK, nil)
 			must(err)
 		})
 		rrP50, rrP99 := latencies(queries, func(q int) {
-			_, err := idx.TopK(q, topK, &query.TopKOptions{Rerank: true})
+			_, err := idx.TopK(context.Background(), q, topK, &query.TopKOptions{Rerank: true})
 			must(err)
 		})
 
@@ -88,9 +89,9 @@ func runQueryWorkload(cfg config) {
 			must(err)
 			var sumRaw, sumRerank float64
 			for _, q := range queries {
-				raw, err := idx.TopK(q, topK, nil)
+				raw, err := idx.TopK(context.Background(), q, topK, nil)
 				must(err)
-				rr, err := idx.TopK(q, topK, &query.TopKOptions{Rerank: true})
+				rr, err := idx.TopK(context.Background(), q, topK, &query.TopKOptions{Rerank: true})
 				must(err)
 				sumRaw += precisionAtK(exact.Row(q), q, raw, topK)
 				sumRerank += precisionAtK(exact.Row(q), q, rr, topK)

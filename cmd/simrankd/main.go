@@ -39,8 +39,19 @@
 // response cache is invalidated atomically by folding the index generation
 // into cache keys.
 //
-// The process shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests before exiting.
+// Overload behavior: every /v1 request runs under -request-timeout
+// (shortened per request via ?timeout_ms=, never extended); at most
+// -max-inflight requests execute concurrently with a wait queue of
+// -queue-depth behind them, beyond which requests are shed with 429 +
+// Retry-After; reranked top-k requests whose remaining deadline cannot
+// afford the exact rerank are served raw walk estimates marked degraded.
+// See oipsr/internal/simrankd for the mechanics and docs/API.md for the
+// client-visible semantics.
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: it stops accepting
+// connections and drains in-flight requests for -shutdown-drain; requests
+// still running then have their contexts cancelled, which ends NDJSON
+// streams with a terminal error line, and the server exits.
 package main
 
 import (
@@ -50,6 +61,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -60,6 +72,7 @@ import (
 	"oipsr/graph"
 	"oipsr/graph/gen"
 	"oipsr/graph/gio"
+	"oipsr/internal/simrankd"
 	"oipsr/simrank/query"
 )
 
@@ -80,8 +93,13 @@ func main() {
 		workers   = flag.Int("workers", 0, "index build/update worker pool (0 = all CPUs, 1 = serial)")
 		cacheSize = flag.Int("cache", 1024, "LRU query-cache entries (0 = disabled)")
 		prewarm   = flag.Bool("prewarm-updates", false, "build the update-tracking visit index at startup instead of on the first POST /v1/edges")
-		maxBatch  = flag.Int("max-batch", defaultMaxBatch, "max sources per /v1/batch request")
+		maxBatch  = flag.Int("max-batch", simrankd.DefaultMaxBatch, "max sources per /v1/batch request")
 		joinCand  = flag.Int("join-max-candidates", query.DefaultMaxCandidates, "max candidate pairs a /v1/join may enumerate")
+
+		reqTimeout  = flag.Duration("request-timeout", 10*time.Second, "deadline per /v1 request, also the cap on ?timeout_ms= overrides (0 = none)")
+		maxInflight = flag.Int("max-inflight", simrankd.DefaultMaxInflight(), "max /v1 requests executing concurrently")
+		queueDepth  = flag.Int("queue-depth", 0, "requests allowed to wait for an execution slot; beyond it 429 (0 = 2*max-inflight, negative = no queue)")
+		drain       = flag.Duration("shutdown-drain", 10*time.Second, "time to drain in-flight requests on SIGINT/SIGTERM before cancelling them")
 	)
 	flag.Parse()
 
@@ -114,10 +132,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, "simrankd: -max-batch and -join-max-candidates must be at least 1")
 		os.Exit(1)
 	}
-	handler := newServer(idx, *cacheSize, *workers)
-	handler.maxBatch = *maxBatch
-	handler.joinMaxCand = *joinCand
-	srv := &http.Server{Addr: *addr, Handler: handler}
+	if *maxInflight < 1 {
+		fmt.Fprintln(os.Stderr, "simrankd: -max-inflight must be at least 1")
+		os.Exit(1)
+	}
+	cacheCfg := *cacheSize
+	if cacheCfg == 0 {
+		cacheCfg = -1 // flag 0 = off; Config uses negative for that
+	}
+	handler := simrankd.NewServer(idx, simrankd.Config{
+		CacheSize:         cacheCfg,
+		Workers:           *workers,
+		MaxBatch:          *maxBatch,
+		JoinMaxCandidates: *joinCand,
+		MaxInflight:       *maxInflight,
+		QueueDepth:        *queueDepth,
+		RequestTimeout:    *reqTimeout,
+	})
+	// baseCtx is the ancestor of every request context; cancelling it is
+	// the lever that aborts requests still running when the graceful-drain
+	// window closes.
+	baseCtx, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
+	srv := &http.Server{
+		Addr:        *addr,
+		Handler:     handler,
+		BaseContext: func(net.Listener) context.Context { return baseCtx },
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -133,10 +174,22 @@ func main() {
 		os.Exit(1)
 	case <-ctx.Done():
 	}
-	log.Printf("shutting down (draining in-flight requests)")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	log.Printf("shutting down (draining in-flight requests for up to %v)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	if err := srv.Shutdown(shutdownCtx); err != nil {
+	err = srv.Shutdown(shutdownCtx)
+	if err == nil {
+		return // drained clean
+	}
+	// The drain window closed with requests still running. Cancel their
+	// contexts: queries abort at the next chunk boundary and NDJSON
+	// streams write a terminal error line, after which a short second
+	// Shutdown lets those responses reach the wire.
+	log.Printf("drain deadline passed; cancelling in-flight requests")
+	cancelBase()
+	lastCtx, cancelLast := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancelLast()
+	if err := srv.Shutdown(lastCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "simrankd: shutdown: %v\n", err)
 		os.Exit(1)
 	}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,7 +40,7 @@ func main() {
 	// worker count; ErrTooDense would tell us the threshold admits more
 	// candidate pairs than JoinOptions.MaxCandidates.
 	const k, threshold = 15, 0.2
-	pairs, err := idx.Join(k, threshold, &query.JoinOptions{Workers: 0})
+	pairs, err := idx.Join(context.Background(), k, threshold, &query.JoinOptions{Workers: 0})
 	if err != nil {
 		log.Fatal(err)
 	}

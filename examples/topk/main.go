@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -48,11 +49,11 @@ func main() {
 
 	const k = 5
 	for _, q := range []int{10, 123, 307} {
-		estimated, err := idx.TopK(q, k, nil)
+		estimated, err := idx.TopK(context.Background(), q, k, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
-		reranked, err := idx.TopK(q, k, &query.TopKOptions{Rerank: true})
+		reranked, err := idx.TopK(context.Background(), q, k, &query.TopKOptions{Rerank: true})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -83,8 +84,8 @@ func main() {
 	if err := loaded.AttachGraph(g); err != nil {
 		log.Fatal(err)
 	}
-	a, _ := idx.TopK(10, k, nil)
-	b, _ := loaded.TopK(10, k, nil)
+	a, _ := idx.TopK(context.Background(), 10, k, nil)
+	b, _ := loaded.TopK(context.Background(), 10, k, nil)
 	same := len(a) == len(b)
 	for i := range a {
 		same = same && a[i] == b[i]

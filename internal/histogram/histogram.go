@@ -1,0 +1,100 @@
+// Package histogram provides a tiny lock-free latency histogram with
+// Prometheus text exposition, used by cmd/simrankd's /metrics endpoint.
+// It exists because the repo takes no dependencies: the Prometheus client
+// library would bring a tree of them, while the exposition format for one
+// cumulative histogram is a dozen lines of fmt.Fprintf.
+//
+// Observations are time.Durations; buckets are upper bounds in seconds
+// (the Prometheus convention for *_seconds histograms). All methods are
+// safe for concurrent use: Observe is two atomic adds plus an atomic
+// increment, so it belongs on request hot paths.
+package histogram
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets spans 100µs to 10s — wide enough to cover a cache hit on one
+// end and a reranked batch on a large graph on the other.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram counts observations into fixed buckets. The zero value is not
+// usable; construct with New.
+type Histogram struct {
+	// bounds are the inclusive upper bounds in seconds, strictly
+	// increasing; counts has one extra slot for the +Inf bucket. Buckets
+	// are stored non-cumulative (each observation lands in exactly one)
+	// and summed into the cumulative form Prometheus expects at write
+	// time, so Observe touches one counter, not one per larger bucket.
+	bounds []float64
+	counts []atomic.Uint64
+	sum    atomic.Int64 // total observed time in nanoseconds
+	count  atomic.Uint64
+}
+
+// New returns a histogram over the given bucket upper bounds in seconds
+// (nil means DefBuckets). Bounds are sorted and deduplicated; a +Inf
+// bucket is always appended.
+func New(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	uniq := bs[:0]
+	for i, b := range bs {
+		if i == 0 || b != bs[i-1] {
+			uniq = append(uniq, b)
+		}
+	}
+	return &Histogram{bounds: uniq, counts: make([]atomic.Uint64, len(uniq)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	secs := d.Seconds()
+	// Linear scan: bucket counts are small (16 by default) and latencies
+	// skew low, so the scan usually stops within a few comparisons.
+	i := 0
+	for i < len(h.bounds) && secs > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(int64(d))
+	h.count.Add(1)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total observed time.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// WriteProm writes the histogram in the Prometheus text exposition format
+// under the given metric name (conventionally ending in _seconds):
+// cumulative name_bucket{le="..."} series including le="+Inf", then
+// name_sum (in seconds) and name_count.
+//
+// The series is a consistent snapshot only in the absence of concurrent
+// Observe calls; under load the usual Prometheus caveat applies — buckets
+// scraped mid-observation may disagree by the requests in flight, which
+// monotonic counters tolerate.
+func (h *Histogram) WriteProm(w io.Writer, name string) {
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(b, 'g', -1, 64), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.Sum().Seconds())
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+}

@@ -1,0 +1,84 @@
+package histogram
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketAssignment: each observation lands in the first bucket whose
+// upper bound is >= the value (le semantics), and the exposition is
+// cumulative.
+func TestBucketAssignment(t *testing.T) {
+	h := New([]float64{0.001, 0.01, 0.1})
+	h.Observe(500 * time.Microsecond) // le 0.001
+	h.Observe(time.Millisecond)       // boundary: still le 0.001
+	h.Observe(5 * time.Millisecond)   // le 0.01
+	h.Observe(50 * time.Millisecond)  // le 0.1
+	h.Observe(2 * time.Second)        // +Inf
+
+	var b strings.Builder
+	h.WriteProm(&b, "x_seconds")
+	out := b.String()
+	for _, want := range []string{
+		`x_seconds_bucket{le="0.001"} 2`,
+		`x_seconds_bucket{le="0.01"} 3`,
+		`x_seconds_bucket{le="0.1"} 4`,
+		`x_seconds_bucket{le="+Inf"} 5`,
+		`x_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	wantSum := 0.0005 + 0.001 + 0.005 + 0.05 + 2
+	var gotSum float64
+	if _, err := fmt.Sscanf(out[strings.Index(out, "x_seconds_sum"):], "x_seconds_sum %g", &gotSum); err != nil {
+		t.Fatalf("parsing sum: %v\n%s", err, out)
+	}
+	if math.Abs(gotSum-wantSum) > 1e-9 {
+		t.Errorf("sum = %g, want %g", gotSum, wantSum)
+	}
+}
+
+// TestDefBucketsSortedAndDeduped: New normalizes bounds; DefBuckets is
+// already strictly increasing.
+func TestDefBucketsSortedAndDeduped(t *testing.T) {
+	h := New([]float64{0.5, 0.1, 0.5, 0.01})
+	if len(h.bounds) != 3 {
+		t.Fatalf("bounds = %v, want 3 deduped", h.bounds)
+	}
+	for i := 1; i < len(h.bounds); i++ {
+		if h.bounds[i] <= h.bounds[i-1] {
+			t.Fatalf("bounds not increasing: %v", h.bounds)
+		}
+	}
+	d := New(nil)
+	if len(d.bounds) != len(DefBuckets) {
+		t.Fatalf("default bounds = %d, want %d", len(d.bounds), len(DefBuckets))
+	}
+}
+
+// TestConcurrentObserve: concurrent observations are all counted (run
+// under -race in CI).
+func TestConcurrentObserve(t *testing.T) {
+	h := New(nil)
+	var wg sync.WaitGroup
+	const goroutines, each = 8, 500
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Observe(time.Duration(g*i) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*each {
+		t.Fatalf("count = %d, want %d", got, goroutines*each)
+	}
+}

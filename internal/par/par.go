@@ -11,6 +11,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -53,6 +54,43 @@ func Do(workers int, fn func(w int)) {
 		}(w)
 	}
 	wg.Wait()
+}
+
+// CancelChecker amortizes context-cancellation polls in hot loops. A
+// sweep that must stop promptly when its request is abandoned cannot
+// afford ctx.Err() (a mutex acquisition) on every iteration, so Stop
+// consults the context only every interval-th call — between polls the
+// cost is one increment and compare. Each worker of a parallel sweep
+// owns its own checker (the counter is not synchronized); once the
+// context is cancelled, Stop latches and keeps reporting the error
+// without touching the context again.
+type CancelChecker struct {
+	ctx      context.Context
+	interval int
+	n        int
+	err      error
+}
+
+// NewCancelChecker returns a checker polling ctx every interval calls to
+// Stop (interval < 1 means every call).
+func NewCancelChecker(ctx context.Context, interval int) *CancelChecker {
+	if interval < 1 {
+		interval = 1
+	}
+	return &CancelChecker{ctx: ctx, interval: interval}
+}
+
+// Stop returns the context's error once it is cancelled (possibly up to
+// interval-1 calls late), nil while work should continue.
+func (c *CancelChecker) Stop() error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.n++; c.n >= c.interval {
+		c.n = 0
+		c.err = c.ctx.Err()
+	}
+	return c.err
 }
 
 // Range returns the w-th of `parts` contiguous half-open blocks of [0, n).

@@ -1,6 +1,8 @@
 package par
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -48,6 +50,44 @@ func TestRangeCoversExactly(t *testing.T) {
 				t.Fatalf("Range(%d,%d,*): index %d covered %d times", tc.n, tc.parts, i, c)
 			}
 		}
+	}
+}
+
+func TestCancelChecker(t *testing.T) {
+	// An uncancelled context never stops the loop.
+	c := NewCancelChecker(context.Background(), 4)
+	for i := 0; i < 100; i++ {
+		if err := c.Stop(); err != nil {
+			t.Fatalf("Stop() = %v on a live context", err)
+		}
+	}
+
+	// After cancellation, Stop reports the error within one interval and
+	// latches it.
+	ctx, cancel := context.WithCancel(context.Background())
+	c = NewCancelChecker(ctx, 4)
+	if err := c.Stop(); err != nil {
+		t.Fatalf("Stop() = %v before cancel", err)
+	}
+	cancel()
+	var stopped error
+	for i := 0; i < 4 && stopped == nil; i++ {
+		stopped = c.Stop()
+	}
+	if !errors.Is(stopped, context.Canceled) {
+		t.Fatalf("Stop() = %v within an interval of cancel, want context.Canceled", stopped)
+	}
+	for i := 0; i < 10; i++ {
+		if !errors.Is(c.Stop(), context.Canceled) {
+			t.Fatal("Stop() unlatched after reporting cancellation")
+		}
+	}
+
+	// A pre-cancelled context stops on the first call when interval <= 1.
+	pre, cancelPre := context.WithCancel(context.Background())
+	cancelPre()
+	if err := NewCancelChecker(pre, 0).Stop(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interval 0: first Stop() = %v, want context.Canceled", err)
 	}
 }
 

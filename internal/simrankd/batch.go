@@ -1,6 +1,7 @@
-package main
+package simrankd
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -21,10 +22,6 @@ import (
 // a batch warms the cache for /v1/topk and /v1/single_source and vice
 // versa. Items fail independently: an out-of-range source yields an error
 // line in its position while the rest of the batch is answered normally.
-
-// defaultMaxBatch caps the sources of one /v1/batch request unless main's
-// -max-batch overrides it.
-const defaultMaxBatch = 1024
 
 // maxRequestBody bounds every JSON request body (/v1/batch, /v1/join,
 // /v1/edges): ~8 MB is thousands of sources or tens of thousands of edits,
@@ -67,9 +64,19 @@ type batchItemError struct {
 	Error  string `json:"error"`
 }
 
+// batchTerminal is the final NDJSON line of a stream cut short: once the
+// 200 status and earlier lines are on the wire, a mid-stream cancellation
+// (graceful-shutdown drain expiry, deadline, client gone) can only be
+// reported in-band. Clients distinguish it from item lines by the
+// "truncated" field.
+type batchTerminal struct {
+	Error     string `json:"error"`
+	Truncated bool   `json:"truncated"`
+}
+
 // decodeJSONBody decodes a bounded, strict JSON request body, translating
 // the oversize error. Returns false after answering the request.
-func (s *server) decodeJSONBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+func (s *Server) decodeJSONBody(w http.ResponseWriter, r *http.Request, dst any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
@@ -88,9 +95,7 @@ func (s *server) decodeJSONBody(w http.ResponseWriter, r *http.Request, dst any)
 // in request order. Request-level problems (malformed JSON, unknown mode,
 // bad k, too many sources) fail the whole request with a JSON error;
 // per-source problems (an out-of-range id) fail only their own line.
-func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	t0 := time.Now()
-	defer s.observeLatency(t0)
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.reqBatch.Add(1)
 	if !s.checkMethod(w, r, http.MethodPost) {
 		return
@@ -144,30 +149,59 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	// Compute every line under the read lock, then release it before
 	// streaming: a slow client must not block /v1/edges.
-	lines, itemErrors, err := s.computeBatchLines(&req, mode)
+	lines, itemErrors, degraded, err := s.computeBatchLines(r.Context(), &req, mode)
 	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, "%v", err)
+		// The only error sources are the context (deadline, drain) and
+		// encoding; writeQueryError maps the former, 500 covers the rest.
+		s.writeQueryError(w, err, http.StatusInternalServerError)
 		return
 	}
 	s.batchItemErrors.Add(itemErrors)
+	if degraded {
+		s.degradedTotal.Add(1)
+		w.Header().Set("X-Simrank-Degraded", "true")
+	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
-	for _, line := range lines {
+	for i, line := range lines {
+		// A context that dies mid-stream — the graceful-shutdown drain
+		// deadline cancelling in-flight requests, the per-request deadline,
+		// a vanished client — ends the stream with one terminal error line:
+		// the status is long since written, so in-band is the only channel
+		// left, and clients must not mistake a truncated stream for a
+		// complete one.
+		if err := r.Context().Err(); err != nil {
+			if term, merr := json.Marshal(batchTerminal{
+				Error:     fmt.Sprintf("stream truncated after %d of %d lines: %v", i, len(lines), err),
+				Truncated: true,
+			}); merr == nil {
+				w.Write(append(term, '\n'))
+				if flusher != nil {
+					flusher.Flush()
+				}
+			}
+			return
+		}
 		if _, err := w.Write(line); err != nil {
 			return // client went away; nothing sensible left to do
 		}
 		if flusher != nil {
 			flusher.Flush()
 		}
+		if s.testHookBatchLine != nil {
+			s.testHookBatchLine(i)
+		}
 	}
 }
 
 // computeBatchLines resolves a validated batch request into one response
 // line per source: per-item validation, cache lookups, one shared-traversal
-// call for the misses, and cache fills. It holds the read lock for the
-// whole computation so every line reflects one index generation.
-func (s *server) computeBatchLines(req *batchRequest, mode string) (lines [][]byte, itemErrors int64, err error) {
+// call per chunk for the misses, and cache fills. It holds the read lock
+// for the whole computation so every line reflects one index generation.
+// degraded reports that at least one chunk was served raw estimates
+// because the remaining deadline could not afford its exact rerank.
+func (s *Server) computeBatchLines(ctx context.Context, req *batchRequest, mode string) (lines [][]byte, itemErrors int64, degraded bool, err error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 
@@ -187,11 +221,11 @@ func (s *server) computeBatchLines(req *batchRequest, mode string) (lines [][]by
 	var miss []int
 	for i, q := range req.Sources {
 		if q < 0 || q >= n {
-			line, merr := json.Marshal(batchItemError{Source: q, Error: fmt.Sprintf("query: vertex %d out of range [0,%d)", q, n)})
+			line, merr := s.marshalBody(batchItemError{Source: q, Error: fmt.Sprintf("query: vertex %d out of range [0,%d)", q, n)})
 			if merr != nil {
-				return nil, 0, merr
+				return nil, 0, false, merr
 			}
-			lines[i] = append(line, '\n')
+			lines[i] = line
 			itemErrors++
 			continue
 		}
@@ -214,7 +248,7 @@ func (s *server) computeBatchLines(req *batchRequest, mode string) (lines [][]by
 		}
 	}
 	if len(miss) == 0 {
-		return lines, itemErrors, nil
+		return lines, itemErrors, false, nil
 	}
 
 	// Misses run through the shared traversal in chunks: MultiSource holds
@@ -228,27 +262,44 @@ func (s *server) computeBatchLines(req *batchRequest, mode string) (lines [][]by
 		hi := min(lo+chunk, len(miss))
 		switch mode {
 		case "topk":
-			results, berr := s.idx.TopKBatch(miss[lo:hi], req.K, &query.TopKOptions{Rerank: req.Rerank}, s.workers)
+			// The degrade decision is per chunk: the rerank budget check
+			// sees the whole chunk's candidate volume against the remaining
+			// deadline, so a batch that starts exact can finish degraded as
+			// the budget drains — each line honestly marked.
+			useRerank := req.Rerank
+			pool := s.idx.RerankPoolSize(req.K, 0)
+			chunkDegraded := useRerank && s.shouldDegrade(ctx, pool*(hi-lo))
+			if chunkDegraded {
+				useRerank = false
+				degraded = true
+			}
+			t1 := time.Now()
+			results, berr := s.idx.TopKBatch(ctx, miss[lo:hi], req.K, &query.TopKOptions{Rerank: useRerank}, s.workers)
 			if berr != nil {
-				return nil, 0, berr
+				return nil, 0, false, berr
+			}
+			if useRerank {
+				s.observeRerank(time.Since(t1), pool*(hi-lo))
 			}
 			for j, q := range miss[lo:hi] {
-				body, berr := topKBody(q, req.K, req.Rerank, results[j])
+				body, berr := s.topKBody(q, req.K, useRerank, chunkDegraded, results[j])
 				if berr != nil {
-					return nil, 0, berr
+					return nil, 0, false, berr
 				}
 				bodies[lo+j] = body
-				s.cache.Put(topKCacheKey(gen, q, req.K, req.Rerank), body)
+				if !chunkDegraded {
+					s.cache.Put(topKCacheKey(gen, q, req.K, req.Rerank), body)
+				}
 			}
 		case "single_source":
-			rows, berr := s.idx.MultiSource(miss[lo:hi], s.workers)
+			rows, berr := s.idx.MultiSource(ctx, miss[lo:hi], s.workers)
 			if berr != nil {
-				return nil, 0, berr
+				return nil, 0, false, berr
 			}
 			for j, q := range miss[lo:hi] {
-				body, berr := singleSourceBody(q, rows[j], sparse, minVal)
+				body, berr := s.singleSourceBody(q, rows[j], sparse, minVal)
 				if berr != nil {
-					return nil, 0, berr
+					return nil, 0, false, berr
 				}
 				bodies[lo+j] = body
 				if sparse {
@@ -264,7 +315,7 @@ func (s *server) computeBatchLines(req *batchRequest, mode string) (lines [][]by
 			lines[i] = bodies[missSlot[q]]
 		}
 	}
-	return lines, itemErrors, nil
+	return lines, itemErrors, degraded, nil
 }
 
 type joinRequest struct {
@@ -282,9 +333,7 @@ type joinResponse struct {
 // handleJoin serves POST /v1/join: the top-k similarity join over all
 // vertex pairs at a score threshold. Responses are cached under the
 // generation-aware key of their canonicalized parameters.
-func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
-	t0 := time.Now()
-	defer s.observeLatency(t0)
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	s.reqJoin.Add(1)
 	if !s.checkMethod(w, r, http.MethodPost) {
 		return
@@ -309,19 +358,19 @@ func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		writeJSONBytes(w, body)
 		return
 	}
-	pairs, err := s.idx.Join(req.K, req.Threshold, &query.JoinOptions{MaxCandidates: maxCand, Workers: s.workers})
+	pairs, err := s.idx.Join(r.Context(), req.K, req.Threshold, &query.JoinOptions{MaxCandidates: maxCand, Workers: s.workers})
 	if err != nil {
 		// A too-dense join is the client's to fix (raise the threshold or
-		// lower k); so are out-of-range parameters.
-		s.writeError(w, http.StatusBadRequest, "%v", err)
+		// lower k); so are out-of-range parameters. Context errors map to
+		// 503 as everywhere.
+		s.writeQueryError(w, err, http.StatusBadRequest)
 		return
 	}
-	body, err := json.Marshal(joinResponse{K: req.K, Threshold: req.Threshold, Pairs: pairs})
+	body, err := s.marshalBody(joinResponse{K: req.K, Threshold: req.Threshold, Pairs: pairs})
 	if err != nil {
 		s.writeError(w, http.StatusInternalServerError, "encoding response: %v", err)
 		return
 	}
-	body = append(body, '\n')
 	// The LRU is entry-count bounded, so only modest bodies may enter it —
 	// the same reasoning that keeps dense single-source rows out. A join
 	// with a large k can legitimately return megabytes; serve it, don't

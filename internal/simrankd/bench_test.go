@@ -1,0 +1,74 @@
+package simrankd
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"oipsr/graph/gen"
+	"oipsr/simrank/query"
+)
+
+// benchServer builds an uncached server over a small index: with the LRU
+// on, everything after the first iteration measures a map lookup; the
+// pools (score rows, encode buffers) are what these benchmarks watch.
+func benchServer(tb testing.TB) *Server {
+	tb.Helper()
+	g := gen.WebGraph(200, 8, 11)
+	idx, err := query.BuildIndex(g, query.Options{Walks: 100, Seed: 3})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return NewServer(idx, Config{CacheSize: -1, Workers: 1})
+}
+
+// BenchmarkServeSingleSource measures one /v1/single_source request
+// through the full handler stack (limiter, sweep, JSON encode) without a
+// network in the way.
+func BenchmarkServeSingleSource(b *testing.B) {
+	srv := benchServer(b)
+	req := httptest.NewRequest(http.MethodGet, "/v1/single_source?q=17", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}
+
+// TestServeSingleSourceAllocSteadyState pins the per-request allocation
+// count of the pooled request path. The ceiling has headroom over the
+// measured steady state (~14 with the recorder's own buffers included) but
+// sits far below what losing the score-row or encode-buffer pooling costs
+// — a regression that reallocates either per request trips it.
+func TestServeSingleSourceAllocSteadyState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc counting is disturbed by -short's test interleaving")
+	}
+	srv := benchServer(t)
+	req := httptest.NewRequest(http.MethodGet, "/v1/single_source?q=17", nil)
+
+	// Warm the pools so pool misses don't count against the steady state.
+	for i := 0; i < 4; i++ {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status %d", rec.Code)
+		}
+	}
+	const ceiling = 64
+	avg := testing.AllocsPerRun(50, func() {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			panic(fmt.Sprintf("status %d", rec.Code))
+		}
+	})
+	if avg > ceiling {
+		t.Errorf("single_source request = %.1f allocs, ceiling %d — did a per-request buffer lose its pool?", avg, ceiling)
+	}
+}

@@ -1,0 +1,85 @@
+package simrankd
+
+import (
+	"context"
+	"time"
+)
+
+// Deadline-aware degradation. An exact rerank multiplies a top-k request's
+// cost by orders of magnitude (the pruned partial-sums recursion per
+// candidate vs one pass over a precomputed row). Under a deadline that the
+// rerank would blow, the server can still answer well: the raw walk
+// estimates are already computed — the rerank only re-scores their top
+// pool — so serving them is free, and the paper's own accuracy story says
+// they are good estimates, not garbage. Degraded responses carry
+// "degraded":true and the X-Simrank-Degraded header, are never cached, and
+// are bit-identical to what rerank=0 would have returned.
+//
+// The cost model is an EWMA of measured per-candidate rerank nanoseconds,
+// updated after every exact rerank this process serves (single top-k and
+// batch chunks both feed it). Before the first completed rerank there is
+// no estimate and nothing degrades — the first request simply tries, and
+// either completes (seeding the model) or times out into a clean 503.
+
+// rerankSafety is the headroom multiplier on the estimated rerank cost: a
+// rerank is only attempted when at least twice its EWMA estimate remains,
+// because blowing the deadline mid-rerank wastes everything while
+// degrading a borderline request costs one field.
+const rerankSafety = 2
+
+// rerankEWMAWeight is the denominator of the EWMA step: each observation
+// moves the estimate by 1/8 of the difference — smooth enough to ride out
+// one anomalous request, fast enough to track a cache gone cold within a
+// dozen requests.
+const rerankEWMAWeight = 8
+
+// observeRerank folds one completed exact rerank of `candidates` pool
+// entries into the per-candidate cost EWMA.
+func (s *Server) observeRerank(elapsed time.Duration, candidates int) {
+	if candidates <= 0 {
+		return
+	}
+	per := elapsed.Nanoseconds() / int64(candidates)
+	if per < 1 {
+		per = 1
+	}
+	for {
+		old := s.rerankNanosPerCand.Load()
+		if old == 0 {
+			// First observation seeds the estimate outright.
+			if s.rerankNanosPerCand.CompareAndSwap(0, uint64(per)) {
+				return
+			}
+			continue
+		}
+		step := (per - int64(old)) / rerankEWMAWeight
+		if step == 0 && per != int64(old) {
+			// Small differences must still move the estimate, or it
+			// freezes near the first observation.
+			if per > int64(old) {
+				step = 1
+			} else {
+				step = -1
+			}
+		}
+		if s.rerankNanosPerCand.CompareAndSwap(old, uint64(int64(old)+step)) {
+			return
+		}
+	}
+}
+
+// shouldDegrade reports whether an exact rerank of `candidates` pool
+// entries no longer fits the request's remaining deadline budget. No
+// deadline or no cost estimate yet means never degrade.
+func (s *Server) shouldDegrade(ctx context.Context, candidates int) bool {
+	deadline, ok := ctx.Deadline()
+	if !ok || candidates <= 0 {
+		return false
+	}
+	per := s.rerankNanosPerCand.Load()
+	if per == 0 {
+		return false
+	}
+	need := time.Duration(per*uint64(candidates)) * rerankSafety
+	return time.Until(deadline) < need
+}

@@ -1,4 +1,4 @@
-package main
+package simrankd
 
 import (
 	"bytes"
@@ -346,11 +346,11 @@ func TestErrorPathsCountLatency(t *testing.T) {
 	get(t, ts.URL+"/v1/topk")              // 400: missing q
 	get(t, ts.URL+"/v1/single_source?q=x") // 400: bad q
 	postJSON(t, ts.URL+"/v1/edges", `bad`) // 400: bad body
-	if n := srv.latencyCount.Load(); n != 3 {
+	if n := srv.latency.Count(); n != 3 {
 		t.Fatalf("latency samples = %d after 3 error responses, want 3", n)
 	}
 	get(t, ts.URL+"/v1/topk?q=1&k=3")
-	if n := srv.latencyCount.Load(); n != 4 {
+	if n := srv.latency.Count(); n != 4 {
 		t.Fatalf("latency samples = %d after a success, want 4", n)
 	}
 }

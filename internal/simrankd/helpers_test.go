@@ -1,0 +1,13 @@
+package simrankd
+
+import "oipsr/simrank/query"
+
+// newServer is the test shorthand predating Config: cacheSize 0 means
+// caching off (Config uses negative for that), workers as given,
+// everything else default.
+func newServer(idx *query.Index, cacheSize, workers int) *Server {
+	if cacheSize == 0 {
+		cacheSize = -1
+	}
+	return NewServer(idx, Config{CacheSize: cacheSize, Workers: workers})
+}

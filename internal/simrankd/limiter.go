@@ -1,0 +1,87 @@
+package simrankd
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Admission control. Every /v1 endpoint runs behind limited(), which does
+// three things before the handler sees the request:
+//
+//  1. attaches the request deadline — the configured RequestTimeout,
+//     shortened (never extended) by a ?timeout_ms= override — so the
+//     query layer can abandon work the client will no longer wait for;
+//  2. acquires one of maxInflight execution slots, waiting in a bounded
+//     queue of queueDepth when all are busy — a burst briefly queues
+//     instead of failing, sustained overload fails fast;
+//  3. sheds with 429 + Retry-After once the queue is full, and with 503
+//     when the deadline expires while still queued — the two signals a
+//     load balancer needs to back off instead of piling on.
+//
+// The whole request, queue wait included, is folded into the latency
+// histogram: under overload the queue IS the latency, and a histogram
+// that hides it would report a healthy server while clients time out.
+
+// limited wraps a /v1 handler with deadline attachment and the
+// concurrency limiter.
+func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		defer func() { s.latency.Observe(time.Since(t0)) }()
+
+		// The override is read from the URL only: FormValue would consume
+		// a POST body, and /v1/batch, /v1/join, /v1/edges carry JSON there.
+		timeout := s.requestTimeout
+		if raw := r.URL.Query().Get("timeout_ms"); raw != "" {
+			ms, err := strconv.Atoi(raw)
+			if err != nil || ms < 1 {
+				s.writeError(w, http.StatusBadRequest, "parameter \"timeout_ms\": want a positive integer, got %q", raw)
+				return
+			}
+			// The server's timeout is also the cap: a client may ask for
+			// less time than the default, never more.
+			if d := time.Duration(ms) * time.Millisecond; timeout == 0 || d < timeout {
+				timeout = d
+			}
+		}
+		if timeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), timeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			// All slots busy: reserve a queue position, shed if over.
+			if s.queued.Add(1) > int64(s.queueDepth) {
+				s.queued.Add(-1)
+				s.shedTotal.Add(1)
+				w.Header().Set("Retry-After", "1")
+				s.writeError(w, http.StatusTooManyRequests,
+					"server saturated: %d requests in flight and %d queued; retry with backoff",
+					s.maxInflight, s.queueDepth)
+				return
+			}
+			select {
+			case s.sem <- struct{}{}:
+				s.queued.Add(-1)
+			case <-r.Context().Done():
+				s.queued.Add(-1)
+				s.writeQueryError(w, r.Context().Err(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		s.inflight.Add(1)
+		defer func() {
+			s.inflight.Add(-1)
+			<-s.sem
+		}()
+		if s.testHookInflight != nil {
+			s.testHookInflight(r)
+		}
+		h(w, r)
+	}
+}

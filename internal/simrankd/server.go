@@ -1,10 +1,31 @@
-package main
+// Package simrankd implements the simrankd HTTP server: the /v1 query
+// endpoints over a persistent walk index (see oipsr/simrank/query), the
+// health probe, and Prometheus-style /metrics. cmd/simrankd wires it to
+// flags and a listener; cmd/bench drives it in-process for closed-loop
+// load benchmarks — the package exists so both share one server.
+//
+// The server is built to stay predictable under overload:
+//
+//   - every request runs under a context with a deadline (the configured
+//     RequestTimeout, shortened per request by ?timeout_ms=), and the
+//     query layer aborts at chunk boundaries when it expires;
+//   - a concurrency limiter admits at most MaxInflight requests into the
+//     handlers with a bounded wait queue of QueueDepth behind them, and
+//     sheds beyond that with 429 + Retry-After instead of queueing
+//     unboundedly;
+//   - exact-rerank top-k requests degrade to raw walk estimates (marked
+//     with a "degraded" field and the X-Simrank-Degraded header) when the
+//     remaining deadline budget cannot afford the rerank.
+package simrankd
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -13,43 +34,103 @@ import (
 	"time"
 
 	"oipsr/graph"
+	"oipsr/internal/histogram"
 	"oipsr/internal/lru"
 	"oipsr/simrank/query"
 )
 
-// server wires the query index into an http.Handler: the /v1 endpoints,
-// the health probe, and a /metrics counter dump. Responses are memoized in
-// an LRU keyed by the normalized request parameters plus the index
-// generation — POST /v1/edges bumps the generation, so pre-edit entries
-// can never be served post-edit.
+// DefaultMaxBatch caps the sources of one /v1/batch request unless
+// Config.MaxBatch overrides it.
+const DefaultMaxBatch = 1024
+
+// DefaultMaxInflight is the concurrency limit when Config.MaxInflight is
+// zero: enough parallelism to keep every core busy with headroom for
+// cache hits, small enough that n concurrent sweeps cannot pile up
+// unbounded memory.
+func DefaultMaxInflight() int { return 4 * runtime.GOMAXPROCS(0) }
+
+// Config configures a Server. The zero value serves with an LRU of
+// DefaultCacheSize, all CPUs, default batch/join caps, DefaultMaxInflight
+// concurrency with a 2x wait queue, and no server-imposed deadline.
+type Config struct {
+	// CacheSize is the LRU response-cache capacity in entries; 0 means
+	// DefaultCacheSize, negative disables caching.
+	CacheSize int
+	// Workers sets the worker pool for index repair and batch queries
+	// (0 = all CPUs, 1 = serial).
+	Workers int
+	// MaxBatch caps the sources of one /v1/batch request; 0 means
+	// DefaultMaxBatch.
+	MaxBatch int
+	// JoinMaxCandidates caps the candidate pairs a /v1/join may
+	// enumerate; 0 means query.DefaultMaxCandidates.
+	JoinMaxCandidates int
+	// MaxInflight is the number of /v1 requests allowed to execute
+	// concurrently; 0 means DefaultMaxInflight.
+	MaxInflight int
+	// QueueDepth is the number of requests allowed to wait for an
+	// execution slot once MaxInflight are running; beyond it requests are
+	// shed with 429. 0 means 2*MaxInflight; negative means no queue
+	// (shed as soon as the limiter is full).
+	QueueDepth int
+	// RequestTimeout is the deadline every /v1 request runs under, and
+	// the upper bound a ?timeout_ms= override may ask for. 0 means no
+	// server-imposed deadline (overrides still apply).
+	RequestTimeout time.Duration
+}
+
+// DefaultCacheSize is the response-cache capacity when Config.CacheSize
+// is zero.
+const DefaultCacheSize = 1024
+
+// Server is the simrankd HTTP handler. Construct with NewServer.
 //
 // Concurrency: queries hold mu.RLock for their whole execution (the index
 // is repaired in place, not swapped), /v1/edges holds mu.Lock while it
-// applies the batch. Reads stay fully concurrent with each other.
-type server struct {
+// applies the batch. Reads stay fully concurrent with each other; the
+// limiter bounds how many of them execute at once.
+type Server struct {
 	mu      sync.RWMutex
 	idx     *query.Index
-	workers int // worker pool for incremental index repair and batch queries
+	workers int
 	cache   *lru.Cache[string, []byte]
 	mux     *http.ServeMux
 
-	// maxBatch caps the number of sources one /v1/batch request may carry;
-	// joinMaxCand caps the candidate pairs a /v1/join may enumerate. Both
-	// are set by newServer and overridden by main's flags.
-	maxBatch    int
-	joinMaxCand int
+	maxBatch       int
+	joinMaxCand    int
+	maxInflight    int
+	queueDepth     int
+	requestTimeout time.Duration
 
-	// Counters exported on /metrics. Latency is tracked as a running sum
-	// plus sample count per process, enough for an average without
-	// histograms; every /v1 request contributes, including error paths.
+	// sem is the execution-slot semaphore (capacity maxInflight); queued
+	// counts requests waiting for a slot against queueDepth.
+	sem      chan struct{}
+	queued   atomic.Int64
+	inflight atomic.Int64
+
+	// scorePool recycles dense score rows (one []float64 of length N per
+	// in-flight sweep; the vertex count never changes — edge edits repair
+	// walks, they don't add vertices). encPool recycles JSON encode
+	// buffers.
+	scorePool sync.Pool
+	encPool   sync.Pool
+
+	// rerankNanosPerCand is the EWMA cost of exactly re-scoring one
+	// rerank candidate, in nanoseconds — the cost model behind
+	// deadline-aware degradation (see degrade.go).
+	rerankNanosPerCand atomic.Uint64
+
+	// Counters exported on /metrics. Latency is a histogram over every
+	// /v1 request, including error, shed, and degraded paths.
+	latency         *histogram.Histogram
+	shedTotal       atomic.Int64
+	degradedTotal   atomic.Int64
 	reqSingleSource atomic.Int64
 	reqTopK         atomic.Int64
 	reqEdges        atomic.Int64
 	reqBatch        atomic.Int64
 	reqJoin         atomic.Int64
 	reqErrors       atomic.Int64
-	latencyMicros   atomic.Int64
-	latencyCount    atomic.Int64
 
 	batchItems      atomic.Int64
 	batchItemErrors atomic.Int64
@@ -61,46 +142,118 @@ type server struct {
 	walksRepaired atomic.Int64
 
 	started time.Time
+
+	// Test hooks. testHookInflight runs while the request holds an
+	// execution slot (tests block here to saturate the limiter
+	// deterministically); testHookBatchLine runs after each streamed
+	// batch line (tests block here to cancel mid-stream).
+	testHookInflight  func(*http.Request)
+	testHookBatchLine func(line int)
 }
 
-func newServer(idx *query.Index, cacheSize, workers int) *server {
-	s := &server{
-		idx:         idx,
-		workers:     workers,
-		cache:       lru.New[string, []byte](cacheSize),
-		mux:         http.NewServeMux(),
-		maxBatch:    defaultMaxBatch,
-		joinMaxCand: query.DefaultMaxCandidates,
-		started:     time.Now(),
+// NewServer returns a handler serving queries from idx under cfg.
+func NewServer(idx *query.Index, cfg Config) *Server {
+	cacheSize := cfg.CacheSize
+	if cacheSize == 0 {
+		cacheSize = DefaultCacheSize
 	}
-	s.mux.HandleFunc("/v1/single_source", s.handleSingleSource)
-	s.mux.HandleFunc("/v1/topk", s.handleTopK)
-	s.mux.HandleFunc("/v1/batch", s.handleBatch)
-	s.mux.HandleFunc("/v1/join", s.handleJoin)
-	s.mux.HandleFunc("/v1/edges", s.handleEdges)
+	s := &Server{
+		idx:            idx,
+		workers:        cfg.Workers,
+		cache:          lru.New[string, []byte](cacheSize),
+		mux:            http.NewServeMux(),
+		maxBatch:       cfg.MaxBatch,
+		joinMaxCand:    cfg.JoinMaxCandidates,
+		maxInflight:    cfg.MaxInflight,
+		queueDepth:     cfg.QueueDepth,
+		requestTimeout: cfg.RequestTimeout,
+		latency:        histogram.New(nil),
+		started:        time.Now(),
+	}
+	if s.maxBatch <= 0 {
+		s.maxBatch = DefaultMaxBatch
+	}
+	if s.joinMaxCand <= 0 {
+		s.joinMaxCand = query.DefaultMaxCandidates
+	}
+	if s.maxInflight <= 0 {
+		s.maxInflight = DefaultMaxInflight()
+	}
+	switch {
+	case s.queueDepth == 0:
+		s.queueDepth = 2 * s.maxInflight
+	case s.queueDepth < 0:
+		s.queueDepth = 0
+	}
+	s.sem = make(chan struct{}, s.maxInflight)
+	n := idx.N()
+	s.scorePool.New = func() any { b := make([]float64, n); return &b }
+	s.encPool.New = func() any { return new(bytes.Buffer) }
+
+	s.mux.HandleFunc("/v1/single_source", s.limited(s.handleSingleSource))
+	s.mux.HandleFunc("/v1/topk", s.limited(s.handleTopK))
+	s.mux.HandleFunc("/v1/batch", s.limited(s.handleBatch))
+	s.mux.HandleFunc("/v1/join", s.limited(s.handleJoin))
+	s.mux.HandleFunc("/v1/edges", s.limited(s.handleEdges))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// marshalBody JSON-encodes v through a pooled buffer and returns a
+// newline-terminated copy sized to the body (response bodies are retained
+// — cached, streamed — so they cannot alias the pooled buffer; the pool
+// still absorbs the encoder's grow-and-copy churn).
+func (s *Server) marshalBody(v any) ([]byte, error) {
+	buf := s.encPool.Get().(*bytes.Buffer)
+	defer s.encPool.Put(buf)
+	buf.Reset()
+	// Encode appends exactly the '\n' the NDJSON and single-response
+	// bodies both end with.
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		return nil, err
+	}
+	body := make([]byte, buf.Len())
+	copy(body, buf.Bytes())
+	return body, nil
 }
 
 type errorResponse struct {
 	Error string `json:"error"`
 }
 
-func (s *server) writeError(w http.ResponseWriter, code int, format string, args ...any) {
+func (s *Server) writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	s.reqErrors.Add(1)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
+// writeQueryError maps a failed query to a status: an expired deadline or
+// a cancelled request is the server's load problem (503 with Retry-After,
+// the signal load balancers understand), anything else is the client's
+// 400 — unless the caller says otherwise via fallback.
+func (s *Server) writeQueryError(w http.ResponseWriter, err error, fallback int) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusServiceUnavailable, "deadline exceeded before the query completed; raise timeout_ms or retry")
+	case errors.Is(err, context.Canceled):
+		// The client went away or the server is draining; the write
+		// usually goes nowhere, but the status should not blame the query.
+		s.writeError(w, http.StatusServiceUnavailable, "request cancelled")
+	default:
+		s.writeError(w, fallback, "%v", err)
+	}
+}
+
 // checkMethod enforces the endpoint's method set, answering 405 with an
 // Allow header otherwise.
-func (s *server) checkMethod(w http.ResponseWriter, r *http.Request, allowed ...string) bool {
+func (s *Server) checkMethod(w http.ResponseWriter, r *http.Request, allowed ...string) bool {
 	for _, m := range allowed {
 		if r.Method == m {
 			return true
@@ -109,13 +262,6 @@ func (s *server) checkMethod(w http.ResponseWriter, r *http.Request, allowed ...
 	w.Header().Set("Allow", strings.Join(allowed, ", "))
 	s.writeError(w, http.StatusMethodNotAllowed, "method %s not allowed on %s", r.Method, r.URL.Path)
 	return false
-}
-
-// observeLatency folds one finished /v1 request into the latency sum and
-// sample count; deferred at handler entry so 4xx/5xx paths are counted too.
-func (s *server) observeLatency(t0 time.Time) {
-	s.latencyMicros.Add(time.Since(t0).Microseconds())
-	s.latencyCount.Add(1)
 }
 
 func writeJSONBytes(w http.ResponseWriter, body []byte) {
@@ -158,9 +304,7 @@ type singleSourceResponse struct {
 }
 
 // handleSingleSource serves GET/POST /v1/single_source?q=17[&min=0.01].
-func (s *server) handleSingleSource(w http.ResponseWriter, r *http.Request) {
-	t0 := time.Now()
-	defer s.observeLatency(t0)
+func (s *Server) handleSingleSource(w http.ResponseWriter, r *http.Request) {
 	s.reqSingleSource.Add(1)
 	if !s.checkMethod(w, r, http.MethodGet, http.MethodPost) {
 		return
@@ -197,12 +341,14 @@ func (s *server) handleSingleSource(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	scores, err := s.idx.SingleSource(q)
+	buf := s.scorePool.Get().(*[]float64)
+	defer s.scorePool.Put(buf)
+	scores, err := s.idx.SingleSourceInto(r.Context(), q, *buf)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeQueryError(w, err, http.StatusBadRequest)
 		return
 	}
-	body, err := singleSourceBody(q, scores, cacheable, minVal)
+	body, err := s.singleSourceBody(q, scores, cacheable, minVal)
 	if err != nil {
 		s.writeError(w, http.StatusInternalServerError, "encoding response: %v", err)
 		return
@@ -225,18 +371,14 @@ func ssCacheKey(gen uint64, q int, min float64) string {
 // singleSourceBody marshals the /v1/single_source response body — also the
 // per-item line /v1/batch streams, so the two endpoints answer (and cache)
 // byte-identically.
-func singleSourceBody(q int, scores []float64, sparse bool, min float64) ([]byte, error) {
+func (s *Server) singleSourceBody(q int, scores []float64, sparse bool, min float64) ([]byte, error) {
 	resp := singleSourceResponse{Query: q, N: len(scores)}
 	if sparse {
 		resp.Results = sparseAbove(scores, q, min)
 	} else {
 		resp.Scores = scores
 	}
-	body, err := json.Marshal(resp)
-	if err != nil {
-		return nil, err
-	}
-	return append(body, '\n'), nil
+	return s.marshalBody(resp)
 }
 
 // sparseAbove filters a dense score vector down to the entries (other than
@@ -259,16 +401,20 @@ func sparseAbove(scores []float64, q int, min float64) []query.Ranked {
 }
 
 type topKResponse struct {
-	Query    int            `json:"query"`
-	K        int            `json:"k"`
-	Reranked bool           `json:"reranked"`
+	Query    int  `json:"query"`
+	K        int  `json:"k"`
+	Reranked bool `json:"reranked"`
+	// Degraded marks a response that asked for rerank=1 but was served
+	// raw walk estimates because the remaining deadline budget could not
+	// afford the exact rerank. Scores are then bit-identical to the
+	// rerank=0 response. Absent (false) on normal responses, so their
+	// bodies are unchanged.
+	Degraded bool           `json:"degraded,omitempty"`
 	Results  []query.Ranked `json:"results"`
 }
 
 // handleTopK serves GET/POST /v1/topk?q=17&k=10[&rerank=1].
-func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
-	t0 := time.Now()
-	defer s.observeLatency(t0)
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	s.reqTopK.Add(1)
 	if !s.checkMethod(w, r, http.MethodGet, http.MethodPost) {
 		return
@@ -283,6 +429,10 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if k < 1 {
+		s.writeError(w, http.StatusBadRequest, "query: top-k size %d < 1", k)
+		return
+	}
 	rerank := boolParam(r, "rerank")
 
 	s.mu.RLock()
@@ -293,17 +443,47 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	results, err := s.idx.TopK(q, k, &query.TopKOptions{Rerank: rerank})
+	buf := s.scorePool.Get().(*[]float64)
+	defer s.scorePool.Put(buf)
+	scores, err := s.idx.SingleSourceInto(r.Context(), q, *buf)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeQueryError(w, err, http.StatusBadRequest)
 		return
 	}
-	body, err := topKBody(q, k, rerank, results)
+
+	// Degrade before committing to the rerank, not after failing it: with
+	// the sweep done, the raw estimates are already in hand, so a request
+	// that cannot afford exact re-scoring still gets a useful answer.
+	useRerank := rerank
+	pool := s.idx.RerankPoolSize(k, 0)
+	degraded := rerank && s.shouldDegrade(r.Context(), pool)
+	if degraded {
+		useRerank = false
+	}
+	t1 := time.Now()
+	results, err := s.idx.TopKFromScores(r.Context(), scores, q, k, &query.TopKOptions{Rerank: useRerank})
+	if err != nil {
+		s.writeQueryError(w, err, http.StatusBadRequest)
+		return
+	}
+	if useRerank {
+		s.observeRerank(time.Since(t1), pool)
+	}
+
+	body, err := s.topKBody(q, k, useRerank, degraded, results)
 	if err != nil {
 		s.writeError(w, http.StatusInternalServerError, "encoding response: %v", err)
 		return
 	}
-	s.cache.Put(key, body)
+	if degraded {
+		// Degraded bodies are a stopgap under pressure, not the answer the
+		// client asked for; caching one would keep serving it after the
+		// pressure is gone.
+		s.degradedTotal.Add(1)
+		w.Header().Set("X-Simrank-Degraded", "true")
+	} else {
+		s.cache.Put(key, body)
+	}
 	writeJSONBytes(w, body)
 }
 
@@ -317,12 +497,8 @@ func topKCacheKey(gen uint64, q, k int, rerank bool) string {
 
 // topKBody marshals the /v1/topk response body — also the per-item line
 // /v1/batch streams, so the two endpoints answer byte-identically.
-func topKBody(q, k int, rerank bool, results []query.Ranked) ([]byte, error) {
-	body, err := json.Marshal(topKResponse{Query: q, K: k, Reranked: rerank, Results: results})
-	if err != nil {
-		return nil, err
-	}
-	return append(body, '\n'), nil
+func (s *Server) topKBody(q, k int, rerank, degraded bool, results []query.Ranked) ([]byte, error) {
+	return s.marshalBody(topKResponse{Query: q, K: k, Reranked: rerank, Degraded: degraded, Results: results})
 }
 
 type edgeEdit struct {
@@ -349,10 +525,10 @@ type edgesResponse struct {
 }
 
 // handleEdges serves POST /v1/edges: a batch of edge adds/removes applied
-// to the live graph with an incremental, bit-identical index repair.
-func (s *server) handleEdges(w http.ResponseWriter, r *http.Request) {
-	t0 := time.Now()
-	defer s.observeLatency(t0)
+// to the live graph with an incremental, bit-identical index repair. The
+// repair itself is not cancellable (aborting a half-applied repair would
+// corrupt the index), so the request deadline gates only admission.
+func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 	s.reqEdges.Add(1)
 	if !s.checkMethod(w, r, http.MethodPost) {
 		return
@@ -402,7 +578,7 @@ func (s *server) handleEdges(w http.ResponseWriter, r *http.Request) {
 	s.edgesRemoved.Add(int64(stats.EdgesRemoved))
 	s.walksRepaired.Add(int64(stats.WalksRepaired))
 
-	body, err := json.Marshal(edgesResponse{
+	body, err := s.marshalBody(edgesResponse{
 		Added:         stats.EdgesAdded,
 		Removed:       stats.EdgesRemoved,
 		DirtyVertices: stats.DirtyVertices,
@@ -415,7 +591,7 @@ func (s *server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusInternalServerError, "encoding response: %v", err)
 		return
 	}
-	writeJSONBytes(w, append(body, '\n'))
+	writeJSONBytes(w, body)
 }
 
 type healthzResponse struct {
@@ -429,7 +605,7 @@ type healthzResponse struct {
 	UptimeSecs float64 `json:"uptime_seconds"`
 }
 
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	w.Header().Set("Content-Type", "application/json")
@@ -446,8 +622,8 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics dumps the counters in the Prometheus text exposition
-// format (counters only — no client library dependency).
-func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+// format (no client library dependency).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	hits, misses := s.cache.Stats()
 	s.mu.RLock()
 	generation := s.idx.Generation()
@@ -463,10 +639,13 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "simrankd_batch_items_total %d\n", s.batchItems.Load())
 	fmt.Fprintf(w, "simrankd_batch_item_errors_total %d\n", s.batchItemErrors.Load())
 	fmt.Fprintf(w, "simrankd_request_errors_total %d\n", s.reqErrors.Load())
+	fmt.Fprintf(w, "simrankd_requests_shed_total %d\n", s.shedTotal.Load())
+	fmt.Fprintf(w, "simrankd_requests_degraded_total %d\n", s.degradedTotal.Load())
+	fmt.Fprintf(w, "simrankd_inflight_requests %d\n", s.inflight.Load())
+	fmt.Fprintf(w, "simrankd_queued_requests %d\n", s.queued.Load())
 	fmt.Fprintf(w, "simrankd_cache_hits_total %d\n", hits)
 	fmt.Fprintf(w, "simrankd_cache_misses_total %d\n", misses)
-	fmt.Fprintf(w, "simrankd_request_latency_micros_total %d\n", s.latencyMicros.Load())
-	fmt.Fprintf(w, "simrankd_request_latency_count %d\n", s.latencyCount.Load())
+	s.latency.WriteProm(w, "simrankd_request_latency_seconds")
 	fmt.Fprintf(w, "simrankd_index_generation %d\n", generation)
 	fmt.Fprintf(w, "simrankd_updates_total %d\n", s.updatesTotal.Load())
 	fmt.Fprintf(w, "simrankd_update_latency_micros_total %d\n", s.updateMicros.Load())

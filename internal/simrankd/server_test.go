@@ -1,6 +1,7 @@
-package main
+package simrankd
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -134,7 +135,7 @@ func TestSingleSourceEndpoint(t *testing.T) {
 	if resp.N != idx.N() || len(resp.Scores) != idx.N() {
 		t.Fatalf("got n=%d, %d scores; want %d", resp.N, len(resp.Scores), idx.N())
 	}
-	want, err := idx.SingleSource(12)
+	want, err := idx.SingleSource(context.Background(), 12)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package walkindex
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -55,8 +56,11 @@ const genSlack = 1 - 1e-9
 // ranks in its top-k above the threshold appears (threshold 0 means every
 // pair with a positive estimate). maxCandidates caps the enumerated
 // co-located pair set — ErrTooDense reports overflow before memory does.
-// The result is bit-identical for every worker count.
-func (ix *Index) Join(k int, threshold float64, maxCandidates, workers int) ([]JoinPair, error) {
+// The result is bit-identical for every worker count. Cancelling ctx
+// abandons the join at the next chunk boundary (workers poll between
+// slots during enumeration and between candidates during re-scoring) and
+// returns the context's error.
+func (ix *Index) Join(ctx context.Context, k int, threshold float64, maxCandidates, workers int) ([]JoinPair, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("walkindex: join top-k size %d < 1", k)
 	}
@@ -88,12 +92,13 @@ func (ix *Index) Join(k int, threshold float64, maxCandidates, workers int) ([]J
 	var overflow atomic.Bool
 	par.Do(parts, func(w int) {
 		lo, hi := par.Range(ix.r, parts, w)
+		check := par.NewCancelChecker(ctx, 1) // each slot is O(n) work
 		set := make(map[uint64]struct{})
 		head := make([]int32, ix.n)
 		next := make([]int32, ix.n)
 		for fp := lo; fp < hi; fp++ {
 			for t := 0; t <= maxT; t++ {
-				if overflow.Load() {
+				if overflow.Load() || check.Stop() != nil {
 					return
 				}
 				for i := range head {
@@ -134,6 +139,9 @@ func (ix *Index) Join(k int, threshold float64, maxCandidates, workers int) ([]J
 		}
 		sets[w] = set
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if overflow.Load() {
 		return nil, fmt.Errorf("%w: threshold %v admits more than %d co-located pairs", ErrTooDense, threshold, maxCandidates)
 	}
@@ -162,11 +170,18 @@ func (ix *Index) Join(k int, threshold float64, maxCandidates, workers int) ([]J
 	parts = par.ResolveMax(workers, len(keys))
 	par.Do(parts, func(w int) {
 		lo, hi := par.Range(len(keys), parts, w)
+		check := par.NewCancelChecker(ctx, cancelCheckTargets)
 		for i := lo; i < hi; i++ {
+			if check.Stop() != nil {
+				return // partial scores are discarded below
+			}
 			a, b := int(keys[i]>>32), int(keys[i]&0xFFFFFFFF)
 			pairs[i] = JoinPair{A: a, B: b, Score: ix.Pair(a, b)}
 		}
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	kept := pairs[:0]
 	for _, p := range pairs {

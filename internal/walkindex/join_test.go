@@ -1,6 +1,7 @@
 package walkindex
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sort"
@@ -14,11 +15,12 @@ import (
 // from the full SingleSource matrix, filtered and ordered exactly as Join
 // promises. Join must reproduce it bit for bit — this is the completeness
 // proof of the contribution-weight prune.
-func bruteJoin(ix *Index, k int, threshold float64) []JoinPair {
+func bruteJoin(t *testing.T, ix *Index, k int, threshold float64) []JoinPair {
+	t.Helper()
 	n := ix.N()
 	var pairs []JoinPair
 	for a := 0; a < n; a++ {
-		row := ix.SingleSource(a, nil)
+		row := ssRow(t, ix, a)
 		for b := a + 1; b < n; b++ {
 			if row[b] >= threshold && row[b] > 0 {
 				pairs = append(pairs, JoinPair{A: a, B: b, Score: row[b]})
@@ -56,8 +58,8 @@ func TestJoinMatchesBruteForce(t *testing.T) {
 	}
 	for _, threshold := range []float64{0, 0.03, 0.1, 0.3, 0.7} {
 		for _, k := range []int{1, 5, 40, 100000} {
-			want := bruteJoin(ix, k, threshold)
-			got, err := ix.Join(k, threshold, 1<<20, 3)
+			want := bruteJoin(t, ix, k, threshold)
+			got, err := ix.Join(context.Background(), k, threshold, 1<<20, 3)
 			if err != nil {
 				t.Fatalf("Join(k=%d, theta=%g): %v", k, threshold, err)
 			}
@@ -81,12 +83,12 @@ func TestJoinDeterministicAcrossWorkers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	serial, err := ix.Join(25, 0.05, 1<<20, 1)
+	serial, err := ix.Join(context.Background(), 25, 0.05, 1<<20, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 3, 8} {
-		par, err := ix.Join(25, 0.05, 1<<20, workers)
+		par, err := ix.Join(context.Background(), 25, 0.05, 1<<20, workers)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -109,7 +111,7 @@ func TestJoinThresholdAboveC(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := ix.Join(10, 0.9, 1<<20, 2)
+	got, err := ix.Join(context.Background(), 10, 0.9, 1<<20, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +128,7 @@ func TestJoinTooDense(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ix.Join(10, 0, 5, 2); !errors.Is(err, ErrTooDense) {
+	if _, err := ix.Join(context.Background(), 10, 0, 5, 2); !errors.Is(err, ErrTooDense) {
 		t.Fatalf("Join with cap 5 returned %v, want ErrTooDense", err)
 	}
 }
@@ -148,7 +150,7 @@ func TestJoinValidation(t *testing.T) {
 		{5, 1.5, 100},
 		{5, 0.1, 0},
 	} {
-		if _, err := ix.Join(bad.k, bad.th, bad.cap_, 1); err == nil {
+		if _, err := ix.Join(context.Background(), bad.k, bad.th, bad.cap_, 1); err == nil {
 			t.Errorf("Join(%d, %g, cap %d) succeeded, want error", bad.k, bad.th, bad.cap_)
 		}
 	}

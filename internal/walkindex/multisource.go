@@ -1,6 +1,7 @@
 package walkindex
 
 import (
+	"context"
 	"sort"
 
 	"oipsr/internal/par"
@@ -42,13 +43,18 @@ type srcEntry struct {
 //
 // Sources must be valid vertex ids (the query layer validates); duplicates
 // are allowed and produce identical rows.
-func (ix *Index) MultiSource(sources []int, workers int) [][]float64 {
+//
+// Cancelling ctx abandons the sweep at the next chunk boundary (every
+// worker polls between target vertices) and returns the context's error;
+// the returned rows are then nil. An uncancelled ctx never changes the
+// result.
+func (ix *Index) MultiSource(ctx context.Context, sources []int, workers int) ([][]float64, error) {
 	out := make([][]float64, len(sources))
 	for i := range out {
 		out[i] = make([]float64, ix.n)
 	}
 	if len(sources) == 0 {
-		return out
+		return out, nil
 	}
 
 	// Slot tables: slot (fp, t) holds the living source walker positions at
@@ -58,7 +64,11 @@ func (ix *Index) MultiSource(sources []int, workers int) [][]float64 {
 	// fingerprint, and an empty slot ends the sweep's step loop early.
 	nslots := ix.r * ix.k
 	off := make([]int, nslots+1)
+	tableCheck := par.NewCancelChecker(ctx, 4) // each source is O(R·K) table work
 	for _, q := range sources {
+		if err := tableCheck.Stop(); err != nil {
+			return nil, err
+		}
 		base := q * ix.r * ix.k
 		for fp := 0; fp < ix.r; fp++ {
 			row := ix.paths[base+fp*ix.k : base+(fp+1)*ix.k]
@@ -104,12 +114,16 @@ func (ix *Index) MultiSource(sources []int, workers int) [][]float64 {
 	parts := par.ResolveMax(workers, ix.n)
 	par.Do(parts, func(w int) {
 		lo, hi := par.Range(ix.n, parts, w)
+		check := par.NewCancelChecker(ctx, cancelCheckTargets)
 		acc := make([]float64, len(sources))
 		// met[si] == epoch marks "si already met the current (target,
 		// fingerprint)"; bumping the epoch clears all marks at once.
 		met := make([]int, len(sources))
 		epoch := 0
 		for v := lo; v < hi; v++ {
+			if check.Stop() != nil {
+				return // partial rows are discarded below
+			}
 			for i := range acc {
 				acc[i] = 0
 			}
@@ -141,11 +155,14 @@ func (ix *Index) MultiSource(sources []int, workers int) [][]float64 {
 			}
 		}
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Overwrite each source's own entry with the exact 1 SingleSource
 	// promises (the sweep instead credits the trivial self-meeting at the
 	// first step, which would leave C there).
 	for si, q := range sources {
 		out[si][q] = 1
 	}
-	return out
+	return out, nil
 }

@@ -29,12 +29,12 @@ func TestMultiSourceBitIdenticalToSingleSource(t *testing.T) {
 	}
 	for _, sources := range batches {
 		for _, workers := range []int{1, 2, 3, 7} {
-			rows := ix.MultiSource(sources, workers)
+			rows := msRows(t, ix, sources, workers)
 			if len(rows) != len(sources) {
 				t.Fatalf("MultiSource(%v) returned %d rows", sources, len(rows))
 			}
 			for i, q := range sources {
-				want := ix.SingleSource(q, nil)
+				want := ssRow(t, ix, q)
 				for v := range want {
 					if rows[i][v] != want[v] {
 						t.Fatalf("workers=%d sources=%v: row %d (q=%d) differs at v=%d: %g vs %g",
@@ -55,9 +55,9 @@ func TestMultiSourceDeadAndIsolated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows := ix.MultiSource([]int{0, 2, 3}, 2)
+	rows := msRows(t, ix, []int{0, 2, 3}, 2)
 	for i, q := range []int{0, 2, 3} {
-		want := ix.SingleSource(q, nil)
+		want := ssRow(t, ix, q)
 		for v := range want {
 			if rows[i][v] != want[v] {
 				t.Fatalf("q=%d v=%d: %g vs %g", q, v, rows[i][v], want[v])
@@ -76,7 +76,7 @@ func TestMultiSourceEmptyBatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rows := ix.MultiSource(nil, 3); len(rows) != 0 {
+	if rows := msRows(t, ix, nil, 3); len(rows) != 0 {
 		t.Fatalf("MultiSource(nil) returned %d rows, want 0", len(rows))
 	}
 }

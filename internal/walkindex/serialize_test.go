@@ -48,8 +48,8 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		t.Fatal("loaded index differs from saved index")
 	}
 	// Bit-identical query results, not just equal storage.
-	a := ix.SingleSource(3, nil)
-	b := got.SingleSource(3, nil)
+	a := ssRow(t, ix, 3)
+	b := ssRow(t, got, 3)
 	for v := range a {
 		if a[v] != b[v] {
 			t.Fatalf("SingleSource(3)[%d]: %g != %g after round-trip", v, a[v], b[v])

@@ -31,6 +31,7 @@
 package walkindex
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -199,16 +200,29 @@ func (ix *Index) Seed() int64 { return ix.seed }
 // Bytes returns the in-memory size of the path storage.
 func (ix *Index) Bytes() int64 { return int64(len(ix.paths)) * 4 }
 
+// cancelCheckTargets is how many target vertices a sweep processes
+// between context-cancellation polls: each target costs O(R·K) work, so
+// polling every 64 keeps the overhead unmeasurable while an abandoned
+// request stops burning CPU within a few hundred microseconds.
+const cancelCheckTargets = 64
+
 // SingleSource estimates s(q, v) for every v and writes the result into
 // dst, which must have length N() (pass nil to allocate). It returns dst.
-// The estimate for q itself is exactly 1.
-func (ix *Index) SingleSource(q int, dst []float64) []float64 {
+// The estimate for q itself is exactly 1. Cancelling ctx abandons the
+// sweep at the next chunk boundary and returns the context's error; the
+// contents of dst are then unspecified. An uncancelled ctx never changes
+// the result: the scores are bit-identical to a context-free sweep.
+func (ix *Index) SingleSource(ctx context.Context, q int, dst []float64) ([]float64, error) {
 	if dst == nil {
 		dst = make([]float64, ix.n)
 	}
 	qp := ix.paths[q*ix.r*ix.k : (q+1)*ix.r*ix.k]
 	inv := 1 / float64(ix.r)
+	check := par.NewCancelChecker(ctx, cancelCheckTargets)
 	for v := 0; v < ix.n; v++ {
+		if err := check.Stop(); err != nil {
+			return nil, err
+		}
 		if v == q {
 			continue
 		}
@@ -230,7 +244,7 @@ func (ix *Index) SingleSource(q int, dst []float64) []float64 {
 		dst[v] = s * inv
 	}
 	dst[q] = 1
-	return dst
+	return dst, nil
 }
 
 // Pair estimates the single score s(a, b). It runs the same accumulation

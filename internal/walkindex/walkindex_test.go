@@ -1,6 +1,7 @@
 package walkindex
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -9,6 +10,26 @@ import (
 	"oipsr/graph/gen"
 	"oipsr/internal/naive"
 )
+
+// ssRow is the test shorthand for an uncancellable SingleSource row.
+func ssRow(t *testing.T, ix *Index, q int) []float64 {
+	t.Helper()
+	row, err := ix.SingleSource(context.Background(), q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return row
+}
+
+// msRows is the test shorthand for an uncancellable MultiSource call.
+func msRows(t *testing.T, ix *Index, sources []int, workers int) [][]float64 {
+	t.Helper()
+	rows, err := ix.MultiSource(context.Background(), sources, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
 
 // TestSiblingsExact: from 0->1, 0->2 both walkers step to vertex 0 with
 // probability 1 and meet at step 1, so every fingerprint contributes
@@ -22,7 +43,7 @@ func TestSiblingsExact(t *testing.T) {
 	if got := ix.Pair(1, 2); math.Abs(got-0.8) > 1e-12 {
 		t.Errorf("s(1,2) = %g, want exactly C = 0.8", got)
 	}
-	row := ix.SingleSource(1, nil)
+	row := ssRow(t, ix, 1)
 	if math.Abs(row[2]-0.8) > 1e-12 || row[1] != 1 {
 		t.Errorf("SingleSource(1) = %v, want s(1,1)=1, s(1,2)=0.8", row)
 	}
@@ -78,7 +99,9 @@ func TestApproximatesExact(t *testing.T) {
 	var cnt int
 	row := make([]float64, 25)
 	for q := 0; q < 25; q++ {
-		ix.SingleSource(q, row)
+		if _, err := ix.SingleSource(context.Background(), q, row); err != nil {
+			t.Fatal(err)
+		}
 		for v := 0; v < 25; v++ {
 			if v == q {
 				continue
@@ -100,7 +123,7 @@ func TestSymmetry(t *testing.T) {
 		t.Fatal(err)
 	}
 	for a := 0; a < 60; a += 7 {
-		row := ix.SingleSource(a, nil)
+		row := ssRow(t, ix, a)
 		for b := 0; b < 60; b += 3 {
 			if got, want := ix.Pair(b, a), row[b]; got != want {
 				t.Fatalf("Pair(%d,%d) = %g, SingleSource row = %g", b, a, got, want)

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 
 	"oipsr/internal/par"
@@ -32,11 +33,12 @@ func (ix *Index) checkSources(sources []int) error {
 // SingleSource calls, for every worker count (1 = serial, anything below 1
 // means all CPUs), but the whole batch costs a single traversal of the
 // walk index instead of one per source. Duplicate sources are allowed.
-func (ix *Index) MultiSource(sources []int, workers int) ([][]float64, error) {
+// Cancelling ctx abandons the sweep and returns the context's error.
+func (ix *Index) MultiSource(ctx context.Context, sources []int, workers int) ([][]float64, error) {
 	if err := ix.checkSources(sources); err != nil {
 		return nil, err
 	}
-	return ix.wi.MultiSource(sources, workers), nil
+	return ix.wi.MultiSource(ctx, sources, workers)
 }
 
 // TopKBatch answers TopK(q, k, opt) for every source q in sources,
@@ -44,8 +46,9 @@ func (ix *Index) MultiSource(sources []int, workers int) ([][]float64, error) {
 // shared MultiSource traversal; the optional exact rerank runs per source
 // (in parallel across sources, each with its own memo). Every result list
 // is bit-identical to the corresponding independent TopK call, for every
-// worker count.
-func (ix *Index) TopKBatch(sources []int, k int, opt *TopKOptions, workers int) ([][]Ranked, error) {
+// worker count. Cancelling ctx abandons the batch — mid-sweep or between
+// rerank candidates — and returns the context's error.
+func (ix *Index) TopKBatch(ctx context.Context, sources []int, k int, opt *TopKOptions, workers int) ([][]Ranked, error) {
 	n := ix.wi.N()
 	if err := ix.checkSources(sources); err != nil {
 		return nil, err
@@ -63,14 +66,26 @@ func (ix *Index) TopKBatch(sources []int, k int, opt *TopKOptions, workers int) 
 		return nil, fmt.Errorf("query: rerank needs the source graph (AttachGraph after Load)")
 	}
 
-	rows := ix.wi.MultiSource(sources, workers)
+	rows, err := ix.wi.MultiSource(ctx, sources, workers)
+	if err != nil {
+		return nil, err
+	}
 	out := make([][]Ranked, len(sources))
 	parts := par.ResolveMax(workers, len(sources))
 	par.Do(parts, func(w int) {
 		lo, hi := par.Range(len(sources), parts, w)
 		for i := lo; i < hi; i++ {
-			out[i] = ix.rankFromScores(rows[i], sources[i], k, opt)
+			// rankFromScores fails only on cancellation; workers bail and
+			// the partial output is discarded by the ctx check below.
+			res, err := ix.rankFromScores(ctx, rows[i], sources[i], k, opt)
+			if err != nil {
+				return
+			}
+			out[i] = res
 		}
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return out, nil
 }

@@ -2,6 +2,7 @@ package query
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -22,13 +23,13 @@ func TestTopKBatchBitIdenticalToTopK(t *testing.T) {
 	for _, opt := range []*TopKOptions{nil, {Rerank: true}, {Rerank: true, Candidates: 25, PruneEps: 1e-4}} {
 		want := make([][]Ranked, len(sources))
 		for i, q := range sources {
-			want[i], err = ix.TopK(q, 7, opt)
+			want[i], err = ix.TopK(context.Background(), q, 7, opt)
 			if err != nil {
 				t.Fatal(err)
 			}
 		}
 		for _, workers := range []int{1, 2, 5} {
-			got, err := ix.TopKBatch(sources, 7, opt, workers)
+			got, err := ix.TopKBatch(context.Background(), sources, 7, opt, workers)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -57,12 +58,12 @@ func TestMultiSourceBitIdenticalToSingleSource(t *testing.T) {
 	}
 	sources := []int{3, 60, 119}
 	for _, workers := range []int{1, 3} {
-		rows, err := ix.MultiSource(sources, workers)
+		rows, err := ix.MultiSource(context.Background(), sources, workers)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for i, q := range sources {
-			want, err := ix.SingleSource(q)
+			want, err := ix.SingleSource(context.Background(), q)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -83,13 +84,13 @@ func TestBatchValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ix.MultiSource([]int{0, 99}, 1); err == nil || !strings.Contains(err.Error(), "batch item 1") {
+	if _, err := ix.MultiSource(context.Background(), []int{0, 99}, 1); err == nil || !strings.Contains(err.Error(), "batch item 1") {
 		t.Fatalf("MultiSource with bad source: %v, want error naming batch item 1", err)
 	}
-	if _, err := ix.TopKBatch([]int{0, -1}, 5, nil, 1); err == nil {
+	if _, err := ix.TopKBatch(context.Background(), []int{0, -1}, 5, nil, 1); err == nil {
 		t.Fatal("TopKBatch with negative source succeeded")
 	}
-	if _, err := ix.TopKBatch([]int{0}, 0, nil, 1); err == nil {
+	if _, err := ix.TopKBatch(context.Background(), []int{0}, 0, nil, 1); err == nil {
 		t.Fatal("TopKBatch with k=0 succeeded")
 	}
 
@@ -102,7 +103,7 @@ func TestBatchValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loaded.TopKBatch([]int{0}, 5, &TopKOptions{Rerank: true}, 1); err == nil {
+	if _, err := loaded.TopKBatch(context.Background(), []int{0}, 5, &TopKOptions{Rerank: true}, 1); err == nil {
 		t.Fatal("TopKBatch rerank without attached graph succeeded")
 	}
 }
@@ -115,7 +116,7 @@ func TestJoinPublicAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pairs, err := ix.Join(10, 0.1, nil)
+	pairs, err := ix.Join(context.Background(), 10, 0.1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,10 +142,10 @@ func TestJoinPublicAPI(t *testing.T) {
 			t.Fatalf("pair %d score %g, Pair says %g", i, p.Score, got)
 		}
 	}
-	if _, err := ix.Join(10, 0, &JoinOptions{MaxCandidates: 3}); !errors.Is(err, ErrTooDense) {
+	if _, err := ix.Join(context.Background(), 10, 0, &JoinOptions{MaxCandidates: 3}); !errors.Is(err, ErrTooDense) {
 		t.Fatalf("Join with cap 3 returned %v, want ErrTooDense", err)
 	}
-	if _, err := ix.Join(10, 0, &JoinOptions{MaxCandidates: -1}); err == nil {
+	if _, err := ix.Join(context.Background(), 10, 0, &JoinOptions{MaxCandidates: -1}); err == nil {
 		t.Fatal("Join with negative cap succeeded")
 	}
 }

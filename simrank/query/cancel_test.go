@@ -1,0 +1,81 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"oipsr/graph/gen"
+)
+
+// TestCancelledContextAbortsQueries: a cancelled context aborts every
+// public query path with the context's error.
+func TestCancelledContextAbortsQueries(t *testing.T) {
+	g := gen.WebGraph(200, 6, 31)
+	ix, err := BuildIndex(g, Options{Walks: 40, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := ix.SingleSource(cancelled, 1); !errors.Is(err, context.Canceled) {
+		t.Errorf("SingleSource: err = %v, want context.Canceled", err)
+	}
+	if _, err := ix.TopK(cancelled, 1, 5, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("TopK: err = %v, want context.Canceled", err)
+	}
+	if _, err := ix.TopK(cancelled, 1, 5, &TopKOptions{Rerank: true}); !errors.Is(err, context.Canceled) {
+		t.Errorf("TopK(rerank): err = %v, want context.Canceled", err)
+	}
+	if _, err := ix.MultiSource(cancelled, []int{0, 1}, 2); !errors.Is(err, context.Canceled) {
+		t.Errorf("MultiSource: err = %v, want context.Canceled", err)
+	}
+	if _, err := ix.TopKBatch(cancelled, []int{0, 1, 2}, 5, nil, 2); !errors.Is(err, context.Canceled) {
+		t.Errorf("TopKBatch: err = %v, want context.Canceled", err)
+	}
+	if _, err := ix.Join(cancelled, 10, 0.05, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("Join: err = %v, want context.Canceled", err)
+	}
+
+	// Validation errors still win over cancellation checks that would
+	// follow them — a bad request is a bad request even under a dead ctx.
+	if _, err := ix.SingleSource(cancelled, -1); errors.Is(err, context.Canceled) {
+		t.Errorf("SingleSource(-1): got context error, want validation error")
+	}
+}
+
+// TestRerankCancellationMidPool: cancelling between rerank candidates
+// aborts TopK even though the sweep already finished. The rerank polls the
+// context on every candidate (each exact pair score is expensive), so a
+// context that dies after the sweep still stops the call.
+func TestRerankCancellationMidPool(t *testing.T) {
+	g := gen.CoauthorGraph(150, 5, 7)
+	ix, err := BuildIndex(g, Options{Walks: 60, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cancelAfterN hands out a live context for the first n Err calls and a
+	// cancelled one after — deterministic mid-call cancellation without
+	// timing games.
+	// The sweep over 150 targets polls only a handful of times (once per
+	// 64-target chunk); a budget of 20 survives it and dies a few
+	// candidates into the rerank pool.
+	ctx := &cancelAfterN{Context: context.Background(), n: 20}
+	_, err = ix.TopK(ctx, 0, 20, &TopKOptions{Rerank: true, Candidates: 120})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("TopK with mid-rerank cancel: err = %v, want context.Canceled", err)
+	}
+}
+
+type cancelAfterN struct {
+	context.Context
+	n int
+}
+
+func (c *cancelAfterN) Err() error {
+	if c.n--; c.n < 0 {
+		return context.Canceled
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package query_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,7 +24,7 @@ func ExampleBuildIndex() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	scores, err := idx.SingleSource(1)
+	scores, err := idx.SingleSource(context.Background(), 1)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func ExampleIndex_TopK() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	top, err := idx.TopK(1, 2, nil)
+	top, err := idx.TopK(context.Background(), 1, 2, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func ExampleIndex_MultiSource() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rows, err := idx.MultiSource([]int{1, 2}, 1)
+	rows, err := idx.MultiSource(context.Background(), []int{1, 2}, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func ExampleIndex_Join() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	pairs, err := idx.Join(5, 0.5, nil)
+	pairs, err := idx.Join(context.Background(), 5, 0.5, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

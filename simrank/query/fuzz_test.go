@@ -2,6 +2,7 @@ package query
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"oipsr/graph"
@@ -35,10 +36,10 @@ func FuzzLoad(f *testing.F) {
 		// A loaded index must answer estimate-only queries for every
 		// vertex without panicking, even on adversarial payload values.
 		for v := 0; v < got.N(); v++ {
-			if _, err := got.SingleSource(v); err != nil {
+			if _, err := got.SingleSource(context.Background(), v); err != nil {
 				t.Fatalf("SingleSource(%d) on accepted index: %v", v, err)
 			}
-			if _, err := got.TopK(v, 3, nil); err != nil {
+			if _, err := got.TopK(context.Background(), v, 3, nil); err != nil {
 				t.Fatalf("TopK(%d) on accepted index: %v", v, err)
 			}
 		}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 
 	"oipsr/internal/walkindex"
@@ -47,8 +48,10 @@ const DefaultMaxCandidates = 1 << 21
 // the threshold allows are enumerated, then scored exactly. A threshold of
 // 0 means "every pair with a positive estimate" (pairs whose walks never
 // meet score exactly 0 and never join). Thresholds above C return an empty
-// result immediately: no distinct pair can score above C.
-func (ix *Index) Join(k int, threshold float64, opt *JoinOptions) ([]JoinPair, error) {
+// result immediately: no distinct pair can score above C. Cancelling ctx
+// abandons the join at the next chunk boundary and returns the context's
+// error.
+func (ix *Index) Join(ctx context.Context, k int, threshold float64, opt *JoinOptions) ([]JoinPair, error) {
 	if opt == nil {
 		opt = &JoinOptions{}
 	}
@@ -59,7 +62,7 @@ func (ix *Index) Join(k int, threshold float64, opt *JoinOptions) ([]JoinPair, e
 	if maxCand < 1 {
 		return nil, fmt.Errorf("query: join candidate cap %d < 1", maxCand)
 	}
-	pairs, err := ix.wi.Join(k, threshold, maxCand, opt.Workers)
+	pairs, err := ix.wi.Join(ctx, k, threshold, maxCand, opt.Workers)
 	if err != nil {
 		return nil, err
 	}

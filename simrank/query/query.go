@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -9,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"oipsr/graph"
+	"oipsr/internal/par"
 	"oipsr/internal/walkindex"
 )
 
@@ -191,12 +193,26 @@ func (ix *Index) AttachGraph(g *graph.Graph) error {
 }
 
 // SingleSource estimates s(q, v) for every vertex v and returns the dense
-// score vector; entry q is exactly 1.
-func (ix *Index) SingleSource(q int) ([]float64, error) {
+// score vector; entry q is exactly 1. Cancelling ctx (a client gone, a
+// server deadline) abandons the sweep at the next chunk boundary and
+// returns the context's error; an uncancelled ctx never changes the
+// scores.
+func (ix *Index) SingleSource(ctx context.Context, q int) ([]float64, error) {
+	return ix.SingleSourceInto(ctx, q, nil)
+}
+
+// SingleSourceInto is SingleSource writing into a caller-owned buffer:
+// dst must have length N() (nil allocates). Servers reuse pooled buffers
+// across requests to keep the hot path allocation-free; the returned
+// slice is dst. On cancellation dst's contents are unspecified.
+func (ix *Index) SingleSourceInto(ctx context.Context, q int, dst []float64) ([]float64, error) {
 	if q < 0 || q >= ix.wi.N() {
 		return nil, fmt.Errorf("query: vertex %d out of range [0,%d)", q, ix.wi.N())
 	}
-	return ix.wi.SingleSource(q, nil), nil
+	if dst != nil && len(dst) != ix.wi.N() {
+		return nil, fmt.Errorf("query: buffer length %d, want %d", len(dst), ix.wi.N())
+	}
+	return ix.wi.SingleSource(ctx, q, dst)
 }
 
 // Pair estimates the single score s(a, b).
@@ -228,8 +244,10 @@ type TopKOptions struct {
 // TopK returns the k vertices most similar to q, excluding q itself, in
 // decreasing score order with ties broken by vertex id. With opt.Rerank
 // the scores are exact truncated SimRank values for the candidate pool;
-// otherwise they are the index estimates.
-func (ix *Index) TopK(q, k int, opt *TopKOptions) ([]Ranked, error) {
+// otherwise they are the index estimates. Cancelling ctx abandons the
+// call — during the score sweep or between rerank candidates — and
+// returns the context's error.
+func (ix *Index) TopK(ctx context.Context, q, k int, opt *TopKOptions) ([]Ranked, error) {
 	n := ix.wi.N()
 	if q < 0 || q >= n {
 		return nil, fmt.Errorf("query: vertex %d out of range [0,%d)", q, n)
@@ -246,7 +264,60 @@ func (ix *Index) TopK(q, k int, opt *TopKOptions) ([]Ranked, error) {
 	if opt.Rerank && ix.g == nil {
 		return nil, fmt.Errorf("query: rerank needs the source graph (AttachGraph after Load)")
 	}
-	return ix.rankFromScores(ix.wi.SingleSource(q, nil), q, k, opt), nil
+	scores, err := ix.wi.SingleSource(ctx, q, nil)
+	if err != nil {
+		return nil, err
+	}
+	return ix.rankFromScores(ctx, scores, q, k, opt)
+}
+
+// TopKFromScores finishes a TopK query from an already-computed dense
+// score row (as returned by SingleSource/SingleSourceInto for the same q):
+// candidate selection, then the optional exact rerank. TopK(ctx, q, k, opt)
+// and SingleSourceInto + TopKFromScores produce bit-identical results —
+// the split exists for servers that obtain the row via a pooled buffer and
+// must decide between exact and estimate-only ranking per request (e.g.
+// degrading under a deadline) without recomputing the sweep.
+func (ix *Index) TopKFromScores(ctx context.Context, scores []float64, q, k int, opt *TopKOptions) ([]Ranked, error) {
+	n := ix.wi.N()
+	if len(scores) != n {
+		return nil, fmt.Errorf("query: score row length %d, want %d", len(scores), n)
+	}
+	if q < 0 || q >= n {
+		return nil, fmt.Errorf("query: vertex %d out of range [0,%d)", q, n)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("query: top-k size %d < 1", k)
+	}
+	if k > n-1 {
+		k = n - 1
+	}
+	if opt == nil {
+		opt = &TopKOptions{}
+	}
+	if opt.Rerank && ix.g == nil {
+		return nil, fmt.Errorf("query: rerank needs the source graph (AttachGraph after Load)")
+	}
+	return ix.rankFromScores(ctx, scores, q, k, opt)
+}
+
+// RerankPoolSize reports how many candidates a TopK rerank with this k and
+// TopKOptions.Candidates would re-score — the exact pool the rerank uses,
+// exported so servers can estimate rerank cost (deadline-aware degradation
+// multiplies it by a measured per-candidate cost).
+func (ix *Index) RerankPoolSize(k, candidates int) int {
+	n := ix.wi.N()
+	if k > n-1 {
+		k = n - 1
+	}
+	pool := candidates
+	if pool <= 0 {
+		pool = max(4*k, k+16)
+	}
+	if pool > n-1 {
+		pool = n - 1
+	}
+	return max(pool, 0)
 }
 
 // rankFromScores turns one dense score row into the final top-k result:
@@ -254,8 +325,10 @@ func (ix *Index) TopK(q, k int, opt *TopKOptions) ([]Ranked, error) {
 // TopK and TopKBatch both end here — sharing the code is what makes the
 // batched path bit-identical to independent calls by construction. Callers
 // validate q/k/opt (k already clamped to at most n-1) and, when reranking,
-// an attached graph.
-func (ix *Index) rankFromScores(scores []float64, q, k int, opt *TopKOptions) []Ranked {
+// an attached graph. The only error source is ctx: the rerank polls it
+// between candidates (each exact pair score is expensive enough to check
+// every time) and abandons the call with the context's error.
+func (ix *Index) rankFromScores(ctx context.Context, scores []float64, q, k int, opt *TopKOptions) ([]Ranked, error) {
 	n := ix.wi.N()
 	pool := k
 	if opt.Rerank {
@@ -280,7 +353,11 @@ func (ix *Index) rankFromScores(scores []float64, q, k int, opt *TopKOptions) []
 		// detectably) perturb scores. Independent memos keep the batch
 		// bit-identical to independent TopK calls.
 		ex := newExactScorer(ix.g, ix.wi.C(), ix.wi.Horizon(), pruneEps)
+		check := par.NewCancelChecker(ctx, 1)
 		for i := range cands {
+			if err := check.Stop(); err != nil {
+				return nil, err
+			}
 			cands[i].Score = ex.pair(q, cands[i].Vertex)
 		}
 		sort.SliceStable(cands, func(i, j int) bool {
@@ -293,7 +370,7 @@ func (ix *Index) rankFromScores(scores []float64, q, k int, opt *TopKOptions) []
 	if k > len(cands) {
 		k = len(cands)
 	}
-	return cands[:k]
+	return cands[:k], nil
 }
 
 // topByScore selects the top-m vertices by score, excluding skip, in

@@ -2,6 +2,7 @@ package query
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"path/filepath"
 	"reflect"
@@ -32,11 +33,11 @@ func TestSaveLoadBitIdenticalQueries(t *testing.T) {
 		t.Fatal(err)
 	}
 	for q := 0; q < ix.N(); q += 9 {
-		a, err := ix.SingleSource(q)
+		a, err := ix.SingleSource(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := loaded.SingleSource(q)
+		b, err := loaded.SingleSource(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -45,11 +46,11 @@ func TestSaveLoadBitIdenticalQueries(t *testing.T) {
 				t.Fatalf("SingleSource(%d)[%d]: %g != %g after Save/Load", q, v, a[v], b[v])
 			}
 		}
-		ta, err := ix.TopK(q, 10, nil)
+		ta, err := ix.TopK(context.Background(), q, 10, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		tb, err := loaded.TopK(q, 10, nil)
+		tb, err := loaded.TopK(context.Background(), q, 10, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -73,8 +74,8 @@ func TestSaveFileLoadFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, _ := ix.SingleSource(7)
-	b, _ := loaded.SingleSource(7)
+	a, _ := ix.SingleSource(context.Background(), 7)
+	b, _ := loaded.SingleSource(context.Background(), 7)
 	if !reflect.DeepEqual(a, b) {
 		t.Fatal("SingleSource differs after SaveFile/LoadFile")
 	}
@@ -90,7 +91,7 @@ func TestLoadedIndexNeedsGraphForRerank(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loaded.TopK(3, 5, &TopKOptions{Rerank: true}); err == nil {
+	if _, err := loaded.TopK(context.Background(), 3, 5, &TopKOptions{Rerank: true}); err == nil {
 		t.Fatal("rerank without an attached graph succeeded, want error")
 	}
 	if err := loaded.AttachGraph(gen.WebGraph(81, 6, 5)); err == nil {
@@ -99,30 +100,30 @@ func TestLoadedIndexNeedsGraphForRerank(t *testing.T) {
 	if err := loaded.AttachGraph(ix.Graph()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loaded.TopK(3, 5, &TopKOptions{Rerank: true}); err != nil {
+	if _, err := loaded.TopK(context.Background(), 3, 5, &TopKOptions{Rerank: true}); err != nil {
 		t.Fatalf("rerank after AttachGraph: %v", err)
 	}
 }
 
 func TestQueryValidation(t *testing.T) {
 	ix := buildTestIndex(t)
-	if _, err := ix.SingleSource(-1); err == nil {
+	if _, err := ix.SingleSource(context.Background(), -1); err == nil {
 		t.Error("SingleSource(-1) succeeded")
 	}
-	if _, err := ix.SingleSource(ix.N()); err == nil {
+	if _, err := ix.SingleSource(context.Background(), ix.N()); err == nil {
 		t.Error("SingleSource(N) succeeded")
 	}
-	if _, err := ix.TopK(0, 0, nil); err == nil {
+	if _, err := ix.TopK(context.Background(), 0, 0, nil); err == nil {
 		t.Error("TopK with k=0 succeeded")
 	}
-	if _, err := ix.TopK(ix.N()+3, 5, nil); err == nil {
+	if _, err := ix.TopK(context.Background(), ix.N()+3, 5, nil); err == nil {
 		t.Error("TopK with out-of-range query succeeded")
 	}
 	if _, err := ix.Pair(0, ix.N()); err == nil {
 		t.Error("Pair with out-of-range vertex succeeded")
 	}
 	// k larger than n-1 clamps instead of failing.
-	top, err := ix.TopK(0, ix.N()*2, nil)
+	top, err := ix.TopK(context.Background(), 0, ix.N()*2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"testing"
@@ -16,7 +17,7 @@ func TestTopKSingleVertexGraph(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := ix.TopK(0, 5, nil)
+	got, err := ix.TopK(context.Background(), 0, 5, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,7 +25,7 @@ func TestTopKSingleVertexGraph(t *testing.T) {
 		t.Fatalf("TopK on a single-vertex graph returned %v", got)
 	}
 	// Rerank takes the same clamp path.
-	got, err = ix.TopK(0, 1, &TopKOptions{Rerank: true})
+	got, err = ix.TopK(context.Background(), 0, 1, &TopKOptions{Rerank: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestTopKClampsToNMinusOne(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := ix.TopK(3, 1000, nil)
+	got, err := ix.TopK(context.Background(), 3, 1000, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestTopKAllDeadWalkerSource(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	scores, err := ix.SingleSource(0)
+	scores, err := ix.SingleSource(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestTopKAllDeadWalkerSource(t *testing.T) {
 			t.Fatalf("s(0,%d) = %g, want 0 for a dead-walker source", v, scores[v])
 		}
 	}
-	got, err := ix.TopK(0, 3, nil)
+	got, err := ix.TopK(context.Background(), 0, 3, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

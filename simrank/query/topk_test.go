@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -59,13 +60,13 @@ func TestTopKPrecisionVsExact(t *testing.T) {
 			var sumRaw, sumRerank float64
 			for _, q := range queries {
 				row := exact.Row(q)
-				raw, err := ix.TopK(q, k, nil)
+				raw, err := ix.TopK(context.Background(), q, k, nil)
 				if err != nil {
 					t.Fatal(err)
 				}
 				sumRaw += precisionAtK(row, q, raw, k)
 
-				rr, err := ix.TopK(q, k, &TopKOptions{Rerank: true})
+				rr, err := ix.TopK(context.Background(), q, k, &TopKOptions{Rerank: true})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -150,11 +151,11 @@ func TestRerankImprovesOrNotWorse(t *testing.T) {
 	queries := spread(120, 10)
 	for _, q := range queries {
 		row := exact.Row(q)
-		raw, err := ix.TopK(q, k, nil)
+		raw, err := ix.TopK(context.Background(), q, k, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		rr, err := ix.TopK(q, k, &TopKOptions{Rerank: true})
+		rr, err := ix.TopK(context.Background(), q, k, &TopKOptions{Rerank: true})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -2,6 +2,7 @@ package query
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"testing"
 
@@ -67,11 +68,11 @@ func TestApplyEditsMatchesRebuild(t *testing.T) {
 		}
 
 		for _, q := range []int{0, 33, 119} {
-			got, err := ix.TopK(q, 10, &TopKOptions{Rerank: true})
+			got, err := ix.TopK(context.Background(), q, 10, &TopKOptions{Rerank: true})
 			if err != nil {
 				t.Fatal(err)
 			}
-			want, err := fresh.TopK(q, 10, &TopKOptions{Rerank: true})
+			want, err := fresh.TopK(context.Background(), q, 10, &TopKOptions{Rerank: true})
 			if err != nil {
 				t.Fatal(err)
 			}
