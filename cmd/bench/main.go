@@ -25,12 +25,13 @@
 //	batch             shared-traversal batched queries    (simrankd /v1/batch + /v1/join)
 //	serve             closed-loop load vs admission control (simrankd overload)
 //	memory            tiled engine under a memory cap     (spill-to-disk)
+//	shard             sharded fleet + router vs single node (simrankd -mode router)
 //	ablate            design-choice ablations             (DESIGN.md)
 //
 // The -scale flag shrinks the workloads (absolute numbers change, shapes do
 // not); -quick is shorthand for a fast smoke run. -workers sets the
 // worker-pool size for the timed experiments (0 = all CPUs). One NDJSON
-// record per measured data point is always written to BENCH_PR6.json in
+// record per measured data point is always written to BENCH_PR7.json in
 // the working directory (the perf trajectory file); -json FILE (or "-" for
 // stdout) tees the same records to a second sink.
 package main
@@ -71,7 +72,7 @@ func main() {
 	args := flag.Args()
 	if len(args) == 0 {
 		flag.Usage()
-		fmt.Fprintln(os.Stderr, "\nrun \"bench all\" or pick experiments: datasets exp1-dblp exp1-web exp1-patent exp1-amortized exp1-density exp2-memory exp3-convergence exp3-bounds exp4-ndcg exp4-topk scaling query updates batch serve memory ablate")
+		fmt.Fprintln(os.Stderr, "\nrun \"bench all\" or pick experiments: datasets exp1-dblp exp1-web exp1-patent exp1-amortized exp1-density exp2-memory exp3-convergence exp3-bounds exp4-ndcg exp4-topk scaling query updates batch serve memory shard ablate")
 		os.Exit(2)
 	}
 
@@ -93,12 +94,13 @@ func main() {
 		"batch":            runBatchWorkload,
 		"serve":            runServeWorkload,
 		"memory":           runMemoryWorkload,
+		"shard":            runShardWorkload,
 		"ablate":           runAblations,
 	}
 	order := []string{
 		"datasets", "exp1-dblp", "exp1-web", "exp1-patent", "exp1-amortized",
 		"exp1-density", "exp2-memory", "exp3-convergence", "exp3-bounds",
-		"exp4-ndcg", "exp4-topk", "scaling", "query", "updates", "batch", "serve", "memory", "ablate",
+		"exp4-ndcg", "exp4-topk", "scaling", "query", "updates", "batch", "serve", "memory", "shard", "ablate",
 	}
 
 	if len(args) == 1 && args[0] == "all" {

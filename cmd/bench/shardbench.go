@@ -1,0 +1,179 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"time"
+
+	"oipsr/graph/gen"
+	"oipsr/internal/simrankd"
+	"oipsr/simrank/query"
+	"oipsr/simrank/shard"
+)
+
+// runShardWorkload measures the horizontally sharded serving path: the
+// same query mix against a single-node server and against 1/2/4-shard
+// fleets fronted by the scatter/gather router, all in-process (httptest
+// over the very handlers cmd/simrankd serves), so timings include the
+// full HTTP stack, the router's fan-out and merge, but no real network.
+//
+// Before anything is timed, every router deployment is equivalence-
+// checked: each query in the mix must come back byte-identical to the
+// single-node answer — the sharding must never change the question being
+// answered. A divergent body exits non-zero, which the CI shard smoke
+// (bench -quick shard) relies on.
+//
+// On a single-CPU box the fleet shares one core, so the point of the
+// numbers is not speedup but overhead: what the extra HTTP hop and the
+// merge cost per query, and how that cost scales with shard count. The
+// same harness on a multi-core host shows the throughput scaling the
+// sharding exists for.
+func runShardWorkload(cfg config) {
+	header("Sharded serving: router scatter/gather vs single node", "simrankd -mode router workload")
+
+	const walks = 200
+	n := 2000 / cfg.scale
+	if n < 300 {
+		n = 300
+	}
+	rounds := 6 / cfg.scale
+	if rounds < 2 {
+		rounds = 2
+	}
+	g := gen.WebGraph(n, 8, cfg.seed)
+	opt := query.Options{Walks: walks, Seed: cfg.seed, Workers: benchWorkers}
+	idx, err := query.BuildIndex(g, opt)
+	must(err)
+	// Caches are off everywhere: every request must scatter and merge,
+	// which is the work being measured.
+	cfgSrv := simrankd.Config{CacheSize: -1, Workers: benchWorkers}
+	single := httptest.NewServer(simrankd.NewServer(idx, cfgSrv))
+	defer single.Close()
+
+	// The query mix: sparse single-source, plain top-k, reranked top-k —
+	// the three families a read-heavy deployment serves.
+	sources := queryVertices(n, 24)
+	var mix []string
+	for _, q := range sources {
+		mix = append(mix,
+			fmt.Sprintf("/v1/single_source?q=%d&min=0.001", q),
+			fmt.Sprintf("/v1/topk?q=%d&k=10", q),
+			fmt.Sprintf("/v1/topk?q=%d&k=10&rerank=1", q),
+		)
+	}
+
+	fmt.Printf("berkstan* n=%d walks=%d, %d queries/round, %d rounds, workers=%d\n\n",
+		n, walks, len(mix), rounds, benchWorkers)
+	fmt.Printf("%-12s | %10s %12s | %10s\n", "deployment", "queries/s", "us/query", "overhead")
+
+	baseline := timeQueryMix(single.URL, mix, rounds)
+	perQuery := baseline / time.Duration(rounds*len(mix))
+	fmt.Printf("%-12s | %10.0f %12d | %10s\n",
+		"single", float64(rounds*len(mix))/baseline.Seconds(), perQuery.Microseconds(), "—")
+	emitJSON("shard", map[string]any{
+		"workload": "berkstan*", "n": n, "walks": walks, "deployment": "single",
+		"shards": 0, "queries": rounds * len(mix),
+		"qps": float64(rounds*len(mix)) / baseline.Seconds(), "us_per_query": perQuery.Microseconds(),
+	})
+
+	for _, nsh := range []int{1, 2, 4} {
+		ranges, err := shard.Plan(n, nsh)
+		must(err)
+		var backends []string
+		var servers []*httptest.Server
+		for _, rg := range ranges {
+			sh, err := shard.Build(g, opt, rg.Lo, rg.Hi)
+			must(err)
+			ss, err := simrankd.NewShardServer(sh, cfgSrv)
+			must(err)
+			ts := httptest.NewServer(ss)
+			servers = append(servers, ts)
+			backends = append(backends, ts.URL)
+		}
+		rt, err := simrankd.NewRouter(g, backends, simrankd.RouterConfig{Config: cfgSrv})
+		must(err)
+		router := httptest.NewServer(rt)
+		servers = append(servers, router)
+
+		// Equivalence gate: the router must answer the whole mix (plus a
+		// join) byte-identically to the single node before it is timed.
+		checkRouterEquivalence(single.URL, router.URL, mix)
+
+		elapsed := timeQueryMix(router.URL, mix, rounds)
+		perQuery := elapsed / time.Duration(rounds*len(mix))
+		overhead := float64(elapsed-baseline) / float64(baseline) * 100
+		name := fmt.Sprintf("router/%d", nsh)
+		fmt.Printf("%-12s | %10.0f %12d | %+9.1f%%\n",
+			name, float64(rounds*len(mix))/elapsed.Seconds(), perQuery.Microseconds(), overhead)
+		emitJSON("shard", map[string]any{
+			"workload": "berkstan*", "n": n, "walks": walks, "deployment": "router",
+			"shards": nsh, "queries": rounds * len(mix),
+			"qps": float64(rounds*len(mix)) / elapsed.Seconds(), "us_per_query": perQuery.Microseconds(),
+			"overhead_vs_single_pct": overhead,
+		})
+
+		for _, ts := range servers {
+			ts.Close()
+		}
+	}
+	fmt.Println("\nevery router response verified byte-identical to the single node before timing")
+}
+
+// timeQueryMix plays the mix against base sequentially for the given
+// number of rounds and returns the wall time.
+func timeQueryMix(base string, mix []string, rounds int) time.Duration {
+	t0 := time.Now()
+	for r := 0; r < rounds; r++ {
+		for _, path := range mix {
+			resp, err := http.Get(base + path)
+			must(err)
+			_, err = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			must(err)
+			if resp.StatusCode != http.StatusOK {
+				fmt.Fprintf(os.Stderr, "bench: shard: %s answered %d\n", path, resp.StatusCode)
+				os.Exit(1)
+			}
+		}
+	}
+	return time.Since(t0)
+}
+
+// checkRouterEquivalence exits non-zero unless the router answers every
+// query in the mix, and one /v1/join, byte-identically to the single node.
+func checkRouterEquivalence(singleURL, routerURL string, mix []string) {
+	fetch := func(base, path string) []byte {
+		resp, err := http.Get(base + path)
+		must(err)
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		must(err)
+		return body
+	}
+	for _, path := range mix {
+		want, got := fetch(singleURL, path), fetch(routerURL, path)
+		if !bytes.Equal(want, got) {
+			fmt.Fprintf(os.Stderr, "bench: shard: router diverges from single node on %s\n  single: %s\n  router: %s\n",
+				path, want, got)
+			os.Exit(1)
+		}
+	}
+	join := `{"k":10,"threshold":0.2}`
+	post := func(base string) []byte {
+		resp, err := http.Post(base+"/v1/join", "application/json", strings.NewReader(join))
+		must(err)
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		must(err)
+		return body
+	}
+	if want, got := post(singleURL), post(routerURL); !bytes.Equal(want, got) {
+		fmt.Fprintf(os.Stderr, "bench: shard: router diverges from single node on /v1/join\n  single: %s\n  router: %s\n", want, got)
+		os.Exit(1)
+	}
+}

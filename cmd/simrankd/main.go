@@ -1,7 +1,17 @@
 // Command simrankd serves single-source and top-k SimRank queries over
 // HTTP from a persistent walk index (see oipsr/simrank/query).
 //
-// At startup the daemon loads the graph (edge-list file or generator),
+// The daemon runs in one of four modes (-mode):
+//
+//	serve        single-node server over the whole graph (default)
+//	build-shards partition the graph into -shards walk-index shards,
+//	             publish them to -shard-dir with a sealed manifest, exit
+//	shard        serve one vertex range: /shard/v1/* partial-result
+//	             endpoints plus /v1/edges
+//	router       stateless scatter/gather front: the full /v1/* surface,
+//	             fanned out over -backends shard servers
+//
+// In serve mode the daemon loads the graph (edge-list file or generator),
 // then loads the walk index from -index if the file exists, or builds it
 // and — when -index is given — saves it for the next start. Queries are
 // answered from the index alone; an LRU cache memoizes hot responses.
@@ -9,7 +19,15 @@
 //	simrankd -gen web -n 5000 -d 11 -addr :8356
 //	simrankd -graph web.txt -index web.idx -walks 200 -addr :8356
 //
-// Endpoints:
+// A sharded deployment of the same graph:
+//
+//	simrankd -mode build-shards -gen web -n 5000 -d 11 -shards 3 -shard-dir shards/
+//	simrankd -mode shard -gen web -n 5000 -d 11 -shard-dir shards/ -shard-ordinal 0 -addr :8360
+//	...                                          -shard-ordinal 1 -addr :8361
+//	...                                          -shard-ordinal 2 -addr :8362
+//	simrankd -mode router -gen web -n 5000 -d 11 -backends http://localhost:8360,http://localhost:8361,http://localhost:8362
+//
+// Endpoints (serve and router modes):
 //
 //	GET  /v1/single_source?q=17           dense score vector for vertex 17
 //	GET  /v1/single_source?q=17&min=0.01  only entries with score >= 0.01
@@ -21,23 +39,11 @@
 //	GET  /healthz                         liveness + index parameters
 //	GET  /metrics                         Prometheus-style counters
 //
-// /v1/batch takes {"mode":"topk","sources":[17,42],"k":10} (or
-// {"mode":"single_source","sources":[...],"min":0.01}) and streams one
-// NDJSON line per source, in request order, each byte-identical to the
-// corresponding single-endpoint response; invalid sources produce error
-// lines without failing the rest of the batch. The whole batch is answered
-// by one shared traversal of the walk index, so per-source cost shrinks as
-// the batch grows. /v1/join takes {"k":50,"threshold":0.1} and returns the
-// k highest-scoring vertex pairs at or above the threshold. See
-// docs/API.md for the full reference.
-//
-// /v1/edges takes {"edits":[{"op":"add","u":0,"v":1},{"op":"remove",...}]}
-// and repairs the walk index incrementally — only walks through vertices
-// whose in-neighbor list changed are recomputed, and the repaired index is
-// bit-identical to a full rebuild on the edited graph. Queries keep being
-// served concurrently (updates take the write side of an RWMutex) and the
-// response cache is invalidated atomically by folding the index generation
-// into cache keys.
+// Router answers are byte-identical to what a single-node server over the
+// same graph would return; when a shard is unreachable the router answers
+// from the shards it can reach and marks the response degraded instead of
+// failing it. See docs/API.md for the full reference and ARCHITECTURE.md
+// for the sharding design.
 //
 // Overload behavior: every /v1 request runs under -request-timeout
 // (shortened per request via ?timeout_ms=, never extended); at most
@@ -45,8 +51,6 @@
 // -queue-depth behind them, beyond which requests are shed with 429 +
 // Retry-After; reranked top-k requests whose remaining deadline cannot
 // afford the exact rerank are served raw walk estimates marked degraded.
-// See oipsr/internal/simrankd for the mechanics and docs/API.md for the
-// client-visible semantics.
 //
 // The process shuts down gracefully on SIGINT/SIGTERM: it stops accepting
 // connections and drains in-flight requests for -shutdown-drain; requests
@@ -74,88 +78,258 @@ import (
 	"oipsr/graph/gio"
 	"oipsr/internal/simrankd"
 	"oipsr/simrank/query"
+	"oipsr/simrank/shard"
 )
 
-func main() {
-	var (
-		addr      = flag.String("addr", ":8356", "listen address")
-		graphPath = flag.String("graph", "", "edge-list file to load")
-		genType   = flag.String("gen", "", "generate instead of load: web | citation | coauthor | er | rmat")
-		n         = flag.Int("n", 1000, "generator: vertices")
-		d         = flag.Int("d", 8, "generator: average degree")
-		seed      = flag.Int64("seed", 1, "generator / index seed")
-		indexPath = flag.String("index", "", "walk-index file: loaded when present, else built and saved here")
-		rebuild   = flag.Bool("rebuild", false, "rebuild the index even if -index exists")
-		c         = flag.Float64("c", 0.6, "damping factor C")
-		k         = flag.Int("k", 0, "walk horizon (0 = derive from -eps)")
-		eps       = flag.Float64("eps", 1e-3, "truncation target when -k is 0")
-		walks     = flag.Int("walks", 0, "walk fingerprints per vertex (0 = 100)")
-		workers   = flag.Int("workers", 0, "index build/update worker pool (0 = all CPUs, 1 = serial)")
-		cacheSize = flag.Int("cache", 1024, "LRU query-cache entries (0 = disabled)")
-		prewarm   = flag.Bool("prewarm-updates", false, "build the update-tracking visit index at startup instead of on the first POST /v1/edges")
-		maxBatch  = flag.Int("max-batch", simrankd.DefaultMaxBatch, "max sources per /v1/batch request")
-		joinCand  = flag.Int("join-max-candidates", query.DefaultMaxCandidates, "max candidate pairs a /v1/join may enumerate")
+// options is everything the flag set decides, gathered so validation is
+// one testable function instead of checks strewn through main.
+type options struct {
+	mode    string
+	addr    string
+	version bool
 
-		reqTimeout  = flag.Duration("request-timeout", 10*time.Second, "deadline per /v1 request, also the cap on ?timeout_ms= overrides (0 = none)")
-		maxInflight = flag.Int("max-inflight", simrankd.DefaultMaxInflight(), "max /v1 requests executing concurrently")
-		queueDepth  = flag.Int("queue-depth", 0, "requests allowed to wait for an execution slot; beyond it 429 (0 = 2*max-inflight, negative = no queue)")
-		drain       = flag.Duration("shutdown-drain", 10*time.Second, "time to drain in-flight requests on SIGINT/SIGTERM before cancelling them")
-	)
+	graphPath string
+	genType   string
+	n, d      int
+	seed      int64
+
+	indexPath string
+	rebuild   bool
+	c         float64
+	k         int
+	eps       float64
+	walks     int
+	workers   int
+	prewarm   bool
+
+	cacheSize int
+	maxBatch  int
+	joinCand  int
+
+	reqTimeout  time.Duration
+	maxInflight int
+	queueDepth  int
+	drain       time.Duration
+
+	shards       int
+	shardOrdinal int
+	shardDir     string
+	backends     string
+	shardTimeout time.Duration
+}
+
+// validate rejects option combinations at startup rather than letting
+// them surface as runtime misbehavior. It returns the first problem
+// found, phrased for the command line.
+func validate(o *options) error {
+	switch o.mode {
+	case "serve", "shard", "router", "build-shards":
+	default:
+		return fmt.Errorf("-mode must be serve, shard, router or build-shards (got %q)", o.mode)
+	}
+	if o.maxBatch < 1 {
+		return fmt.Errorf("-max-batch must be at least 1 (got %d)", o.maxBatch)
+	}
+	if o.joinCand < 1 {
+		return fmt.Errorf("-join-max-candidates must be at least 1 (got %d)", o.joinCand)
+	}
+	if o.maxInflight < 1 {
+		return fmt.Errorf("-max-inflight must be at least 1 (got %d)", o.maxInflight)
+	}
+	if o.queueDepth < -1 {
+		return fmt.Errorf("-queue-depth must be -1 (no queue), 0 (default) or positive (got %d)", o.queueDepth)
+	}
+	if o.reqTimeout < 0 {
+		return fmt.Errorf("-request-timeout must not be negative (got %v)", o.reqTimeout)
+	}
+	if o.drain < 0 {
+		return fmt.Errorf("-shutdown-drain must not be negative (got %v)", o.drain)
+	}
+	switch o.mode {
+	case "build-shards":
+		if o.shards < 1 {
+			return fmt.Errorf("-mode build-shards needs -shards >= 1 (got %d)", o.shards)
+		}
+		if o.shardDir == "" {
+			return errors.New("-mode build-shards needs -shard-dir")
+		}
+	case "shard":
+		if o.shardDir == "" && o.shards < 1 {
+			return errors.New("-mode shard needs -shard-dir (built manifest) or -shards (build in memory)")
+		}
+		if o.shardOrdinal < 0 {
+			return fmt.Errorf("-shard-ordinal must not be negative (got %d)", o.shardOrdinal)
+		}
+		if o.shardDir == "" && o.shardOrdinal >= o.shards {
+			return fmt.Errorf("-shard-ordinal %d out of range for -shards %d", o.shardOrdinal, o.shards)
+		}
+	case "router":
+		if len(splitBackends(o.backends)) == 0 {
+			return errors.New("-mode router needs -backends (comma-separated shard base URLs)")
+		}
+		if o.shardTimeout < 0 {
+			return fmt.Errorf("-shard-timeout must not be negative (got %v)", o.shardTimeout)
+		}
+	}
+	return nil
+}
+
+// splitBackends turns "-backends a,b,c" into trimmed non-empty URLs.
+func splitBackends(s string) []string {
+	var out []string
+	for _, b := range strings.Split(s, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.mode, "mode", "serve", "serve | shard | router | build-shards")
+	flag.StringVar(&o.addr, "addr", ":8356", "listen address")
+	flag.BoolVar(&o.version, "version", false, "print version and exit")
+	flag.StringVar(&o.graphPath, "graph", "", "edge-list file to load")
+	flag.StringVar(&o.genType, "gen", "", "generate instead of load: web | citation | coauthor | er | rmat")
+	flag.IntVar(&o.n, "n", 1000, "generator: vertices")
+	flag.IntVar(&o.d, "d", 8, "generator: average degree")
+	flag.Int64Var(&o.seed, "seed", 1, "generator / index seed")
+	flag.StringVar(&o.indexPath, "index", "", "walk-index file: loaded when present, else built and saved here")
+	flag.BoolVar(&o.rebuild, "rebuild", false, "rebuild the index even if -index exists")
+	flag.Float64Var(&o.c, "c", 0.6, "damping factor C")
+	flag.IntVar(&o.k, "k", 0, "walk horizon (0 = derive from -eps)")
+	flag.Float64Var(&o.eps, "eps", 1e-3, "truncation target when -k is 0")
+	flag.IntVar(&o.walks, "walks", 0, "walk fingerprints per vertex (0 = 100)")
+	flag.IntVar(&o.workers, "workers", 0, "index build/update worker pool (0 = all CPUs, 1 = serial)")
+	flag.IntVar(&o.cacheSize, "cache", 1024, "LRU query-cache entries (0 = disabled)")
+	flag.BoolVar(&o.prewarm, "prewarm-updates", false, "build the update-tracking visit index at startup instead of on the first POST /v1/edges")
+	flag.IntVar(&o.maxBatch, "max-batch", simrankd.DefaultMaxBatch, "max sources per /v1/batch request")
+	flag.IntVar(&o.joinCand, "join-max-candidates", query.DefaultMaxCandidates, "max candidate pairs a /v1/join may enumerate")
+	flag.DurationVar(&o.reqTimeout, "request-timeout", 10*time.Second, "deadline per /v1 request, also the cap on ?timeout_ms= overrides (0 = none)")
+	flag.IntVar(&o.maxInflight, "max-inflight", simrankd.DefaultMaxInflight(), "max /v1 requests executing concurrently")
+	flag.IntVar(&o.queueDepth, "queue-depth", 0, "requests allowed to wait for an execution slot; beyond it 429 (0 = 2*max-inflight, -1 = no queue)")
+	flag.DurationVar(&o.drain, "shutdown-drain", 10*time.Second, "time to drain in-flight requests on SIGINT/SIGTERM before cancelling them")
+	flag.IntVar(&o.shards, "shards", 0, "build-shards: partition count; shard: fleet size when building in memory")
+	flag.IntVar(&o.shardOrdinal, "shard-ordinal", 0, "shard: which manifest entry (or planned range) this process serves")
+	flag.StringVar(&o.shardDir, "shard-dir", "", "shard directory: written by build-shards, read by shard mode")
+	flag.StringVar(&o.backends, "backends", "", "router: comma-separated shard base URLs, one per vertex range")
+	flag.DurationVar(&o.shardTimeout, "shard-timeout", simrankd.DefaultShardTimeout, "router: deadline per scatter leg to one shard")
 	flag.Parse()
 
-	g, err := loadGraph(*graphPath, *genType, *n, *d, *seed)
+	if o.version {
+		fmt.Printf("simrankd %s\n", simrankd.Version)
+		return
+	}
+	if err := validate(&o); err != nil {
+		fmt.Fprintf(os.Stderr, "simrankd: %v\n", err)
+		os.Exit(1)
+	}
+
+	g, err := loadGraph(o.graphPath, o.genType, o.n, o.d, o.seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simrankd: %v\n", err)
 		os.Exit(1)
 	}
 	log.Printf("graph: %s", graph.ComputeStats(g))
-
-	idx, err := openIndex(g, *indexPath, *rebuild, query.Options{
-		C: *c, K: *k, Eps: *eps, Walks: *walks, Seed: *seed, Workers: *workers,
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "simrankd: %v\n", err)
-		os.Exit(1)
+	opt := query.Options{
+		C: o.c, K: o.k, Eps: o.eps, Walks: o.walks, Seed: o.seed, Workers: o.workers,
 	}
-	log.Printf("index: n=%d walks=%d horizon=%d c=%g (%d bytes)",
-		idx.N(), idx.Walks(), idx.Horizon(), idx.C(), idx.Bytes())
-	if *prewarm {
+	cfg := simrankd.Config{
+		CacheSize:         o.cacheSize,
+		Workers:           o.workers,
+		MaxBatch:          o.maxBatch,
+		JoinMaxCandidates: o.joinCand,
+		MaxInflight:       o.maxInflight,
+		QueueDepth:        o.queueDepth,
+		RequestTimeout:    o.reqTimeout,
+	}
+	if o.cacheSize == 0 {
+		cfg.CacheSize = -1 // flag 0 = off; Config uses negative for that
+	}
+
+	var handler http.Handler
+	switch o.mode {
+	case "build-shards":
 		t0 := time.Now()
-		if err := idx.PrepareUpdates(*workers); err != nil {
+		m, err := shard.BuildAll(g, opt, o.shardDir, o.shards)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "simrankd: %v\n", err)
 			os.Exit(1)
 		}
-		log.Printf("index: update-tracking visit index built in %v", time.Since(t0))
+		log.Printf("shards: built %d shards (n=%d walks=%d horizon=%d c=%g) into %s in %v",
+			len(m.Shards), m.N, m.Walks, m.K, m.C, o.shardDir, time.Since(t0))
+		return
+
+	case "shard":
+		sh, err := openShard(g, &o, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simrankd: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("shard: range [%d,%d) of n=%d walks=%d horizon=%d c=%g (%d bytes)",
+			sh.Lo(), sh.Hi(), sh.N(), sh.Walks(), sh.Horizon(), sh.C(), sh.Bytes())
+		if o.prewarm {
+			t0 := time.Now()
+			if err := sh.PrepareUpdates(o.workers); err != nil {
+				fmt.Fprintf(os.Stderr, "simrankd: %v\n", err)
+				os.Exit(1)
+			}
+			log.Printf("shard: update-tracking visit index built in %v", time.Since(t0))
+		}
+		ss, err := simrankd.NewShardServer(sh, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simrankd: %v\n", err)
+			os.Exit(1)
+		}
+		handler = ss
+
+	case "router":
+		rt, err := simrankd.NewRouter(g, splitBackends(o.backends), simrankd.RouterConfig{
+			Config: cfg, ShardTimeout: o.shardTimeout,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simrankd: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("router: fronting %d shards", len(splitBackends(o.backends)))
+		handler = rt
+
+	default: // serve
+		idx, err := openIndex(g, o.indexPath, o.rebuild, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simrankd: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("index: n=%d walks=%d horizon=%d c=%g (%d bytes)",
+			idx.N(), idx.Walks(), idx.Horizon(), idx.C(), idx.Bytes())
+		if o.prewarm {
+			t0 := time.Now()
+			if err := idx.PrepareUpdates(o.workers); err != nil {
+				fmt.Fprintf(os.Stderr, "simrankd: %v\n", err)
+				os.Exit(1)
+			}
+			log.Printf("index: update-tracking visit index built in %v", time.Since(t0))
+		}
+		handler = simrankd.NewServer(idx, cfg)
 	}
 
-	if *maxBatch < 1 || *joinCand < 1 {
-		fmt.Fprintln(os.Stderr, "simrankd: -max-batch and -join-max-candidates must be at least 1")
+	if err := run(handler, o.addr, o.drain); err != nil {
+		fmt.Fprintf(os.Stderr, "simrankd: %v\n", err)
 		os.Exit(1)
 	}
-	if *maxInflight < 1 {
-		fmt.Fprintln(os.Stderr, "simrankd: -max-inflight must be at least 1")
-		os.Exit(1)
-	}
-	cacheCfg := *cacheSize
-	if cacheCfg == 0 {
-		cacheCfg = -1 // flag 0 = off; Config uses negative for that
-	}
-	handler := simrankd.NewServer(idx, simrankd.Config{
-		CacheSize:         cacheCfg,
-		Workers:           *workers,
-		MaxBatch:          *maxBatch,
-		JoinMaxCandidates: *joinCand,
-		MaxInflight:       *maxInflight,
-		QueueDepth:        *queueDepth,
-		RequestTimeout:    *reqTimeout,
-	})
+}
+
+// run serves handler on addr until SIGINT/SIGTERM, then drains in-flight
+// requests for up to drain before cancelling their contexts.
+func run(handler http.Handler, addr string, drain time.Duration) error {
 	// baseCtx is the ancestor of every request context; cancelling it is
 	// the lever that aborts requests still running when the graceful-drain
 	// window closes.
 	baseCtx, cancelBase := context.WithCancel(context.Background())
 	defer cancelBase()
 	srv := &http.Server{
-		Addr:        *addr,
+		Addr:        addr,
 		Handler:     handler,
 		BaseContext: func(net.Listener) context.Context { return baseCtx },
 	}
@@ -164,22 +338,21 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s", *addr)
+		log.Printf("listening on %s", addr)
 		errc <- srv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errc:
-		fmt.Fprintf(os.Stderr, "simrankd: %v\n", err)
-		os.Exit(1)
+		return err
 	case <-ctx.Done():
 	}
-	log.Printf("shutting down (draining in-flight requests for up to %v)", *drain)
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	log.Printf("shutting down (draining in-flight requests for up to %v)", drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
-	err = srv.Shutdown(shutdownCtx)
+	err := srv.Shutdown(shutdownCtx)
 	if err == nil {
-		return // drained clean
+		return nil // drained clean
 	}
 	// The drain window closed with requests still running. Cancel their
 	// contexts: queries abort at the next chunk boundary and NDJSON
@@ -190,9 +363,45 @@ func main() {
 	lastCtx, cancelLast := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancelLast()
 	if err := srv.Shutdown(lastCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "simrankd: shutdown: %v\n", err)
-		os.Exit(1)
+		return fmt.Errorf("shutdown: %w", err)
 	}
+	return nil
+}
+
+// openShard produces the shard this process serves: from a built shard
+// directory when -shard-dir is given (checksums verified against the
+// manifest), otherwise built in memory from the planned partition.
+func openShard(g *graph.Graph, o *options, opt query.Options) (*shard.Shard, error) {
+	if o.shardDir != "" {
+		m, err := shard.LoadManifest(o.shardDir)
+		if err != nil {
+			return nil, err
+		}
+		if o.shardOrdinal >= len(m.Shards) {
+			return nil, fmt.Errorf("-shard-ordinal %d out of range: manifest %s has %d shards",
+				o.shardOrdinal, o.shardDir, len(m.Shards))
+		}
+		sh, err := shard.OpenShard(o.shardDir, m, o.shardOrdinal)
+		if err != nil {
+			return nil, err
+		}
+		if err := sh.AttachGraph(g); err != nil {
+			return nil, fmt.Errorf("shard %d of %s does not match the graph: %w", o.shardOrdinal, o.shardDir, err)
+		}
+		log.Printf("shard: loaded %s ordinal %d", o.shardDir, o.shardOrdinal)
+		return sh, nil
+	}
+	ranges, err := shard.Plan(g.NumVertices(), o.shards)
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	sh, err := shard.Build(g, opt, ranges[o.shardOrdinal].Lo, ranges[o.shardOrdinal].Hi)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("shard: built in %v", time.Since(t0))
+	return sh, nil
 }
 
 // openIndex loads the walk index from path when possible, building (and,

@@ -1,0 +1,50 @@
+// Package atomicio writes files durably and atomically: payload to a
+// sibling temp file, fsync, rename over the destination, fsync of the
+// directory so the rename itself survives a crash. A crash at any point
+// leaves either the old file or the complete new one — never a truncated
+// or empty artifact. query.SaveFile and the shard builder both publish
+// their index files through it.
+package atomicio
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile writes the output of write to path atomically. write receives
+// the temp file; any error it returns aborts the publish and removes the
+// temp file.
+func WriteFile(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+"-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	// The data must be on stable storage before the rename publishes the
+	// name, or a crash could expose an empty/partial file at path.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
+}

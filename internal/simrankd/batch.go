@@ -76,16 +76,16 @@ type batchTerminal struct {
 
 // decodeJSONBody decodes a bounded, strict JSON request body, translating
 // the oversize error. Returns false after answering the request.
-func (s *Server) decodeJSONBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+func (sv *serving) decodeJSONBody(w http.ResponseWriter, r *http.Request, dst any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			s.writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", maxRequestBody)
+			sv.writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", maxRequestBody)
 			return false
 		}
-		s.writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		sv.writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return false
 	}
 	return true
@@ -162,37 +162,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Simrank-Degraded", "true")
 	}
 
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	flusher, _ := w.(http.Flusher)
-	for i, line := range lines {
-		// A context that dies mid-stream — the graceful-shutdown drain
-		// deadline cancelling in-flight requests, the per-request deadline,
-		// a vanished client — ends the stream with one terminal error line:
-		// the status is long since written, so in-band is the only channel
-		// left, and clients must not mistake a truncated stream for a
-		// complete one.
-		if err := r.Context().Err(); err != nil {
-			if term, merr := json.Marshal(batchTerminal{
-				Error:     fmt.Sprintf("stream truncated after %d of %d lines: %v", i, len(lines), err),
-				Truncated: true,
-			}); merr == nil {
-				w.Write(append(term, '\n'))
-				if flusher != nil {
-					flusher.Flush()
-				}
-			}
-			return
-		}
-		if _, err := w.Write(line); err != nil {
-			return // client went away; nothing sensible left to do
-		}
-		if flusher != nil {
-			flusher.Flush()
-		}
-		if s.testHookBatchLine != nil {
-			s.testHookBatchLine(i)
-		}
-	}
+	s.streamNDJSON(w, r, lines)
 }
 
 // computeBatchLines resolves a validated batch request into one response
@@ -297,7 +267,7 @@ func (s *Server) computeBatchLines(ctx context.Context, req *batchRequest, mode 
 				return nil, 0, false, berr
 			}
 			for j, q := range miss[lo:hi] {
-				body, berr := s.singleSourceBody(q, rows[j], sparse, minVal)
+				body, berr := s.singleSourceBody(q, rows[j], sparse, minVal, false)
 				if berr != nil {
 					return nil, 0, false, berr
 				}
@@ -328,6 +298,9 @@ type joinResponse struct {
 	K         int              `json:"k"`
 	Threshold float64          `json:"threshold"`
 	Pairs     []query.JoinPair `json:"pairs"`
+	// Degraded marks a router-merged join missing at least one backend's
+	// candidates or scores. The single-node daemon never sets it.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // handleJoin serves POST /v1/join: the top-k similarity join over all

@@ -35,7 +35,7 @@ const rerankEWMAWeight = 8
 
 // observeRerank folds one completed exact rerank of `candidates` pool
 // entries into the per-candidate cost EWMA.
-func (s *Server) observeRerank(elapsed time.Duration, candidates int) {
+func (sv *serving) observeRerank(elapsed time.Duration, candidates int) {
 	if candidates <= 0 {
 		return
 	}
@@ -44,10 +44,10 @@ func (s *Server) observeRerank(elapsed time.Duration, candidates int) {
 		per = 1
 	}
 	for {
-		old := s.rerankNanosPerCand.Load()
+		old := sv.rerankNanosPerCand.Load()
 		if old == 0 {
 			// First observation seeds the estimate outright.
-			if s.rerankNanosPerCand.CompareAndSwap(0, uint64(per)) {
+			if sv.rerankNanosPerCand.CompareAndSwap(0, uint64(per)) {
 				return
 			}
 			continue
@@ -62,7 +62,7 @@ func (s *Server) observeRerank(elapsed time.Duration, candidates int) {
 				step = -1
 			}
 		}
-		if s.rerankNanosPerCand.CompareAndSwap(old, uint64(int64(old)+step)) {
+		if sv.rerankNanosPerCand.CompareAndSwap(old, uint64(int64(old)+step)) {
 			return
 		}
 	}
@@ -71,12 +71,12 @@ func (s *Server) observeRerank(elapsed time.Duration, candidates int) {
 // shouldDegrade reports whether an exact rerank of `candidates` pool
 // entries no longer fits the request's remaining deadline budget. No
 // deadline or no cost estimate yet means never degrade.
-func (s *Server) shouldDegrade(ctx context.Context, candidates int) bool {
+func (sv *serving) shouldDegrade(ctx context.Context, candidates int) bool {
 	deadline, ok := ctx.Deadline()
 	if !ok || candidates <= 0 {
 		return false
 	}
-	per := s.rerankNanosPerCand.Load()
+	per := sv.rerankNanosPerCand.Load()
 	if per == 0 {
 		return false
 	}

@@ -26,18 +26,18 @@ import (
 
 // limited wraps a /v1 handler with deadline attachment and the
 // concurrency limiter.
-func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
+func (sv *serving) limited(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
-		defer func() { s.latency.Observe(time.Since(t0)) }()
+		defer func() { sv.latency.Observe(time.Since(t0)) }()
 
 		// The override is read from the URL only: FormValue would consume
 		// a POST body, and /v1/batch, /v1/join, /v1/edges carry JSON there.
-		timeout := s.requestTimeout
+		timeout := sv.requestTimeout
 		if raw := r.URL.Query().Get("timeout_ms"); raw != "" {
 			ms, err := strconv.Atoi(raw)
 			if err != nil || ms < 1 {
-				s.writeError(w, http.StatusBadRequest, "parameter \"timeout_ms\": want a positive integer, got %q", raw)
+				sv.writeError(w, http.StatusBadRequest, "parameter \"timeout_ms\": want a positive integer, got %q", raw)
 				return
 			}
 			// The server's timeout is also the cap: a client may ask for
@@ -53,34 +53,34 @@ func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
 		}
 
 		select {
-		case s.sem <- struct{}{}:
+		case sv.sem <- struct{}{}:
 		default:
 			// All slots busy: reserve a queue position, shed if over.
-			if s.queued.Add(1) > int64(s.queueDepth) {
-				s.queued.Add(-1)
-				s.shedTotal.Add(1)
+			if sv.queued.Add(1) > int64(sv.queueDepth) {
+				sv.queued.Add(-1)
+				sv.shedTotal.Add(1)
 				w.Header().Set("Retry-After", "1")
-				s.writeError(w, http.StatusTooManyRequests,
+				sv.writeError(w, http.StatusTooManyRequests,
 					"server saturated: %d requests in flight and %d queued; retry with backoff",
-					s.maxInflight, s.queueDepth)
+					sv.maxInflight, sv.queueDepth)
 				return
 			}
 			select {
-			case s.sem <- struct{}{}:
-				s.queued.Add(-1)
+			case sv.sem <- struct{}{}:
+				sv.queued.Add(-1)
 			case <-r.Context().Done():
-				s.queued.Add(-1)
-				s.writeQueryError(w, r.Context().Err(), http.StatusServiceUnavailable)
+				sv.queued.Add(-1)
+				sv.writeQueryError(w, r.Context().Err(), http.StatusServiceUnavailable)
 				return
 			}
 		}
-		s.inflight.Add(1)
+		sv.inflight.Add(1)
 		defer func() {
-			s.inflight.Add(-1)
-			<-s.sem
+			sv.inflight.Add(-1)
+			<-sv.sem
 		}()
-		if s.testHookInflight != nil {
-			s.testHookInflight(r)
+		if sv.testHookInflight != nil {
+			sv.testHookInflight(r)
 		}
 		h(w, r)
 	}

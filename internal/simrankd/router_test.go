@@ -1,0 +1,412 @@
+package simrankd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"oipsr/graph/gen"
+	"oipsr/simrank/query"
+	"oipsr/simrank/shard"
+)
+
+// flakyBackend fronts one shard backend and can be switched into a
+// failure mode for the shard data plane (/shard/* and /v1/edges).
+// /healthz and /metrics always pass through so NewRouter's probe and
+// scrapes keep working while the data plane is down.
+type flakyBackend struct {
+	mode atomic.Value // "" | "503" | "429" | "hang"
+	next http.Handler
+	stop chan struct{} // closed at test end so hung handlers release
+}
+
+func (f *flakyBackend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	dataPlane := strings.HasPrefix(r.URL.Path, "/shard/") || r.URL.Path == "/v1/edges"
+	if mode, _ := f.mode.Load().(string); dataPlane && mode != "" {
+		switch mode {
+		case "503":
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"simrankd: injected outage"}` + "\n"))
+		case "429":
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"simrankd: injected overload"}` + "\n"))
+		case "hang":
+			select {
+			case <-r.Context().Done():
+			case <-f.stop:
+			case <-time.After(30 * time.Second):
+			}
+		}
+		return
+	}
+	f.next.ServeHTTP(w, r)
+}
+
+// routerFleet is a single-node server and an equivalent sharded
+// deployment (router + per-range backends) built over the same graph.
+type routerFleet struct {
+	single *httptest.Server
+	router *httptest.Server
+	rt     *Router
+	flaky  []*flakyBackend
+	n      int
+}
+
+func newRouterFleet(t *testing.T, nShards int, cfg Config, shardTimeout time.Duration) *routerFleet {
+	t.Helper()
+	g := gen.WebGraph(120, 7, 101)
+	opt := query.Options{Walks: 400, Seed: 7, Workers: 1}
+	idx, err := query.BuildIndex(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := httptest.NewServer(NewServer(idx, cfg))
+	t.Cleanup(single.Close)
+
+	ranges, err := shard.Plan(g.NumVertices(), nShards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := &routerFleet{single: single, n: g.NumVertices()}
+	urls := make([]string, 0, nShards)
+	for _, rg := range ranges {
+		sh, err := shard.Build(g, opt, rg.Lo, rg.Hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss, err := NewShardServer(sh, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb := &flakyBackend{next: ss, stop: make(chan struct{})}
+		fb.mode.Store("")
+		ts := httptest.NewServer(fb)
+		t.Cleanup(ts.Close)
+		fleet.flaky = append(fleet.flaky, fb)
+		urls = append(urls, ts.URL)
+	}
+
+	rt, err := NewRouter(g, urls, RouterConfig{Config: cfg, ShardTimeout: shardTimeout})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet.rt = rt
+	fleet.router = httptest.NewServer(rt)
+	t.Cleanup(fleet.router.Close)
+	// Registered last so it runs first (LIFO): hung backend handlers must
+	// release before the httptest servers' Close waits on them.
+	t.Cleanup(func() {
+		for _, fb := range fleet.flaky {
+			close(fb.stop)
+		}
+	})
+	return fleet
+}
+
+// identityProbes is the request matrix both deployments must answer
+// byte-for-byte identically: every query endpoint, success and error
+// shapes, dense and sparse forms, with and without rerank.
+type probe struct {
+	name, method, path, body string
+}
+
+func identityProbes(n int) []probe {
+	return []probe{
+		{"ss_dense_first", "GET", "/v1/single_source?q=0", ""},
+		{"ss_dense_mid", "GET", "/v1/single_source?q=57", ""},
+		{"ss_dense_last", "GET", fmt.Sprintf("/v1/single_source?q=%d", n-1), ""},
+		{"ss_sparse", "GET", "/v1/single_source?q=5&min=0.001", ""},
+		{"ss_neg", "GET", "/v1/single_source?q=-1", ""},
+		{"ss_oob", "GET", fmt.Sprintf("/v1/single_source?q=%d", n+100), ""},
+		{"ss_badq", "GET", "/v1/single_source?q=zebra", ""},
+		{"topk", "GET", "/v1/topk?q=7&k=9", ""},
+		{"topk_rerank", "GET", "/v1/topk?q=7&k=9&rerank=1", ""},
+		{"topk_k_over_n", "GET", fmt.Sprintf("/v1/topk?q=3&k=%d", n+5), ""},
+		{"topk_k_zero", "GET", "/v1/topk?q=42&k=0", ""},
+		{"topk_oob", "GET", fmt.Sprintf("/v1/topk?q=%d&k=4", n), ""},
+		{"join", "POST", "/v1/join", `{"k":5,"threshold":0.15}`},
+		{"join_tight_cap", "POST", "/v1/join", `{"k":3,"threshold":0.1,"max_candidates":2}`},
+		{"join_bad_threshold", "POST", "/v1/join", `{"k":5,"threshold":1.5}`},
+		{"join_bad_k", "POST", "/v1/join", `{"k":0,"threshold":0.2}`},
+		{"batch_topk", "POST", "/v1/batch", fmt.Sprintf(`{"mode":"topk","sources":[3,77,%d,%d],"k":6}`, n-1, n+50)},
+		{"batch_topk_rerank", "POST", "/v1/batch", `{"mode":"topk","sources":[11,12],"k":5,"rerank":true}`},
+		{"batch_ss_sparse", "POST", "/v1/batch", `{"mode":"single_source","sources":[1,60,110],"min":0.002}`},
+		{"batch_bad_mix", "POST", "/v1/batch", `{"mode":"topk","sources":[1],"min":0.5}`},
+		{"batch_empty", "POST", "/v1/batch", `{"mode":"topk","sources":[],"k":3}`},
+	}
+}
+
+func runProbe(t *testing.T, base string, p probe) (int, []byte) {
+	t.Helper()
+	if p.method == "GET" {
+		return get(t, base+p.path)
+	}
+	return postJSON(t, base+p.path, p.body)
+}
+
+func checkIdentity(t *testing.T, fl *routerFleet, phase string) {
+	t.Helper()
+	for _, p := range identityProbes(fl.n) {
+		cs, bs := runProbe(t, fl.single.URL, p)
+		cr, br := runProbe(t, fl.router.URL, p)
+		if cs != cr {
+			t.Errorf("%s/%s: status single=%d router=%d (router body %q)", phase, p.name, cs, cr, br)
+			continue
+		}
+		if !bytes.Equal(bs, br) {
+			t.Errorf("%s/%s: bodies differ\nsingle: %s\nrouter: %s", phase, p.name, bs, br)
+		}
+	}
+}
+
+// TestRouterByteIdenticalToSingleNode is the PR's acceptance test: a
+// 3-shard router must answer every query endpoint byte-for-byte like
+// the single-node server — before and after live /v1/edges applied to
+// both deployments.
+func TestRouterByteIdenticalToSingleNode(t *testing.T) {
+	fl := newRouterFleet(t, 3, Config{Workers: 1}, 0)
+	checkIdentity(t, fl, "initial")
+
+	// Edits spanning all three vertex ranges: adds and removals.
+	edits := `{"edits":[` +
+		`{"op":"add","u":2,"v":115},{"op":"add","u":55,"v":3},` +
+		`{"op":"add","u":118,"v":40},{"op":"remove","u":1,"v":0},` +
+		`{"op":"add","u":7,"v":7}]}`
+	cs, bs := postJSON(t, fl.single.URL+"/v1/edges", edits)
+	cr, br := postJSON(t, fl.router.URL+"/v1/edges", edits)
+	if cs != http.StatusOK || cr != http.StatusOK {
+		t.Fatalf("edits: single=%d %s router=%d %s", cs, bs, cr, br)
+	}
+	var es, er edgesResponse
+	if err := json.Unmarshal(bs, &es); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(br, &er); err != nil {
+		t.Fatal(err)
+	}
+	if es.Added != er.Added || es.Removed != er.Removed || es.Edges != er.Edges {
+		t.Fatalf("edit summaries diverge: single=%+v router=%+v", es, er)
+	}
+	if es.WalksRepaired != er.WalksRepaired {
+		t.Fatalf("walks repaired diverge: single=%d router=%d", es.WalksRepaired, er.WalksRepaired)
+	}
+	checkIdentity(t, fl, "after-edits")
+
+	// A second round proves generations keep advancing in lockstep.
+	edits2 := `{"edits":[{"op":"remove","u":2,"v":115},{"op":"add","u":0,"v":119}]}`
+	if c, b := postJSON(t, fl.single.URL+"/v1/edges", edits2); c != http.StatusOK {
+		t.Fatalf("single edits2: %d %s", c, b)
+	}
+	if c, b := postJSON(t, fl.router.URL+"/v1/edges", edits2); c != http.StatusOK {
+		t.Fatalf("router edits2: %d %s", c, b)
+	}
+	checkIdentity(t, fl, "after-edits-2")
+}
+
+// TestRouterPartialFailureDegrades: with one shard down the router must
+// keep answering 200, mark the response degraded (body field + header),
+// keep live ranges bit-correct, zero the missing range, and never cache
+// a degraded answer.
+func TestRouterPartialFailureDegrades(t *testing.T) {
+	for _, mode := range []string{"503", "429", "hang"} {
+		t.Run(mode, func(t *testing.T) {
+			fl := newRouterFleet(t, 3, Config{Workers: 1}, 300*time.Millisecond)
+
+			// Reference answers while healthy.
+			_, fullDense := get(t, fl.single.URL+"/v1/single_source?q=9")
+			_, fullSparse := get(t, fl.single.URL+"/v1/single_source?q=9&min=0.001")
+
+			fl.flaky[1].mode.Store(mode)
+
+			code, body := get(t, fl.router.URL+"/v1/single_source?q=9")
+			if code != http.StatusOK {
+				t.Fatalf("degraded dense: %d %s", code, body)
+			}
+			var deg, full singleSourceResponse
+			if err := json.Unmarshal(body, &deg); err != nil {
+				t.Fatal(err)
+			}
+			if err := json.Unmarshal(fullDense, &full); err != nil {
+				t.Fatal(err)
+			}
+			if !deg.Degraded {
+				t.Fatalf("degraded flag missing: %s", body)
+			}
+			lo, hi := fl.rt.ranges[1].Lo, fl.rt.ranges[1].Hi
+			for v := range deg.Scores {
+				switch {
+				case v >= lo && v < hi:
+					if v != 9 && deg.Scores[v] != 0 {
+						t.Fatalf("vertex %d in dead range scored %v", v, deg.Scores[v])
+					}
+				default:
+					if deg.Scores[v] != full.Scores[v] {
+						t.Fatalf("vertex %d: degraded %v != full %v", v, deg.Scores[v], full.Scores[v])
+					}
+				}
+			}
+
+			// Header marker on a degraded answer.
+			resp, err := http.Get(fl.router.URL + "/v1/single_source?q=9")
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.Header.Get("X-Simrank-Degraded") == "" {
+				t.Fatal("X-Simrank-Degraded header missing on degraded response")
+			}
+
+			// A cacheable (sparse) query answered degraded must NOT poison
+			// the cache: after recovery the same URL returns the full
+			// single-node-identical body.
+			if c, b := get(t, fl.router.URL+"/v1/single_source?q=9&min=0.001"); c != http.StatusOK {
+				t.Fatalf("degraded sparse: %d %s", c, b)
+			}
+			// top-k and join degrade rather than fail too.
+			if c, b := get(t, fl.router.URL+"/v1/topk?q=4&k=5&rerank=1"); c != http.StatusOK {
+				t.Fatalf("degraded topk: %d %s", c, b)
+			} else {
+				var tk topKResponse
+				if err := json.Unmarshal(b, &tk); err != nil {
+					t.Fatal(err)
+				}
+				if !tk.Degraded {
+					t.Fatalf("topk not marked degraded: %s", b)
+				}
+				if tk.Reranked {
+					t.Fatalf("degraded topk must not claim rerank: %s", b)
+				}
+			}
+			if c, b := postJSON(t, fl.router.URL+"/v1/join", `{"k":4,"threshold":0.15}`); c != http.StatusOK {
+				t.Fatalf("degraded join: %d %s", c, b)
+			} else if !strings.Contains(string(b), `"degraded":true`) {
+				t.Fatalf("join not marked degraded: %s", b)
+			}
+			// Batch lines carry the degraded marker as well.
+			if c, b := postJSON(t, fl.router.URL+"/v1/batch",
+				`{"mode":"single_source","sources":[9],"min":0.001}`); c != http.StatusOK {
+				t.Fatalf("degraded batch: %d %s", c, b)
+			} else if !strings.Contains(string(b), `"degraded":true`) {
+				t.Fatalf("batch line not marked degraded: %s", b)
+			}
+
+			fl.flaky[1].mode.Store("")
+
+			c, b := get(t, fl.router.URL+"/v1/single_source?q=9&min=0.001")
+			if c != http.StatusOK {
+				t.Fatalf("recovered sparse: %d %s", c, b)
+			}
+			if !bytes.Equal(b, fullSparse) {
+				t.Fatalf("cache poisoned: recovered body %s != single-node %s", b, fullSparse)
+			}
+			if got := fl.rt.shardErrors.Load(); got == 0 {
+				t.Fatal("shardErrors counter never incremented")
+			}
+		})
+	}
+}
+
+// TestRouterEdgesPartialBroadcastConverges: a broadcast that reaches
+// only part of the fleet returns 502, leaves the stale shard flagged
+// (every answer degraded), and retrying the same idempotent batch
+// converges back to byte-identity with the single-node server.
+func TestRouterEdgesPartialBroadcastConverges(t *testing.T) {
+	fl := newRouterFleet(t, 3, Config{Workers: 1}, 300*time.Millisecond)
+
+	edits := `{"edits":[{"op":"add","u":2,"v":115},{"op":"remove","u":1,"v":0},{"op":"add","u":80,"v":5}]}`
+	if c, b := postJSON(t, fl.single.URL+"/v1/edges", edits); c != http.StatusOK {
+		t.Fatalf("single edits: %d %s", c, b)
+	}
+
+	fl.flaky[1].mode.Store("503")
+	code, body := postJSON(t, fl.router.URL+"/v1/edges", edits)
+	if code != http.StatusBadGateway {
+		t.Fatalf("partial broadcast: want 502, got %d %s", code, body)
+	}
+	if !strings.Contains(string(body), "retry the same batch") {
+		t.Fatalf("502 body should tell the client to retry: %s", body)
+	}
+
+	// The divergent fleet must not pretend to be consistent: shard 1 is
+	// one generation behind, so answers touching it are degraded.
+	if c, b := get(t, fl.router.URL+"/v1/single_source?q=9"); c != http.StatusOK {
+		t.Fatalf("query during divergence: %d %s", c, b)
+	} else if !strings.Contains(string(b), `"degraded":true`) {
+		t.Fatalf("divergent fleet answered without degraded marker: %s", b)
+	}
+
+	fl.flaky[1].mode.Store("")
+	code, body = postJSON(t, fl.router.URL+"/v1/edges", edits)
+	if code != http.StatusOK {
+		t.Fatalf("retry: want 200, got %d %s", code, body)
+	}
+	checkIdentity(t, fl, "after-converge")
+}
+
+// TestRouterBatchStreamTerminalLine mirrors the single-node truncation
+// contract: a /v1/batch stream cut by context death ends with a
+// terminal NDJSON error line, not a silent truncation.
+func TestRouterBatchStreamTerminalLine(t *testing.T) {
+	fl := newRouterFleet(t, 2, Config{Workers: 1}, 0)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	fl.rt.testHookBatchLine = func(i int) {
+		if i == 0 {
+			cancel()
+		}
+	}
+	defer func() { fl.rt.testHookBatchLine = nil }()
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/batch",
+		strings.NewReader(`{"mode":"topk","sources":[1,2,3,4],"k":3}`))
+	req = req.WithContext(ctx)
+	rec := httptest.NewRecorder()
+	fl.rt.ServeHTTP(rec, req)
+
+	lines := ndjsonLines(t, rec.Body.Bytes())
+	if len(lines) < 2 {
+		t.Fatalf("want at least one result line plus a terminal line, got %d: %s", len(lines), rec.Body.Bytes())
+	}
+	var term batchTerminal
+	if err := json.Unmarshal(lines[len(lines)-1], &term); err != nil {
+		t.Fatalf("terminal line not parseable: %v (%s)", err, lines[len(lines)-1])
+	}
+	if !term.Truncated || term.Error == "" {
+		t.Fatalf("terminal line must mark truncation with an error: %+v", term)
+	}
+}
+
+// TestRouterRejectsInconsistentFleet: NewRouter must refuse a backend
+// set that does not tile [0, n) exactly.
+func TestRouterRejectsInconsistentFleet(t *testing.T) {
+	g := gen.WebGraph(60, 5, 11)
+	opt := query.Options{Walks: 64, Seed: 3, Workers: 1}
+	ranges, err := shard.Plan(g.NumVertices(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only bring up the second shard: the partition has a hole at the front.
+	sh, err := shard.Build(g, opt, ranges[1].Lo, ranges[1].Hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := NewShardServer(sh, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(ss)
+	defer ts.Close()
+	if _, err := NewRouter(g, []string{ts.URL}, RouterConfig{Config: Config{Workers: 1}}); err == nil {
+		t.Fatal("NewRouter accepted a fleet that does not cover [0, n)")
+	}
+}

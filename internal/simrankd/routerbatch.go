@@ -1,0 +1,408 @@
+package simrankd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"oipsr/internal/walkindex"
+	"oipsr/simrank/query"
+)
+
+// Router batch + join: the scatter/gather versions of /v1/batch and
+// /v1/join. Request validation, cache-key sharing with the single
+// endpoints, NDJSON line semantics, and the degraded/truncated markers
+// all mirror the single-node daemon (batch.go) — a client cannot tell a
+// router from a single node by the bytes of a healthy response.
+
+// handleBatch serves POST /v1/batch at the router: the single-node
+// contract (one NDJSON line per source, items failing independently),
+// with each chunk's dense rows assembled by one scatter to every shard.
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	rt.reqBatch.Add(1)
+	if !rt.checkMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req batchRequest
+	if !rt.decodeJSONBody(w, r, &req) {
+		return
+	}
+	mode := req.Mode
+	if mode == "" {
+		mode = "topk"
+	}
+	switch mode {
+	case "topk":
+		if req.Min != nil {
+			rt.writeError(w, http.StatusBadRequest, "\"min\" is only valid in single_source mode")
+			return
+		}
+		if req.K == 0 {
+			req.K = 10
+		}
+		if req.K < 1 {
+			rt.writeError(w, http.StatusBadRequest, "top-k size %d < 1", req.K)
+			return
+		}
+	case "single_source":
+		if req.K != 0 || req.Rerank {
+			rt.writeError(w, http.StatusBadRequest, "\"k\" and \"rerank\" are only valid in topk mode")
+			return
+		}
+	default:
+		rt.writeError(w, http.StatusBadRequest, "unknown mode %q (want \"topk\" or \"single_source\")", mode)
+		return
+	}
+	if len(req.Sources) > rt.maxBatch {
+		rt.writeError(w, http.StatusBadRequest, "batch of %d sources exceeds the %d limit", len(req.Sources), rt.maxBatch)
+		return
+	}
+	if mode == "single_source" && req.Min == nil {
+		if int64(len(req.Sources))*int64(rt.n) > maxDenseBatchScores {
+			rt.writeError(w, http.StatusBadRequest,
+				"dense batch of %d sources on %d vertices exceeds %d total scores; pass \"min\" or split the batch",
+				len(req.Sources), rt.n, maxDenseBatchScores)
+			return
+		}
+	}
+	rt.batchItems.Add(int64(len(req.Sources)))
+
+	lines, itemErrors, degraded, err := rt.computeBatchLines(r.Context(), &req, mode)
+	if err != nil {
+		rt.writeQueryError(w, err, http.StatusInternalServerError)
+		return
+	}
+	rt.batchItemErrors.Add(itemErrors)
+	if degraded {
+		rt.degradedTotal.Add(1)
+		w.Header().Set("X-Simrank-Degraded", "true")
+	}
+	rt.streamNDJSON(w, r, lines)
+}
+
+// computeBatchLines is the router's version of the single-node
+// computeBatchLines: per-item validation and cache lookups under the
+// generation-vector tag, one scatter per chunk for the misses, cache
+// fills only for chunks merged complete and fresh.
+func (rt *Router) computeBatchLines(ctx context.Context, req *batchRequest, mode string) (lines [][]byte, itemErrors int64, degraded bool, err error) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+
+	tag := rt.genTagLocked()
+	sparse := req.Min != nil
+	var minVal float64
+	if sparse {
+		minVal = *req.Min
+	}
+
+	lines = make([][]byte, len(req.Sources))
+	missSlot := make(map[int]int)
+	var miss []int
+	for i, q := range req.Sources {
+		if q < 0 || q >= rt.n {
+			line, merr := rt.marshalBody(batchItemError{Source: q, Error: fmt.Sprintf("query: vertex %d out of range [0,%d)", q, rt.n)})
+			if merr != nil {
+				return nil, 0, false, merr
+			}
+			lines[i] = line
+			itemErrors++
+			continue
+		}
+		var key string
+		cacheable := mode == "topk" || sparse
+		if cacheable {
+			if mode == "topk" {
+				key = rtTopKKey(tag, q, req.K, req.Rerank)
+			} else {
+				key = rtSSKey(tag, q, minVal)
+			}
+			if body, ok := rt.cache.Get(key); ok {
+				lines[i] = body
+				continue
+			}
+		}
+		if _, ok := missSlot[q]; !ok {
+			missSlot[q] = len(miss)
+			miss = append(miss, q)
+		}
+	}
+	if len(miss) == 0 {
+		return lines, itemErrors, false, nil
+	}
+
+	kEff := req.K
+	if kEff > rt.n-1 {
+		kEff = rt.n - 1
+	}
+	bodies := make([][]byte, len(miss))
+	chunk := batchChunk(rt.n)
+	for lo := 0; lo < len(miss); lo += chunk {
+		hi := min(lo+chunk, len(miss))
+		rows := make([][]float64, hi-lo)
+		for j := range rows {
+			rows[j] = make([]float64, rt.n)
+		}
+		shardDegraded, serr := rt.scatterScores(ctx, miss[lo:hi], rows)
+		if serr != nil {
+			return nil, 0, false, serr
+		}
+		switch mode {
+		case "topk":
+			// The same per-chunk degrade decision as the single node, with
+			// the extra cause a single node cannot have: a shard-incomplete
+			// row disables the exact rerank outright (exact scores over an
+			// incomplete merge would be wrong confidently).
+			useRerank := req.Rerank && !shardDegraded
+			pool := query.RerankPool(rt.n, req.K, 0)
+			chunkDegraded := shardDegraded || (useRerank && rt.shouldDegrade(ctx, pool*(hi-lo)))
+			if chunkDegraded {
+				useRerank = false
+			}
+			t1 := time.Now()
+			for j, q := range miss[lo:hi] {
+				results, berr := query.RankScores(ctx, rt.g, rt.c, rt.horizon, rows[j], q, kEff, &query.TopKOptions{Rerank: useRerank})
+				if berr != nil {
+					return nil, 0, false, berr
+				}
+				body, berr := rt.topKBody(q, req.K, useRerank, chunkDegraded, results)
+				if berr != nil {
+					return nil, 0, false, berr
+				}
+				bodies[lo+j] = body
+				if !chunkDegraded {
+					rt.cache.Put(rtTopKKey(tag, q, req.K, req.Rerank), body)
+				}
+			}
+			if useRerank {
+				rt.observeRerank(time.Since(t1), pool*(hi-lo))
+			}
+			degraded = degraded || chunkDegraded
+		case "single_source":
+			for j, q := range miss[lo:hi] {
+				body, berr := rt.singleSourceBody(q, rows[j], sparse, minVal, shardDegraded)
+				if berr != nil {
+					return nil, 0, false, berr
+				}
+				bodies[lo+j] = body
+				if sparse && !shardDegraded {
+					rt.cache.Put(rtSSKey(tag, q, minVal), body)
+				}
+			}
+			degraded = degraded || shardDegraded
+		}
+	}
+	for i, q := range req.Sources {
+		if lines[i] == nil {
+			lines[i] = bodies[missSlot[q]]
+		}
+	}
+	return lines, itemErrors, degraded, nil
+}
+
+// handleJoin serves POST /v1/join at the router. The join shards along
+// the fingerprint axis: backend i enumerates the co-located candidate
+// pairs of fp range i, the router unions them (per-shard sets are subsets
+// of the distinct union, so the candidate cap keeps single-node
+// semantics), pair scoring scatters to the owner of each pair's first
+// vertex, and the shared FinishJoin tail ranks the gathered pairs — all
+// merging is set union and sorting, no float arithmetic, so healthy
+// responses are byte-identical to the single-node daemon's.
+func (rt *Router) handleJoin(w http.ResponseWriter, r *http.Request) {
+	rt.reqJoin.Add(1)
+	if !rt.checkMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req joinRequest
+	if !rt.decodeJSONBody(w, r, &req) {
+		return
+	}
+	if req.K == 0 {
+		req.K = 10
+	}
+	maxCand := req.MaxCandidates
+	if maxCand <= 0 || maxCand > rt.joinMaxCand {
+		maxCand = rt.joinMaxCand
+	}
+
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	if err := walkindex.CheckJoinArgs(req.K, req.Threshold, maxCand); err != nil {
+		rt.writeQueryError(w, err, http.StatusBadRequest)
+		return
+	}
+	key := rtJoinKey(rt.genTagLocked(), req.K, req.Threshold, maxCand)
+	if body, ok := rt.cache.Get(key); ok {
+		writeJSONBytes(w, body)
+		return
+	}
+
+	pairs, degraded, err := rt.gatherJoin(r.Context(), req.Threshold, maxCand)
+	if err != nil {
+		var se *shardHTTPError
+		if errors.As(err, &se) {
+			// A deterministic client-level rejection from a backend (e.g.
+			// too-dense): the same bytes a single node would answer with.
+			rt.writeError(w, se.status, "%s", se.msg)
+			return
+		}
+		rt.writeQueryError(w, err, http.StatusBadRequest)
+		return
+	}
+
+	res := walkindex.FinishJoin(pairs, req.K, req.Threshold)
+	out := make([]query.JoinPair, len(res))
+	for i, p := range res {
+		out[i] = query.JoinPair{A: p.A, B: p.B, Score: p.Score}
+	}
+	body, err := rt.marshalBody(joinResponse{K: req.K, Threshold: req.Threshold, Pairs: out, Degraded: degraded})
+	if err != nil {
+		rt.writeError(w, http.StatusInternalServerError, "encoding response: %v", err)
+		return
+	}
+	if degraded {
+		rt.degradedTotal.Add(1)
+		w.Header().Set("X-Simrank-Degraded", "true")
+	} else if len(body) <= maxCachedJoinBody {
+		rt.cache.Put(key, body)
+	}
+	writeJSONBytes(w, body)
+}
+
+// gatherJoin runs the two scatter phases of a join: candidate enumeration
+// over the fingerprint ranges, then exact scoring at each pair's owner.
+// A backend 400 (too-dense, bad args) aborts with the backend's error; a
+// failed or stale leg drops its candidates or scores and degrades the
+// answer instead. Callers hold mu.RLock.
+func (rt *Router) gatherJoin(ctx context.Context, threshold float64, maxCand int) ([]walkindex.JoinPair, bool, error) {
+	type candRes struct {
+		pairs [][2]int
+		stale bool
+		err   error
+	}
+	cands := make([]candRes, len(rt.backends))
+	var wg sync.WaitGroup
+	for i := range rt.backends {
+		if rt.fpRanges[i].Hi <= rt.fpRanges[i].Lo {
+			continue // more backends than fingerprints: empty fp range
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var resp shardJoinCandResponse
+			err := rt.postShard(ctx, rt.backends[i], "/shard/v1/join_candidates", shardJoinCandRequest{
+				Threshold:     threshold,
+				FpLo:          rt.fpRanges[i].Lo,
+				FpHi:          rt.fpRanges[i].Hi,
+				MaxCandidates: maxCand,
+			}, &resp)
+			if err != nil {
+				cands[i].err = err
+				return
+			}
+			cands[i].pairs = resp.Pairs
+			cands[i].stale = resp.Generation != rt.gens[i]
+		}(i)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+
+	degraded := false
+	union := make(map[uint64]struct{})
+	for i := range cands {
+		c := &cands[i]
+		if c.err != nil {
+			var se *shardHTTPError
+			if errors.As(c.err, &se) && se.status == http.StatusBadRequest {
+				// Deterministic rejection: every leg would answer it the
+				// same way, so it is the request's answer, not a degradation.
+				return nil, false, c.err
+			}
+			rt.shardErrors.Add(1)
+			degraded = true
+			continue
+		}
+		if c.stale {
+			degraded = true
+		}
+		for _, p := range c.pairs {
+			union[uint64(p[0])<<32|uint64(p[1])] = struct{}{}
+		}
+	}
+	if len(union) > maxCand {
+		return nil, false, walkindex.TooDenseError(threshold, maxCand)
+	}
+
+	// Scatter scoring to the owner of each pair's first vertex.
+	byOwner := make([][][2]int, len(rt.backends))
+	for key := range union {
+		a, b := int(key>>32), int(key&0xFFFFFFFF)
+		o := rt.ownerOf(a)
+		byOwner[o] = append(byOwner[o], [2]int{a, b})
+	}
+	type scoreRes struct {
+		pairs []wireJoinPair
+		stale bool
+		err   error
+	}
+	scores := make([]scoreRes, len(rt.backends))
+	for i := range rt.backends {
+		if len(byOwner[i]) == 0 {
+			continue
+		}
+		// Deterministic request payloads (scores are order-independent,
+		// but tidy wire traffic is easier to debug and test).
+		sort.Slice(byOwner[i], func(x, y int) bool {
+			if byOwner[i][x][0] != byOwner[i][y][0] {
+				return byOwner[i][x][0] < byOwner[i][y][0]
+			}
+			return byOwner[i][x][1] < byOwner[i][y][1]
+		})
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var resp shardJoinScoreResponse
+			err := rt.postShard(ctx, rt.backends[i], "/shard/v1/join_score", shardJoinScoreRequest{Pairs: byOwner[i]}, &resp)
+			if err != nil {
+				scores[i].err = err
+				return
+			}
+			scores[i].pairs = resp.Pairs
+			scores[i].stale = resp.Generation != rt.gens[i]
+		}(i)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+
+	var all []walkindex.JoinPair
+	for i := range scores {
+		s := &scores[i]
+		if len(byOwner[i]) == 0 {
+			continue
+		}
+		if s.err != nil {
+			rt.shardErrors.Add(1)
+			degraded = true
+			continue
+		}
+		if s.stale {
+			degraded = true
+		}
+		for _, p := range s.pairs {
+			all = append(all, walkindex.JoinPair{A: p.A, B: p.B, Score: p.Score})
+		}
+	}
+	return all, degraded, nil
+}
+
+// ownerOf returns the index of the backend owning vertex v's walk rows.
+func (rt *Router) ownerOf(v int) int {
+	return sort.Search(len(rt.ranges), func(i int) bool { return rt.ranges[i].Hi > v })
+}

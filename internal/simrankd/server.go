@@ -19,8 +19,6 @@
 package simrankd
 
 import (
-	"bytes"
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -28,13 +26,10 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"oipsr/graph"
-	"oipsr/internal/histogram"
 	"oipsr/internal/lru"
 	"oipsr/simrank/query"
 )
@@ -90,47 +85,27 @@ const DefaultCacheSize = 1024
 // applies the batch. Reads stay fully concurrent with each other; the
 // limiter bounds how many of them execute at once.
 type Server struct {
+	// serving carries the limiter, deadlines, degradation model, error
+	// encoding, and overload counters shared with ShardServer and Router.
+	serving
+
 	mu      sync.RWMutex
 	idx     *query.Index
 	workers int
 	cache   *lru.Cache[string, []byte]
 	mux     *http.ServeMux
 
-	maxBatch       int
-	joinMaxCand    int
-	maxInflight    int
-	queueDepth     int
-	requestTimeout time.Duration
-
-	// sem is the execution-slot semaphore (capacity maxInflight); queued
-	// counts requests waiting for a slot against queueDepth.
-	sem      chan struct{}
-	queued   atomic.Int64
-	inflight atomic.Int64
-
 	// scorePool recycles dense score rows (one []float64 of length N per
 	// in-flight sweep; the vertex count never changes — edge edits repair
-	// walks, they don't add vertices). encPool recycles JSON encode
-	// buffers.
+	// walks, they don't add vertices).
 	scorePool sync.Pool
-	encPool   sync.Pool
 
-	// rerankNanosPerCand is the EWMA cost of exactly re-scoring one
-	// rerank candidate, in nanoseconds — the cost model behind
-	// deadline-aware degradation (see degrade.go).
-	rerankNanosPerCand atomic.Uint64
-
-	// Counters exported on /metrics. Latency is a histogram over every
-	// /v1 request, including error, shed, and degraded paths.
-	latency         *histogram.Histogram
-	shedTotal       atomic.Int64
-	degradedTotal   atomic.Int64
+	// Per-endpoint request counters exported on /metrics.
 	reqSingleSource atomic.Int64
 	reqTopK         atomic.Int64
 	reqEdges        atomic.Int64
 	reqBatch        atomic.Int64
 	reqJoin         atomic.Int64
-	reqErrors       atomic.Int64
 
 	batchItems      atomic.Int64
 	batchItemErrors atomic.Int64
@@ -140,15 +115,6 @@ type Server struct {
 	edgesAdded    atomic.Int64
 	edgesRemoved  atomic.Int64
 	walksRepaired atomic.Int64
-
-	started time.Time
-
-	// Test hooks. testHookInflight runs while the request holds an
-	// execution slot (tests block here to saturate the limiter
-	// deterministically); testHookBatchLine runs after each streamed
-	// batch line (tests block here to cancel mid-stream).
-	testHookInflight  func(*http.Request)
-	testHookBatchLine func(line int)
 }
 
 // NewServer returns a handler serving queries from idx under cfg.
@@ -158,37 +124,14 @@ func NewServer(idx *query.Index, cfg Config) *Server {
 		cacheSize = DefaultCacheSize
 	}
 	s := &Server{
-		idx:            idx,
-		workers:        cfg.Workers,
-		cache:          lru.New[string, []byte](cacheSize),
-		mux:            http.NewServeMux(),
-		maxBatch:       cfg.MaxBatch,
-		joinMaxCand:    cfg.JoinMaxCandidates,
-		maxInflight:    cfg.MaxInflight,
-		queueDepth:     cfg.QueueDepth,
-		requestTimeout: cfg.RequestTimeout,
-		latency:        histogram.New(nil),
-		started:        time.Now(),
+		idx:     idx,
+		workers: cfg.Workers,
+		cache:   lru.New[string, []byte](cacheSize),
+		mux:     http.NewServeMux(),
 	}
-	if s.maxBatch <= 0 {
-		s.maxBatch = DefaultMaxBatch
-	}
-	if s.joinMaxCand <= 0 {
-		s.joinMaxCand = query.DefaultMaxCandidates
-	}
-	if s.maxInflight <= 0 {
-		s.maxInflight = DefaultMaxInflight()
-	}
-	switch {
-	case s.queueDepth == 0:
-		s.queueDepth = 2 * s.maxInflight
-	case s.queueDepth < 0:
-		s.queueDepth = 0
-	}
-	s.sem = make(chan struct{}, s.maxInflight)
+	s.initServing(cfg)
 	n := idx.N()
 	s.scorePool.New = func() any { b := make([]float64, n); return &b }
-	s.encPool.New = func() any { return new(bytes.Buffer) }
 
 	s.mux.HandleFunc("/v1/single_source", s.limited(s.handleSingleSource))
 	s.mux.HandleFunc("/v1/topk", s.limited(s.handleTopK))
@@ -204,95 +147,6 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// marshalBody JSON-encodes v through a pooled buffer and returns a
-// newline-terminated copy sized to the body (response bodies are retained
-// — cached, streamed — so they cannot alias the pooled buffer; the pool
-// still absorbs the encoder's grow-and-copy churn).
-func (s *Server) marshalBody(v any) ([]byte, error) {
-	buf := s.encPool.Get().(*bytes.Buffer)
-	defer s.encPool.Put(buf)
-	buf.Reset()
-	// Encode appends exactly the '\n' the NDJSON and single-response
-	// bodies both end with.
-	if err := json.NewEncoder(buf).Encode(v); err != nil {
-		return nil, err
-	}
-	body := make([]byte, buf.Len())
-	copy(body, buf.Bytes())
-	return body, nil
-}
-
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
-func (s *Server) writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	s.reqErrors.Add(1)
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...)})
-}
-
-// writeQueryError maps a failed query to a status: an expired deadline or
-// a cancelled request is the server's load problem (503 with Retry-After,
-// the signal load balancers understand), anything else is the client's
-// 400 — unless the caller says otherwise via fallback.
-func (s *Server) writeQueryError(w http.ResponseWriter, err error, fallback int) {
-	switch {
-	case errors.Is(err, context.DeadlineExceeded):
-		w.Header().Set("Retry-After", "1")
-		s.writeError(w, http.StatusServiceUnavailable, "deadline exceeded before the query completed; raise timeout_ms or retry")
-	case errors.Is(err, context.Canceled):
-		// The client went away or the server is draining; the write
-		// usually goes nowhere, but the status should not blame the query.
-		s.writeError(w, http.StatusServiceUnavailable, "request cancelled")
-	default:
-		s.writeError(w, fallback, "%v", err)
-	}
-}
-
-// checkMethod enforces the endpoint's method set, answering 405 with an
-// Allow header otherwise.
-func (s *Server) checkMethod(w http.ResponseWriter, r *http.Request, allowed ...string) bool {
-	for _, m := range allowed {
-		if r.Method == m {
-			return true
-		}
-	}
-	w.Header().Set("Allow", strings.Join(allowed, ", "))
-	s.writeError(w, http.StatusMethodNotAllowed, "method %s not allowed on %s", r.Method, r.URL.Path)
-	return false
-}
-
-func writeJSONBytes(w http.ResponseWriter, body []byte) {
-	w.Header().Set("Content-Type", "application/json")
-	w.Write(body)
-}
-
-// intParam parses a required (or defaulted) integer query parameter.
-func intParam(r *http.Request, name string, def int, required bool) (int, error) {
-	raw := r.FormValue(name)
-	if raw == "" {
-		if required {
-			return 0, fmt.Errorf("missing required parameter %q", name)
-		}
-		return def, nil
-	}
-	v, err := strconv.Atoi(raw)
-	if err != nil {
-		return 0, fmt.Errorf("parameter %q: %v", name, err)
-	}
-	return v, nil
-}
-
-func boolParam(r *http.Request, name string) bool {
-	switch r.FormValue(name) {
-	case "1", "true", "yes", "on":
-		return true
-	}
-	return false
-}
-
 type singleSourceResponse struct {
 	Query int `json:"query"`
 	N     int `json:"n"`
@@ -301,6 +155,10 @@ type singleSourceResponse struct {
 	// Results holds only the entries with score >= min, sorted by
 	// decreasing score, when the min parameter was given.
 	Results []query.Ranked `json:"results,omitempty"`
+	// Degraded marks a router-merged response missing at least one
+	// shard's partial row (those targets report score 0). The single-node
+	// daemon never sets it, so its bodies are unchanged.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // handleSingleSource serves GET/POST /v1/single_source?q=17[&min=0.01].
@@ -348,7 +206,7 @@ func (s *Server) handleSingleSource(w http.ResponseWriter, r *http.Request) {
 		s.writeQueryError(w, err, http.StatusBadRequest)
 		return
 	}
-	body, err := s.singleSourceBody(q, scores, cacheable, minVal)
+	body, err := s.singleSourceBody(q, scores, cacheable, minVal, false)
 	if err != nil {
 		s.writeError(w, http.StatusInternalServerError, "encoding response: %v", err)
 		return
@@ -366,19 +224,6 @@ func (s *Server) handleSingleSource(w http.ResponseWriter, r *http.Request) {
 // /v1/single_source or as a JSON number on /v1/batch.
 func ssCacheKey(gen uint64, q int, min float64) string {
 	return fmt.Sprintf("g%d:ss:%d:%s", gen, q, strconv.FormatFloat(min, 'g', -1, 64))
-}
-
-// singleSourceBody marshals the /v1/single_source response body — also the
-// per-item line /v1/batch streams, so the two endpoints answer (and cache)
-// byte-identically.
-func (s *Server) singleSourceBody(q int, scores []float64, sparse bool, min float64) ([]byte, error) {
-	resp := singleSourceResponse{Query: q, N: len(scores)}
-	if sparse {
-		resp.Results = sparseAbove(scores, q, min)
-	} else {
-		resp.Scores = scores
-	}
-	return s.marshalBody(resp)
 }
 
 // sparseAbove filters a dense score vector down to the entries (other than
@@ -495,12 +340,6 @@ func topKCacheKey(gen uint64, q, k int, rerank bool) string {
 	return fmt.Sprintf("g%d:topk:%d:%d:%t", gen, q, k, rerank)
 }
 
-// topKBody marshals the /v1/topk response body — also the per-item line
-// /v1/batch streams, so the two endpoints answer byte-identically.
-func (s *Server) topKBody(q, k int, rerank, degraded bool, results []query.Ranked) ([]byte, error) {
-	return s.marshalBody(topKResponse{Query: q, K: k, Reranked: rerank, Degraded: degraded, Results: results})
-}
-
 type edgeEdit struct {
 	Op string `json:"op"` // "add" | "remove"
 	U  int    `json:"u"`
@@ -537,17 +376,10 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeJSONBody(w, r, &req) {
 		return
 	}
-	edits := make([]graph.Edit, len(req.Edits))
-	for i, e := range req.Edits {
-		switch e.Op {
-		case "add":
-			edits[i] = graph.Edit{Op: graph.EditAdd, U: e.U, V: e.V}
-		case "remove":
-			edits[i] = graph.Edit{Op: graph.EditRemove, U: e.U, V: e.V}
-		default:
-			s.writeError(w, http.StatusBadRequest, "edit %d: unknown op %q (want \"add\" or \"remove\")", i, e.Op)
-			return
-		}
+	edits, errMsg := parseEdits(req.Edits)
+	if errMsg != "" {
+		s.writeError(w, http.StatusBadRequest, "%s", errMsg)
+		return
 	}
 
 	s.mu.Lock()
@@ -631,6 +463,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	indexBytes := s.idx.Bytes()
 	s.mu.RUnlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	buildInfoMetric(w, "serve")
 	fmt.Fprintf(w, "simrankd_requests_total{endpoint=\"single_source\"} %d\n", s.reqSingleSource.Load())
 	fmt.Fprintf(w, "simrankd_requests_total{endpoint=\"topk\"} %d\n", s.reqTopK.Load())
 	fmt.Fprintf(w, "simrankd_requests_total{endpoint=\"edges\"} %d\n", s.reqEdges.Load())

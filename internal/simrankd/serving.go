@@ -1,0 +1,239 @@
+package simrankd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oipsr/internal/histogram"
+	"oipsr/simrank/query"
+)
+
+// serving is the machinery every simrankd mode shares: the single-node
+// daemon (Server), a shard backend (ShardServer), and the scatter/gather
+// router (Router) all embed it. It owns the concurrency limiter and
+// request deadlines (limiter.go), the deadline-aware degradation cost
+// model (degrade.go), error/body encoding, and the overload counters —
+// so a request hitting a router sheds, queues, times out, and degrades by
+// exactly the rules a single-node daemon enforces, because it runs the
+// same code.
+type serving struct {
+	maxBatch       int
+	joinMaxCand    int
+	maxInflight    int
+	queueDepth     int
+	requestTimeout time.Duration
+
+	// sem is the execution-slot semaphore (capacity maxInflight); queued
+	// counts requests waiting for a slot against queueDepth.
+	sem      chan struct{}
+	queued   atomic.Int64
+	inflight atomic.Int64
+
+	// encPool recycles JSON encode buffers.
+	encPool sync.Pool
+
+	// rerankNanosPerCand is the EWMA cost of exactly re-scoring one
+	// rerank candidate, in nanoseconds — the cost model behind
+	// deadline-aware degradation (see degrade.go).
+	rerankNanosPerCand atomic.Uint64
+
+	// Counters exported on /metrics. Latency is a histogram over every
+	// /v1 request, including error, shed, and degraded paths.
+	latency       *histogram.Histogram
+	shedTotal     atomic.Int64
+	degradedTotal atomic.Int64
+	reqErrors     atomic.Int64
+
+	started time.Time
+
+	// Test hooks. testHookInflight runs while the request holds an
+	// execution slot (tests block here to saturate the limiter
+	// deterministically); testHookBatchLine runs after each streamed
+	// batch line (tests block here to cancel mid-stream).
+	testHookInflight  func(*http.Request)
+	testHookBatchLine func(line int)
+}
+
+// initServing resolves the limiter and request-shaping defaults of cfg
+// and arms the semaphore. Every NewServer/NewShardServer/NewRouter calls
+// it exactly once before wiring routes.
+func (sv *serving) initServing(cfg Config) {
+	sv.maxBatch = cfg.MaxBatch
+	sv.joinMaxCand = cfg.JoinMaxCandidates
+	sv.maxInflight = cfg.MaxInflight
+	sv.queueDepth = cfg.QueueDepth
+	sv.requestTimeout = cfg.RequestTimeout
+	if sv.maxBatch <= 0 {
+		sv.maxBatch = DefaultMaxBatch
+	}
+	if sv.joinMaxCand <= 0 {
+		sv.joinMaxCand = query.DefaultMaxCandidates
+	}
+	if sv.maxInflight <= 0 {
+		sv.maxInflight = DefaultMaxInflight()
+	}
+	switch {
+	case sv.queueDepth == 0:
+		sv.queueDepth = 2 * sv.maxInflight
+	case sv.queueDepth < 0:
+		sv.queueDepth = 0
+	}
+	sv.sem = make(chan struct{}, sv.maxInflight)
+	sv.latency = histogram.New(nil)
+	sv.encPool.New = func() any { return new(bytes.Buffer) }
+	sv.started = time.Now()
+}
+
+// marshalBody JSON-encodes v through a pooled buffer and returns a
+// newline-terminated copy sized to the body (response bodies are retained
+// — cached, streamed — so they cannot alias the pooled buffer; the pool
+// still absorbs the encoder's grow-and-copy churn).
+func (sv *serving) marshalBody(v any) ([]byte, error) {
+	buf := sv.encPool.Get().(*bytes.Buffer)
+	defer sv.encPool.Put(buf)
+	buf.Reset()
+	// Encode appends exactly the '\n' the NDJSON and single-response
+	// bodies both end with.
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		return nil, err
+	}
+	body := make([]byte, buf.Len())
+	copy(body, buf.Bytes())
+	return body, nil
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (sv *serving) writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	sv.reqErrors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeQueryError maps a failed query to a status: an expired deadline or
+// a cancelled request is the server's load problem (503 with Retry-After,
+// the signal load balancers understand), anything else is the client's
+// 400 — unless the caller says otherwise via fallback.
+func (sv *serving) writeQueryError(w http.ResponseWriter, err error, fallback int) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		w.Header().Set("Retry-After", "1")
+		sv.writeError(w, http.StatusServiceUnavailable, "deadline exceeded before the query completed; raise timeout_ms or retry")
+	case errors.Is(err, context.Canceled):
+		// The client went away or the server is draining; the write
+		// usually goes nowhere, but the status should not blame the query.
+		sv.writeError(w, http.StatusServiceUnavailable, "request cancelled")
+	default:
+		sv.writeError(w, fallback, "%v", err)
+	}
+}
+
+// checkMethod enforces the endpoint's method set, answering 405 with an
+// Allow header otherwise.
+func (sv *serving) checkMethod(w http.ResponseWriter, r *http.Request, allowed ...string) bool {
+	for _, m := range allowed {
+		if r.Method == m {
+			return true
+		}
+	}
+	w.Header().Set("Allow", strings.Join(allowed, ", "))
+	sv.writeError(w, http.StatusMethodNotAllowed, "method %s not allowed on %s", r.Method, r.URL.Path)
+	return false
+}
+
+func writeJSONBytes(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+// intParam parses a required (or defaulted) integer query parameter.
+func intParam(r *http.Request, name string, def int, required bool) (int, error) {
+	raw := r.FormValue(name)
+	if raw == "" {
+		if required {
+			return 0, fmt.Errorf("missing required parameter %q", name)
+		}
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %v", name, err)
+	}
+	return v, nil
+}
+
+func boolParam(r *http.Request, name string) bool {
+	switch r.FormValue(name) {
+	case "1", "true", "yes", "on":
+		return true
+	}
+	return false
+}
+
+// singleSourceBody marshals the /v1/single_source response body — also the
+// per-item line /v1/batch streams, so the two endpoints answer (and cache)
+// byte-identically. The single-node daemon never degrades a single-source
+// answer (there is no rerank to skip); the router does, when a shard's
+// partial row is missing from the merge.
+func (sv *serving) singleSourceBody(q int, scores []float64, sparse bool, min float64, degraded bool) ([]byte, error) {
+	resp := singleSourceResponse{Query: q, N: len(scores), Degraded: degraded}
+	if sparse {
+		resp.Results = sparseAbove(scores, q, min)
+	} else {
+		resp.Scores = scores
+	}
+	return sv.marshalBody(resp)
+}
+
+// topKBody marshals the /v1/topk response body — also the per-item line
+// /v1/batch streams, so the two endpoints answer byte-identically.
+func (sv *serving) topKBody(q, k int, rerank, degraded bool, results []query.Ranked) ([]byte, error) {
+	return sv.marshalBody(topKResponse{Query: q, K: k, Reranked: rerank, Degraded: degraded, Results: results})
+}
+
+// streamNDJSON writes precomputed NDJSON lines, flushing each. A context
+// that dies mid-stream — the graceful-shutdown drain deadline cancelling
+// in-flight requests, the per-request deadline, a vanished client — ends
+// the stream with one terminal error line: the status is long since
+// written, so in-band is the only channel left, and clients must not
+// mistake a truncated stream for a complete one. Server and Router batch
+// endpoints share this loop, so their truncation semantics are identical.
+func (sv *serving) streamNDJSON(w http.ResponseWriter, r *http.Request, lines [][]byte) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	for i, line := range lines {
+		if err := r.Context().Err(); err != nil {
+			if term, merr := json.Marshal(batchTerminal{
+				Error:     fmt.Sprintf("stream truncated after %d of %d lines: %v", i, len(lines), err),
+				Truncated: true,
+			}); merr == nil {
+				w.Write(append(term, '\n'))
+				if flusher != nil {
+					flusher.Flush()
+				}
+			}
+			return
+		}
+		if _, err := w.Write(line); err != nil {
+			return // client went away; nothing sensible left to do
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if sv.testHookBatchLine != nil {
+			sv.testHookBatchLine(i)
+		}
+	}
+}

@@ -1,0 +1,372 @@
+package simrankd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oipsr/graph"
+	"oipsr/simrank/query"
+	"oipsr/simrank/shard"
+)
+
+// ShardServer is the HTTP handler of one shard backend: it owns the walk
+// rows of a contiguous vertex range and answers the internal scatter
+// protocol the Router speaks — partial score rows for arbitrary sources,
+// join candidate enumeration over a fingerprint range, exact pair scoring
+// — plus the same /v1/edges, /healthz, and /metrics surface as the
+// single-node daemon. It inherits the full overload discipline (deadline
+// attachment, admission control, shedding) through the embedded serving.
+//
+// Internal endpoints (consumed by the Router, not public API):
+//
+//	POST /shard/v1/scores           partial rows for the owned range
+//	POST /shard/v1/join_candidates  co-located pairs of one fp range
+//	POST /shard/v1/join_score       exact scores for candidate pairs
+//
+// Every response echoes the shard's update generation, so the router can
+// detect a backend that was updated behind its back and refuse to cache
+// the merge.
+type ShardServer struct {
+	serving
+
+	// mu serializes /v1/edges (write) against queries (read), exactly
+	// like the single-node daemon: the shard index is repaired in place.
+	mu      sync.RWMutex
+	sh      *shard.Shard
+	workers int
+	mux     *http.ServeMux
+
+	reqScores   atomic.Int64
+	reqJoinCand atomic.Int64
+	reqJoinPair atomic.Int64
+	reqEdges    atomic.Int64
+
+	updatesTotal  atomic.Int64
+	updateMicros  atomic.Int64
+	edgesAdded    atomic.Int64
+	edgesRemoved  atomic.Int64
+	walksRepaired atomic.Int64
+}
+
+// NewShardServer returns a handler serving the scatter protocol from sh,
+// which must have its source graph attached (foreign sources are
+// recomputed from it).
+func NewShardServer(sh *shard.Shard, cfg Config) (*ShardServer, error) {
+	if sh.Graph() == nil {
+		return nil, fmt.Errorf("simrankd: shard server needs the source graph (AttachGraph after load)")
+	}
+	s := &ShardServer{
+		sh:      sh,
+		workers: cfg.Workers,
+		mux:     http.NewServeMux(),
+	}
+	s.initServing(cfg)
+	s.mux.HandleFunc("/shard/v1/scores", s.limited(s.handleScores))
+	s.mux.HandleFunc("/shard/v1/join_candidates", s.limited(s.handleJoinCandidates))
+	s.mux.HandleFunc("/shard/v1/join_score", s.limited(s.handleJoinScore))
+	s.mux.HandleFunc("/v1/edges", s.limited(s.handleEdges))
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s, nil
+}
+
+func (s *ShardServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+type shardScoresRequest struct {
+	Sources []int `json:"sources"`
+}
+
+type shardScoresResponse struct {
+	Lo         int    `json:"lo"`
+	Hi         int    `json:"hi"`
+	Generation uint64 `json:"generation"`
+	// Rows holds one partial row per source: Rows[i][v-Lo] is the
+	// estimate s(Sources[i], v) for every owned vertex v, bit-identical
+	// to that slice of the single-node dense row (float64 values survive
+	// the JSON round trip exactly — shortest-form encoding re-parses to
+	// the same bits).
+	Rows [][]float64 `json:"rows"`
+}
+
+// handleScores serves POST /shard/v1/scores: the shard's partial dense
+// rows for a batch of sources (owned or foreign).
+func (s *ShardServer) handleScores(w http.ResponseWriter, r *http.Request) {
+	s.reqScores.Add(1)
+	if !s.checkMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req shardScoresRequest
+	if !s.decodeJSONBody(w, r, &req) {
+		return
+	}
+	if len(req.Sources) > s.maxBatch {
+		s.writeError(w, http.StatusBadRequest, "batch of %d sources exceeds the %d limit", len(req.Sources), s.maxBatch)
+		return
+	}
+	// The same dense-intermediate bound the single-node batch enforces,
+	// against this shard's row width.
+	if int64(len(req.Sources))*int64(max(s.sh.Width(), 1)) > maxDenseBatchScores {
+		s.writeError(w, http.StatusBadRequest,
+			"%d sources on a %d-vertex shard exceed %d total scores; split the batch",
+			len(req.Sources), s.sh.Width(), maxDenseBatchScores)
+		return
+	}
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rows, err := s.sh.PartialScores(r.Context(), req.Sources, s.workers)
+	if err != nil {
+		s.writeQueryError(w, err, http.StatusBadRequest)
+		return
+	}
+	body, err := s.marshalBody(shardScoresResponse{
+		Lo: s.sh.Lo(), Hi: s.sh.Hi(), Generation: s.sh.Generation(), Rows: rows,
+	})
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "encoding response: %v", err)
+		return
+	}
+	writeJSONBytes(w, body)
+}
+
+type shardJoinCandRequest struct {
+	Threshold     float64 `json:"threshold"`
+	FpLo          int     `json:"fp_lo"`
+	FpHi          int     `json:"fp_hi"`
+	MaxCandidates int     `json:"max_candidates"`
+}
+
+type shardJoinCandResponse struct {
+	Generation uint64 `json:"generation"`
+	// Pairs are the candidate (a, b) vertex pairs, a < b, sorted — kept
+	// as integer pairs on the wire because the packed a<<32|b key can
+	// exceed exact float64 range in a JSON number.
+	Pairs [][2]int `json:"pairs"`
+}
+
+// handleJoinCandidates serves POST /shard/v1/join_candidates: the
+// co-located candidate pairs of one fingerprint range at a threshold.
+func (s *ShardServer) handleJoinCandidates(w http.ResponseWriter, r *http.Request) {
+	s.reqJoinCand.Add(1)
+	if !s.checkMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req shardJoinCandRequest
+	if !s.decodeJSONBody(w, r, &req) {
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys, err := s.sh.JoinCandidates(r.Context(), req.Threshold, req.FpLo, req.FpHi, req.MaxCandidates, s.workers)
+	if err != nil {
+		s.writeQueryError(w, err, http.StatusBadRequest)
+		return
+	}
+	pairs := make([][2]int, len(keys))
+	for i, key := range keys {
+		pairs[i] = [2]int{int(key >> 32), int(key & 0xFFFFFFFF)}
+	}
+	body, err := s.marshalBody(shardJoinCandResponse{Generation: s.sh.Generation(), Pairs: pairs})
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "encoding response: %v", err)
+		return
+	}
+	writeJSONBytes(w, body)
+}
+
+type shardJoinScoreRequest struct {
+	Pairs [][2]int `json:"pairs"`
+}
+
+type wireJoinPair struct {
+	A     int     `json:"a"`
+	B     int     `json:"b"`
+	Score float64 `json:"score"`
+}
+
+type shardJoinScoreResponse struct {
+	Generation uint64         `json:"generation"`
+	Pairs      []wireJoinPair `json:"pairs"`
+}
+
+// handleJoinScore serves POST /shard/v1/join_score: exact index estimates
+// for candidate pairs, bit-identical to single-node pair scores.
+func (s *ShardServer) handleJoinScore(w http.ResponseWriter, r *http.Request) {
+	s.reqJoinPair.Add(1)
+	if !s.checkMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req shardJoinScoreRequest
+	if !s.decodeJSONBody(w, r, &req) {
+		return
+	}
+	keys := make([]uint64, len(req.Pairs))
+	for i, p := range req.Pairs {
+		if p[0] < 0 || p[1] < 0 {
+			s.writeError(w, http.StatusBadRequest, "pair %d: negative vertex", i)
+			return
+		}
+		keys[i] = uint64(p[0])<<32 | uint64(p[1])
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	scored, err := s.sh.ScorePairs(r.Context(), keys, s.workers)
+	if err != nil {
+		s.writeQueryError(w, err, http.StatusBadRequest)
+		return
+	}
+	pairs := make([]wireJoinPair, len(scored))
+	for i, p := range scored {
+		pairs[i] = wireJoinPair{A: p.A, B: p.B, Score: p.Score}
+	}
+	body, err := s.marshalBody(shardJoinScoreResponse{Generation: s.sh.Generation(), Pairs: pairs})
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "encoding response: %v", err)
+		return
+	}
+	writeJSONBytes(w, body)
+}
+
+// handleEdges serves POST /v1/edges on a shard: the same request and
+// response shapes as the single-node daemon, applied to the shard's graph
+// and range-restricted index. The router broadcasts one batch to every
+// shard; because edits are idempotent at the graph layer, re-broadcasting
+// after a partial failure converges instead of corrupting.
+func (s *ShardServer) handleEdges(w http.ResponseWriter, r *http.Request) {
+	s.reqEdges.Add(1)
+	if !s.checkMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req edgesRequest
+	if !s.decodeJSONBody(w, r, &req) {
+		return
+	}
+	edits, errMsg := parseEdits(req.Edits)
+	if errMsg != "" {
+		s.writeError(w, http.StatusBadRequest, "%s", errMsg)
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u0 := time.Now()
+	stats, err := s.sh.ApplyEdits(edits, s.workers)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, query.ErrTooLarge) {
+			code = http.StatusInternalServerError
+		}
+		s.writeError(w, code, "%v", err)
+		return
+	}
+	updateMicros := time.Since(u0).Microseconds()
+	s.updatesTotal.Add(1)
+	s.updateMicros.Add(updateMicros)
+	s.edgesAdded.Add(int64(stats.EdgesAdded))
+	s.edgesRemoved.Add(int64(stats.EdgesRemoved))
+	s.walksRepaired.Add(int64(stats.WalksRepaired))
+
+	body, err := s.marshalBody(edgesResponse{
+		Added:         stats.EdgesAdded,
+		Removed:       stats.EdgesRemoved,
+		DirtyVertices: stats.DirtyVertices,
+		WalksRepaired: stats.WalksRepaired,
+		Generation:    stats.Generation,
+		Edges:         s.sh.Graph().NumEdges(),
+		UpdateMicros:  updateMicros,
+	})
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "encoding response: %v", err)
+		return
+	}
+	writeJSONBytes(w, body)
+}
+
+// parseEdits translates wire edits to graph edits, returning a non-empty
+// message on the first invalid op. Server, ShardServer, and Router share
+// it so their /v1/edges reject identically.
+func parseEdits(wire []edgeEdit) ([]graph.Edit, string) {
+	edits := make([]graph.Edit, len(wire))
+	for i, e := range wire {
+		switch e.Op {
+		case "add":
+			edits[i] = graph.Edit{Op: graph.EditAdd, U: e.U, V: e.V}
+		case "remove":
+			edits[i] = graph.Edit{Op: graph.EditRemove, U: e.U, V: e.V}
+		default:
+			return nil, fmt.Sprintf("edit %d: unknown op %q (want \"add\" or \"remove\")", i, e.Op)
+		}
+	}
+	return edits, ""
+}
+
+// shardHealthzResponse is the shard-mode /healthz body; the router's
+// startup probe consumes it to learn each backend's range, parameters,
+// and generation.
+type shardHealthzResponse struct {
+	Status     string  `json:"status"`
+	Vertices   int     `json:"vertices"`
+	Lo         int     `json:"lo"`
+	Hi         int     `json:"hi"`
+	Walks      int     `json:"walks"`
+	Horizon    int     `json:"horizon"`
+	C          float64 `json:"c"`
+	Seed       int64   `json:"seed"`
+	IndexBytes int64   `json:"index_bytes"`
+	Generation uint64  `json:"generation"`
+	UptimeSecs float64 `json:"uptime_seconds"`
+}
+
+func (s *ShardServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(shardHealthzResponse{
+		Status:     "ok",
+		Vertices:   s.sh.N(),
+		Lo:         s.sh.Lo(),
+		Hi:         s.sh.Hi(),
+		Walks:      s.sh.Walks(),
+		Horizon:    s.sh.Horizon(),
+		C:          s.sh.C(),
+		Seed:       s.sh.Seed(),
+		IndexBytes: s.sh.Bytes(),
+		Generation: s.sh.Generation(),
+		UptimeSecs: time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *ShardServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	generation := s.sh.Generation()
+	lo, hi := s.sh.Lo(), s.sh.Hi()
+	indexBytes := s.sh.Bytes()
+	s.mu.RUnlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	buildInfoMetric(w, "shard")
+	fmt.Fprintf(w, "simrankd_requests_total{endpoint=\"shard_scores\"} %d\n", s.reqScores.Load())
+	fmt.Fprintf(w, "simrankd_requests_total{endpoint=\"shard_join_candidates\"} %d\n", s.reqJoinCand.Load())
+	fmt.Fprintf(w, "simrankd_requests_total{endpoint=\"shard_join_score\"} %d\n", s.reqJoinPair.Load())
+	fmt.Fprintf(w, "simrankd_requests_total{endpoint=\"edges\"} %d\n", s.reqEdges.Load())
+	fmt.Fprintf(w, "simrankd_request_errors_total %d\n", s.reqErrors.Load())
+	fmt.Fprintf(w, "simrankd_requests_shed_total %d\n", s.shedTotal.Load())
+	fmt.Fprintf(w, "simrankd_inflight_requests %d\n", s.inflight.Load())
+	fmt.Fprintf(w, "simrankd_queued_requests %d\n", s.queued.Load())
+	s.latency.WriteProm(w, "simrankd_request_latency_seconds")
+	fmt.Fprintf(w, "simrankd_index_generation %d\n", generation)
+	fmt.Fprintf(w, "simrankd_updates_total %d\n", s.updatesTotal.Load())
+	fmt.Fprintf(w, "simrankd_update_latency_micros_total %d\n", s.updateMicros.Load())
+	fmt.Fprintf(w, "simrankd_update_edges_added_total %d\n", s.edgesAdded.Load())
+	fmt.Fprintf(w, "simrankd_update_edges_removed_total %d\n", s.edgesRemoved.Load())
+	fmt.Fprintf(w, "simrankd_update_walks_repaired_total %d\n", s.walksRepaired.Load())
+	fmt.Fprintf(w, "simrankd_shard_lo %d\n", lo)
+	fmt.Fprintf(w, "simrankd_shard_hi %d\n", hi)
+	fmt.Fprintf(w, "simrankd_index_bytes %d\n", indexBytes)
+}

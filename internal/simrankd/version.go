@@ -1,0 +1,19 @@
+package simrankd
+
+import (
+	"fmt"
+	"io"
+)
+
+// Version identifies the simrankd build. cmd/simrankd prints it under
+// -version and every serving mode exports it as the simrankd_build_info
+// metric, so a mixed fleet (shards, router, single-node daemons) can be
+// audited for version skew from its metrics alone.
+const Version = "0.7.0"
+
+// buildInfoMetric writes the simrankd_build_info gauge in the Prometheus
+// text format: always value 1, with the build version and the serving
+// mode ("serve", "shard", "router") as labels.
+func buildInfoMetric(w io.Writer, mode string) {
+	fmt.Fprintf(w, "simrankd_build_info{version=%q,mode=%q} 1\n", Version, mode)
+}

@@ -49,6 +49,71 @@ var ErrTooDense = errors.New("walkindex: join candidate set exceeds the cap")
 // floating-point summation rounds its exact estimate to just above it.
 const genSlack = 1 - 1e-9
 
+// CheckJoinArgs validates the shared join arguments. Join performs the
+// same checks; the router validates before scattering so a bad request is
+// rejected once, with the same error text a single-node daemon produces.
+func CheckJoinArgs(k int, threshold float64, maxCandidates int) error {
+	if k < 1 {
+		return fmt.Errorf("walkindex: join top-k size %d < 1", k)
+	}
+	if threshold < 0 || threshold > 1 {
+		return fmt.Errorf("walkindex: join threshold %v outside [0,1]", threshold)
+	}
+	if maxCandidates < 1 {
+		return fmt.Errorf("walkindex: join candidate cap %d < 1", maxCandidates)
+	}
+	return nil
+}
+
+// TooDenseError builds the ErrTooDense-wrapped overflow error every join
+// layer reports — per-worker caps, the single-node merge, and the router's
+// cross-shard merge all fail with byte-identical text.
+func TooDenseError(threshold float64, maxCandidates int) error {
+	return fmt.Errorf("%w: threshold %v admits more than %d co-located pairs", ErrTooDense, threshold, maxCandidates)
+}
+
+// joinDepth returns the last step index whose first-meeting weight clears
+// the threshold, or -1 when no slot can (pow is strictly decreasing, so
+// the scan stops early). Join and the shard candidate enumeration share it,
+// so both prune at exactly the same float comparison.
+func joinDepth(pow []float64, threshold float64) int {
+	maxT := -1
+	for t, w := range pow {
+		if w < threshold*genSlack {
+			break
+		}
+		maxT = t
+	}
+	return maxT
+}
+
+// FinishJoin applies the join tail to exactly-scored candidate pairs:
+// filter to positive scores at or above the threshold, order by decreasing
+// score with ties broken by (a, b), truncate to k. It mutates pairs and
+// returns a slice of it. Join and the router's cross-shard merge share it,
+// so a merged result ranks and truncates exactly as a single node would.
+func FinishJoin(pairs []JoinPair, k int, threshold float64) []JoinPair {
+	kept := pairs[:0]
+	for _, p := range pairs {
+		if p.Score >= threshold && p.Score > 0 {
+			kept = append(kept, p)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].Score != kept[j].Score {
+			return kept[i].Score > kept[j].Score
+		}
+		if kept[i].A != kept[j].A {
+			return kept[i].A < kept[j].A
+		}
+		return kept[i].B < kept[j].B
+	})
+	if k > len(kept) {
+		k = len(kept)
+	}
+	return kept[:k:k]
+}
+
 // Join returns the top-k vertex pairs (a < b) with estimated SimRank score
 // at least threshold, in decreasing score order with ties broken by (a, b).
 // Scores are the same estimates SingleSource produces, bit-identically,
@@ -61,24 +126,12 @@ const genSlack = 1 - 1e-9
 // slots during enumeration and between candidates during re-scoring) and
 // returns the context's error.
 func (ix *Index) Join(ctx context.Context, k int, threshold float64, maxCandidates, workers int) ([]JoinPair, error) {
-	if k < 1 {
-		return nil, fmt.Errorf("walkindex: join top-k size %d < 1", k)
-	}
-	if threshold < 0 || threshold > 1 {
-		return nil, fmt.Errorf("walkindex: join threshold %v outside [0,1]", threshold)
-	}
-	if maxCandidates < 1 {
-		return nil, fmt.Errorf("walkindex: join candidate cap %d < 1", maxCandidates)
+	if err := CheckJoinArgs(k, threshold, maxCandidates); err != nil {
+		return nil, err
 	}
 	// Depth prune: slots past maxT cannot introduce a pair reaching the
-	// threshold (pow is strictly decreasing, so the scan stops early).
-	maxT := -1
-	for t := 0; t < ix.k; t++ {
-		if ix.pow[t] < threshold*genSlack {
-			break
-		}
-		maxT = t
-	}
+	// threshold.
+	maxT := joinDepth(ix.pow, threshold)
 	if maxT < 0 || ix.n < 2 {
 		return []JoinPair{}, nil
 	}
@@ -143,7 +196,7 @@ func (ix *Index) Join(ctx context.Context, k int, threshold float64, maxCandidat
 		return nil, err
 	}
 	if overflow.Load() {
-		return nil, fmt.Errorf("%w: threshold %v admits more than %d co-located pairs", ErrTooDense, threshold, maxCandidates)
+		return nil, TooDenseError(threshold, maxCandidates)
 	}
 	// Merge with the cap enforced as the union grows: per-worker sets each
 	// respect the cap, but their union must too — and must fail before it
@@ -153,7 +206,7 @@ func (ix *Index) Join(ctx context.Context, k int, threshold float64, maxCandidat
 		for key := range set {
 			merged[key] = struct{}{}
 			if len(merged) > maxCandidates {
-				return nil, fmt.Errorf("%w: threshold %v admits more than %d co-located pairs", ErrTooDense, threshold, maxCandidates)
+				return nil, TooDenseError(threshold, maxCandidates)
 			}
 		}
 	}
@@ -183,23 +236,5 @@ func (ix *Index) Join(ctx context.Context, k int, threshold float64, maxCandidat
 		return nil, err
 	}
 
-	kept := pairs[:0]
-	for _, p := range pairs {
-		if p.Score >= threshold && p.Score > 0 {
-			kept = append(kept, p)
-		}
-	}
-	sort.Slice(kept, func(i, j int) bool {
-		if kept[i].Score != kept[j].Score {
-			return kept[i].Score > kept[j].Score
-		}
-		if kept[i].A != kept[j].A {
-			return kept[i].A < kept[j].A
-		}
-		return kept[i].B < kept[j].B
-	})
-	if k > len(kept) {
-		k = len(kept)
-	}
-	return kept[:k:k], nil
+	return FinishJoin(pairs, k, threshold), nil
 }

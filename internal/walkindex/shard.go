@@ -1,0 +1,374 @@
+package walkindex
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"oipsr/graph"
+	"oipsr/internal/par"
+)
+
+// Horizontal sharding of the walk index.
+//
+// A ShardIndex stores the walks of one contiguous vertex range [lo, hi) of
+// a graph — exactly the rows a full Build would store for those start
+// vertices, bit for bit. That is enough to answer any query restricted to
+// the range, because the coupled walks are pure hash functions of (graph,
+// Options): a shard holding the full graph (cheap CSR, tiny next to the
+// n·R·K path store) can recompute ANY foreign vertex's walks on demand via
+// walkFrom, identical to what the owning shard has stored. Per-target
+// scores depend only on the source's walks and the target's stored row, so
+// a row of partial scores over [lo, hi) is the exact sub-slice of the
+// single-node answer, and a router concatenating per-shard rows reproduces
+// SingleSource/MultiSource bitwise — no merge arithmetic, no rounding
+// drift.
+//
+// The similarity join shards along the other axis (fingerprints, see
+// shardjoin.go), and incremental updates reuse the repair machinery of
+// update.go through the shared pathStore view.
+
+// ShardIndex is the walk index of vertex range [lo, hi) of an n-vertex
+// graph. Safe for concurrent queries; Update is the one mutating operation
+// and must be serialized against queries, exactly as for Index.
+type ShardIndex struct {
+	n      int // vertices in the FULL graph
+	lo, hi int // owned vertex range [lo, hi)
+	k      int
+	r      int
+	c      float64
+	seed   int64
+
+	// paths[((v-lo)*r + fp)*k + t], same per-walk layout as Index.
+	paths []int32
+
+	pow    []float64
+	visits [][]visitPosting // lazily built, base lo (see update.go)
+}
+
+// BuildShard constructs the walk index of vertex range [lo, hi) of g. The
+// stored rows are bit-identical to the corresponding rows of Build(g, opt):
+// building n/S-vertex shards on S machines and a full index on one are the
+// same computation, partitioned.
+func BuildShard(g *graph.Graph, opt Options, lo, hi int) (*ShardIndex, error) {
+	if err := opt.resolve(); err != nil {
+		return nil, err
+	}
+	n := g.NumVertices()
+	if lo < 0 || hi < lo || hi > n {
+		return nil, fmt.Errorf("walkindex: shard range [%d,%d) outside [0,%d)", lo, hi, n)
+	}
+
+	sx := &ShardIndex{
+		n:     n,
+		lo:    lo,
+		hi:    hi,
+		k:     opt.K,
+		r:     opt.Walks,
+		c:     opt.C,
+		seed:  opt.Seed,
+		paths: make([]int32, (hi-lo)*opt.Walks*opt.K),
+	}
+	sx.pow = make([]float64, sx.k)
+	w := 1.0
+	for t := 0; t < sx.k; t++ {
+		w *= sx.c
+		sx.pow[t] = w
+	}
+
+	hseed := splitmix64(uint64(opt.Seed))
+	width := hi - lo
+	workers := par.ResolveMax(opt.Workers, width)
+	par.Do(workers, func(w int) {
+		wlo, whi := par.Range(width, workers, w)
+		for v := wlo; v < whi; v++ {
+			base := v * sx.r * sx.k
+			for fp := 0; fp < sx.r; fp++ {
+				walkFrom(g, hseed, fp, 0, lo+v, sx.paths[base+fp*sx.k:base+(fp+1)*sx.k])
+			}
+		}
+	})
+	return sx, nil
+}
+
+// N returns the vertex count of the full graph the shard was built on.
+func (sx *ShardIndex) N() int { return sx.n }
+
+// Lo returns the first owned vertex.
+func (sx *ShardIndex) Lo() int { return sx.lo }
+
+// Hi returns one past the last owned vertex.
+func (sx *ShardIndex) Hi() int { return sx.hi }
+
+// Width returns the number of owned vertices, hi-lo.
+func (sx *ShardIndex) Width() int { return sx.hi - sx.lo }
+
+// Owns reports whether the shard stores v's walks.
+func (sx *ShardIndex) Owns(v int) bool { return v >= sx.lo && v < sx.hi }
+
+// Horizon returns the walk horizon K.
+func (sx *ShardIndex) Horizon() int { return sx.k }
+
+// Walks returns the number of fingerprints R.
+func (sx *ShardIndex) Walks() int { return sx.r }
+
+// C returns the damping factor.
+func (sx *ShardIndex) C() float64 { return sx.c }
+
+// Seed returns the seed the shard was built with.
+func (sx *ShardIndex) Seed() int64 { return sx.seed }
+
+// Bytes returns the in-memory size of the path storage.
+func (sx *ShardIndex) Bytes() int64 { return int64(len(sx.paths)) * 4 }
+
+// ownedRow returns the stored walk block of owned vertex v (all R walks,
+// r*k entries).
+func (sx *ShardIndex) ownedRow(v int) []int32 {
+	base := (v - sx.lo) * sx.r * sx.k
+	return sx.paths[base : base+sx.r*sx.k]
+}
+
+// sourceRow returns the full walk block of any vertex q: the stored row
+// when the shard owns q, otherwise a recomputation into buf (which must
+// hold r*k entries). The recomputed block equals the owning shard's stored
+// row bitwise — walkFrom is the code path Build stored it through.
+func (sx *ShardIndex) sourceRow(g *graph.Graph, q int, buf []int32) []int32 {
+	if sx.Owns(q) {
+		return sx.ownedRow(q)
+	}
+	hseed := splitmix64(uint64(sx.seed))
+	for fp := 0; fp < sx.r; fp++ {
+		walkFrom(g, hseed, fp, 0, q, buf[fp*sx.k:(fp+1)*sx.k])
+	}
+	return buf
+}
+
+// PartialMultiSource estimates s(q, v) for every source q in sources and
+// every OWNED target v in [lo, hi), returning one partial score row per
+// source: out[i][v-lo] is s(sources[i], v). Each row is the exact
+// [lo, hi) sub-slice of MultiSource's full row on an unsharded index —
+// bit-identical, for every worker count — so concatenating the partial
+// rows of a covering shard set reproduces the single-node answer without
+// any merge arithmetic. Foreign sources (not owned by this shard) are
+// recomputed on demand from g, which must be the graph the shard was built
+// on (or repaired to via Update).
+//
+// Sources must be valid vertex ids of the full graph (the serving layer
+// validates); duplicates produce identical rows. Cancelling ctx abandons
+// the sweep and returns the context's error.
+func (sx *ShardIndex) PartialMultiSource(ctx context.Context, g *graph.Graph, sources []int, workers int) ([][]float64, error) {
+	width := sx.hi - sx.lo
+	out := make([][]float64, len(sources))
+	for i := range out {
+		out[i] = make([]float64, width)
+	}
+	if len(sources) == 0 || width == 0 {
+		return out, ctx.Err()
+	}
+
+	// Materialize every source's walk block once — owned blocks are the
+	// stored rows, foreign blocks are recomputed — then build the same
+	// sorted slot tables MultiSource builds, from the same positions.
+	srcRows := make([][]int32, len(sources))
+	tableCheck := par.NewCancelChecker(ctx, 4) // each source is O(R·K) work
+	for si, q := range sources {
+		if err := tableCheck.Stop(); err != nil {
+			return nil, err
+		}
+		if sx.Owns(q) {
+			srcRows[si] = sx.ownedRow(q)
+		} else {
+			srcRows[si] = sx.sourceRow(g, q, make([]int32, sx.r*sx.k))
+		}
+	}
+
+	nslots := sx.r * sx.k
+	off := make([]int, nslots+1)
+	for _, row := range srcRows {
+		for fp := 0; fp < sx.r; fp++ {
+			for t, p := range row[fp*sx.k : (fp+1)*sx.k] {
+				if p < 0 {
+					break
+				}
+				off[fp*sx.k+t+1]++
+			}
+		}
+	}
+	for i := 1; i <= nslots; i++ {
+		off[i] += off[i-1]
+	}
+	entries := make([]srcEntry, off[nslots])
+	cur := make([]int, nslots)
+	copy(cur, off[:nslots])
+	for si, row := range srcRows {
+		for fp := 0; fp < sx.r; fp++ {
+			for t, p := range row[fp*sx.k : (fp+1)*sx.k] {
+				if p < 0 {
+					break
+				}
+				slot := fp*sx.k + t
+				entries[cur[slot]] = srcEntry{pos: p, si: int32(si)}
+				cur[slot]++
+			}
+		}
+	}
+	for s := 0; s < nslots; s++ {
+		seg := entries[off[s]:off[s+1]]
+		sort.Slice(seg, func(i, j int) bool {
+			if seg[i].pos != seg[j].pos {
+				return seg[i].pos < seg[j].pos
+			}
+			return seg[i].si < seg[j].si
+		})
+	}
+
+	// The sweep is MultiSource's, restricted to the owned target range: per
+	// (source, target) pair the same first-meeting weights accumulate in
+	// the same fingerprint order and scale by the same 1/R, so each cell
+	// matches the full sweep's cell bitwise.
+	inv := 1 / float64(sx.r)
+	parts := par.ResolveMax(workers, width)
+	par.Do(parts, func(w int) {
+		wlo, whi := par.Range(width, parts, w)
+		check := par.NewCancelChecker(ctx, cancelCheckTargets)
+		acc := make([]float64, len(sources))
+		met := make([]int, len(sources))
+		epoch := 0
+		for v := wlo; v < whi; v++ {
+			if check.Stop() != nil {
+				return // partial rows are discarded below
+			}
+			for i := range acc {
+				acc[i] = 0
+			}
+			base := v * sx.r * sx.k
+			for fp := 0; fp < sx.r; fp++ {
+				epoch++
+				row := sx.paths[base+fp*sx.k : base+(fp+1)*sx.k]
+				for t, pv := range row {
+					if pv < 0 {
+						break
+					}
+					seg := entries[off[fp*sx.k+t]:off[fp*sx.k+t+1]]
+					if len(seg) == 0 {
+						break
+					}
+					i := sort.Search(len(seg), func(i int) bool { return seg[i].pos >= pv })
+					for ; i < len(seg) && seg[i].pos == pv; i++ {
+						si := seg[i].si
+						if met[si] == epoch {
+							continue
+						}
+						met[si] = epoch
+						acc[si] += sx.pow[t]
+					}
+				}
+			}
+			for si := range acc {
+				out[si][v] = acc[si] * inv
+			}
+		}
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// A source's own entry is exactly 1, as SingleSource promises — but only
+	// the owning shard holds that cell.
+	for si, q := range sources {
+		if sx.Owns(q) {
+			out[si][q-sx.lo] = 1
+		}
+	}
+	return out, nil
+}
+
+// Pair estimates the single score s(a, b) with a and b resolved through
+// sourceRow, so neither vertex needs to be owned. Bit-identical to
+// Index.Pair on an unsharded index.
+func (sx *ShardIndex) Pair(g *graph.Graph, a, b int) float64 {
+	if a == b {
+		return 1
+	}
+	var abuf, bbuf []int32
+	if !sx.Owns(a) {
+		abuf = make([]int32, sx.r*sx.k)
+	}
+	if !sx.Owns(b) {
+		bbuf = make([]int32, sx.r*sx.k)
+	}
+	return pairFromRows(sx.sourceRow(g, a, abuf), sx.sourceRow(g, b, bbuf), sx.pow, sx.k, sx.r)
+}
+
+// PrepareUpdate builds the shard's inverted visit index eagerly; see
+// Index.PrepareUpdate.
+func (sx *ShardIndex) PrepareUpdate(workers int) error {
+	if sx.visits != nil {
+		return nil
+	}
+	if int64(sx.hi-sx.lo)*int64(sx.r) > maxWalks {
+		return fmt.Errorf("%w: width*R = %d*%d exceeds %d walks", ErrTooLarge, sx.hi-sx.lo, sx.r, maxWalks)
+	}
+	sx.visits = buildVisits(sx.store(), workers)
+	return nil
+}
+
+func (sx *ShardIndex) store() pathStore {
+	return pathStore{
+		paths: sx.paths, visits: sx.visits,
+		k: sx.k, r: sx.r, base: sx.lo, width: sx.hi - sx.lo, nGlobal: sx.n, seed: sx.seed,
+	}
+}
+
+// Update repairs the shard in place after the graph changed into g; dirty
+// lists every vertex of the FULL graph whose in-neighbor list changed
+// (dirty vertices outside [lo, hi) still matter — an owned walk can occupy
+// them). The repaired shard is bit-identical to BuildShard on the edited
+// graph, so every shard of a fleet applying the same edits stays a
+// consistent partition of the single-node index. Returns the number of
+// walks repaired. See Index.Update for the contract details.
+func (sx *ShardIndex) Update(g *graph.Graph, dirty []int, workers int) (int, error) {
+	if g.NumVertices() != sx.n {
+		return 0, fmt.Errorf("walkindex: updated graph has %d vertices, shard was built on %d", g.NumVertices(), sx.n)
+	}
+	for _, d := range dirty {
+		if d < 0 || d >= sx.n {
+			return 0, fmt.Errorf("walkindex: dirty vertex %d out of range [0,%d)", d, sx.n)
+		}
+	}
+	if err := sx.PrepareUpdate(workers); err != nil {
+		return 0, err
+	}
+	return repairStore(g, sx.store(), dirty, workers), nil
+}
+
+// Equal reports whether two shards hold identical parameters, ranges, and
+// paths.
+func (sx *ShardIndex) Equal(other *ShardIndex) bool {
+	if sx.n != other.n || sx.lo != other.lo || sx.hi != other.hi ||
+		sx.k != other.k || sx.r != other.r || sx.c != other.c ||
+		sx.seed != other.seed || len(sx.paths) != len(other.paths) {
+		return false
+	}
+	for i, p := range sx.paths {
+		if other.paths[i] != p {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualSlice reports whether the shard's stored rows equal the [lo, hi)
+// rows of a full index built with the same options — the partition
+// invariant the shard tests and conformance checks assert.
+func (sx *ShardIndex) EqualSlice(ix *Index) bool {
+	if sx.n != ix.n || sx.k != ix.k || sx.r != ix.r || sx.c != ix.c || sx.seed != ix.seed {
+		return false
+	}
+	base := sx.lo * sx.r * sx.k
+	for i, p := range sx.paths {
+		if ix.paths[base+i] != p {
+			return false
+		}
+	}
+	return true
+}

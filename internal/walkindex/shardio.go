@@ -1,0 +1,158 @@
+package walkindex
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Shard on-disk format (all integers little-endian):
+//
+//	offset  size  field
+//	0       8     magic "SRWKSHRD"
+//	8       4     format version (currently 1)
+//	12      8     n    (full-graph vertices, int64)
+//	20      8     lo   (first owned vertex, int64)
+//	28      8     hi   (one past the last owned vertex, int64)
+//	36      8     k    (horizon, int64)
+//	44      8     r    (fingerprints, int64)
+//	52      8     c    (damping factor, IEEE-754 bits)
+//	60      8     seed (int64)
+//	68      4*(hi-lo)*r*k   paths ([]int32)
+//	...     4     CRC-32 (IEEE) of every preceding byte
+//
+// The layout mirrors the full-index format (serialize.go) with the owned
+// range spliced into the header; the distinct magic keeps a shard file
+// from ever loading as a full index or vice versa — Load and LoadShard
+// reject each other's files with ErrBadMagic, not a silent misread.
+
+var shardMagic = [8]byte{'S', 'R', 'W', 'K', 'S', 'H', 'R', 'D'}
+
+const shardHeaderSize = 8 + 4 + 7*8
+
+// Save writes the shard to w in the versioned binary format, CRC-sealed
+// like the full index.
+func (sx *ShardIndex) Save(w io.Writer) error {
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriterSize(io.MultiWriter(w, crc), 1<<16)
+
+	var hdr [shardHeaderSize]byte
+	copy(hdr[:8], shardMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:], FormatVersion)
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(int64(sx.n)))
+	binary.LittleEndian.PutUint64(hdr[20:], uint64(int64(sx.lo)))
+	binary.LittleEndian.PutUint64(hdr[28:], uint64(int64(sx.hi)))
+	binary.LittleEndian.PutUint64(hdr[36:], uint64(int64(sx.k)))
+	binary.LittleEndian.PutUint64(hdr[44:], uint64(int64(sx.r)))
+	binary.LittleEndian.PutUint64(hdr[52:], math.Float64bits(sx.c))
+	binary.LittleEndian.PutUint64(hdr[60:], uint64(sx.seed))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("walkindex: writing shard header: %w", err)
+	}
+
+	var buf [1 << 14]byte
+	for off := 0; off < len(sx.paths); {
+		nb := 0
+		for off < len(sx.paths) && nb+4 <= len(buf) {
+			binary.LittleEndian.PutUint32(buf[nb:], uint32(sx.paths[off]))
+			nb += 4
+			off++
+		}
+		if _, err := bw.Write(buf[:nb]); err != nil {
+			return fmt.Errorf("walkindex: writing shard paths: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("walkindex: writing shard paths: %w", err)
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err := w.Write(sum[:]); err != nil {
+		return fmt.Errorf("walkindex: writing shard checksum: %w", err)
+	}
+	return nil
+}
+
+// LoadShard reads a shard written by Save. It applies the same defenses as
+// Load: magic/version/range validation before trusting the header,
+// incremental payload allocation against forged sizes, a CRC check over
+// everything read, and per-entry range validation of the paths.
+func LoadShard(r io.Reader) (*ShardIndex, error) {
+	crc := crc32.NewIEEE()
+	br := bufio.NewReaderSize(r, 1<<16)
+
+	var hdr [shardHeaderSize]byte
+	if err := readFull(br, crc, hdr[:], "shard header"); err != nil {
+		return nil, err
+	}
+	if [8]byte(hdr[:8]) != shardMagic {
+		return nil, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != FormatVersion {
+		return nil, fmt.Errorf("%w: file has version %d, this build reads version %d", ErrVersion, v, FormatVersion)
+	}
+	n := int64(binary.LittleEndian.Uint64(hdr[12:]))
+	lo := int64(binary.LittleEndian.Uint64(hdr[20:]))
+	hi := int64(binary.LittleEndian.Uint64(hdr[28:]))
+	k := int64(binary.LittleEndian.Uint64(hdr[36:]))
+	fps := int64(binary.LittleEndian.Uint64(hdr[44:]))
+	c := math.Float64frombits(binary.LittleEndian.Uint64(hdr[52:]))
+	seed := int64(binary.LittleEndian.Uint64(hdr[60:]))
+	if n < 0 || k < 1 || fps < 1 {
+		return nil, fmt.Errorf("walkindex: invalid shard header (n=%d, k=%d, r=%d)", n, k, fps)
+	}
+	if lo < 0 || hi < lo || hi > n {
+		return nil, fmt.Errorf("walkindex: invalid shard header range [%d,%d) with n=%d", lo, hi, n)
+	}
+	if k > maxHorizon {
+		return nil, fmt.Errorf("walkindex: implausible walk horizon k = %d", k)
+	}
+	if !(c > 0 && c < 1) {
+		return nil, fmt.Errorf("walkindex: invalid shard header damping factor %v", c)
+	}
+	width := hi - lo
+	elems := width * fps * k
+	if width > 0 && (elems/width/fps != k || elems > maxElems) {
+		return nil, fmt.Errorf("walkindex: implausible shard size width*r*k = %d*%d*%d", width, fps, k)
+	}
+
+	paths := make([]int32, 0, min(elems, 1<<16))
+	var buf [1 << 14]byte
+	for int64(len(paths)) < elems {
+		nb := len(buf)
+		if rem := elems - int64(len(paths)); rem < int64(len(buf)/4) {
+			nb = int(rem) * 4
+		}
+		if err := readFull(br, crc, buf[:nb], "shard paths"); err != nil {
+			return nil, err
+		}
+		for b := 0; b < nb; b += 4 {
+			paths = append(paths, int32(binary.LittleEndian.Uint32(buf[b:])))
+		}
+	}
+	sx := &ShardIndex{n: int(n), lo: int(lo), hi: int(hi), k: int(k), r: int(fps), c: c, seed: seed, paths: paths}
+	sx.pow = make([]float64, sx.k)
+	w := 1.0
+	for t := 0; t < sx.k; t++ {
+		w *= sx.c
+		sx.pow[t] = w
+	}
+
+	want := crc.Sum32()
+	var sum [4]byte
+	if err := readFull(br, nil, sum[:], "shard checksum"); err != nil {
+		return nil, err
+	}
+	if got := binary.LittleEndian.Uint32(sum[:]); got != want {
+		return nil, fmt.Errorf("%w: stored %08x, computed %08x", ErrChecksum, got, want)
+	}
+	for i, p := range sx.paths {
+		if p < -1 || int64(p) >= n {
+			return nil, fmt.Errorf("walkindex: shard path entry %d out of range: %d", i, p)
+		}
+	}
+	return sx, nil
+}

@@ -1,0 +1,177 @@
+package walkindex
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"oipsr/graph"
+	"oipsr/internal/par"
+)
+
+// Sharded similarity join.
+//
+// The join shards along the FINGERPRINT axis, not the vertex axis: a
+// candidate pair is any two vertices co-located at some (fingerprint,
+// step) slot within the prune depth, and one fingerprint's slots need the
+// positions of ALL n vertices — which every shard can produce, because
+// walk prefixes are pure hash recomputations (walkFrom) regardless of who
+// stores them. Each shard of a fleet therefore enumerates a disjoint
+// fingerprint range, the router unions the candidate sets (each a subset
+// of the distinct-pair union, so the cap trips exactly when the
+// single-node merge would), and pair scoring scatters back across shards,
+// each scoring through the same pairFromRows arithmetic. FinishJoin on the
+// merged scored pairs then reproduces Index.Join bitwise.
+
+// JoinCandidates enumerates the co-located vertex pairs of fingerprints
+// [fpLo, fpHi) within the threshold's prune depth, returning canonical
+// a<b keys (a<<32|b) in ascending order. The union of the key sets over a
+// partition of [0, R) is exactly the candidate set Index.Join enumerates.
+// maxCandidates caps this shard's set — every per-shard set is a subset of
+// the full distinct-pair union, so a shard overflow implies the
+// single-node join overflows too (the converse is caught by the caller's
+// merge, which must re-apply the cap as the union grows).
+//
+// g must be the graph the shard was built on (or repaired to); it supplies
+// the walk prefixes of vertices the shard does not store.
+func (sx *ShardIndex) JoinCandidates(ctx context.Context, g *graph.Graph, threshold float64, fpLo, fpHi, maxCandidates, workers int) ([]uint64, error) {
+	if fpLo < 0 || fpHi < fpLo || fpHi > sx.r {
+		return nil, fmt.Errorf("walkindex: fingerprint range [%d,%d) outside [0,%d)", fpLo, fpHi, sx.r)
+	}
+	if maxCandidates < 1 {
+		return nil, fmt.Errorf("walkindex: join candidate cap %d < 1", maxCandidates)
+	}
+	maxT := joinDepth(sx.pow, threshold)
+	if maxT < 0 || sx.n < 2 || fpLo == fpHi {
+		return []uint64{}, ctx.Err()
+	}
+
+	// Same enumeration as Join phase 1, with one addition: positions of
+	// vertices outside [lo, hi) are recomputed per fingerprint as prefix
+	// walks (depth maxT+1), bit-identical to the rows the owning shard
+	// stores. The recomputation is O(n·(maxT+1)) per fingerprint — the same
+	// order as scanning the slots it feeds.
+	hseed := splitmix64(uint64(sx.seed))
+	depth := maxT + 1
+	parts := par.ResolveMax(workers, fpHi-fpLo)
+	sets := make([]map[uint64]struct{}, parts)
+	var overflow atomic.Bool
+	par.Do(parts, func(w int) {
+		wlo, whi := par.Range(fpHi-fpLo, parts, w)
+		check := par.NewCancelChecker(ctx, 1) // each slot is O(n) work
+		set := make(map[uint64]struct{})
+		pos := make([]int32, sx.n*depth) // pos[v*depth+t]
+		head := make([]int32, sx.n)
+		next := make([]int32, sx.n)
+		for fp := fpLo + wlo; fp < fpLo+whi; fp++ {
+			if overflow.Load() || check.Stop() != nil {
+				return
+			}
+			for v := 0; v < sx.n; v++ {
+				row := pos[v*depth : (v+1)*depth]
+				if sx.Owns(v) {
+					copy(row, sx.paths[((v-sx.lo)*sx.r+fp)*sx.k:])
+				} else {
+					walkFrom(g, hseed, fp, 0, v, row)
+				}
+			}
+			for t := 0; t <= maxT; t++ {
+				if overflow.Load() || check.Stop() != nil {
+					return
+				}
+				for i := range head {
+					head[i] = -1
+				}
+				alive := false
+				for v := 0; v < sx.n; v++ {
+					p := pos[v*depth+t]
+					if p < 0 {
+						continue
+					}
+					alive = true
+					next[v] = head[p]
+					head[p] = int32(v)
+				}
+				if !alive {
+					break // every walker of this fingerprint is dead
+				}
+				for p := 0; p < sx.n; p++ {
+					for b := head[p]; b >= 0; b = next[b] {
+						for a := next[b]; a >= 0; a = next[a] {
+							set[uint64(a)<<32|uint64(b)] = struct{}{}
+							if len(set) > maxCandidates {
+								overflow.Store(true)
+								return
+							}
+						}
+					}
+				}
+			}
+		}
+		sets[w] = set
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if overflow.Load() {
+		return nil, TooDenseError(threshold, maxCandidates)
+	}
+	merged := sets[0]
+	for _, set := range sets[1:] {
+		for key := range set {
+			merged[key] = struct{}{}
+			if len(merged) > maxCandidates {
+				return nil, TooDenseError(threshold, maxCandidates)
+			}
+		}
+	}
+	keys := make([]uint64, 0, len(merged))
+	for key := range merged {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys, nil
+}
+
+// ScorePairs computes the exact estimate of every candidate key (canonical
+// a<<32|b), bit-identical to Index.Pair — rows of unowned vertices are
+// recomputed and memoized per worker. Cancelling ctx abandons the scoring
+// and returns the context's error.
+func (sx *ShardIndex) ScorePairs(ctx context.Context, g *graph.Graph, keys []uint64, workers int) ([]JoinPair, error) {
+	pairs := make([]JoinPair, len(keys))
+	if len(keys) == 0 {
+		return pairs, ctx.Err()
+	}
+	parts := par.ResolveMax(workers, len(keys))
+	par.Do(parts, func(w int) {
+		lo, hi := par.Range(len(keys), parts, w)
+		check := par.NewCancelChecker(ctx, cancelCheckTargets)
+		// Foreign rows memoize per worker: candidate keys are sorted, so
+		// repeated a-sides hit the cache run-length style, and heavily
+		// co-located b-sides (hub vertices) hit it across keys.
+		cache := make(map[int][]int32)
+		rowFor := func(v int) []int32 {
+			if sx.Owns(v) {
+				return sx.ownedRow(v)
+			}
+			if row, ok := cache[v]; ok {
+				return row
+			}
+			row := sx.sourceRow(g, v, make([]int32, sx.r*sx.k))
+			cache[v] = row
+			return row
+		}
+		for i := lo; i < hi; i++ {
+			if check.Stop() != nil {
+				return // partial scores are discarded below
+			}
+			a, b := int(keys[i]>>32), int(keys[i]&0xFFFFFFFF)
+			pairs[i] = JoinPair{A: a, B: b, Score: pairFromRows(rowFor(a), rowFor(b), sx.pow, sx.k, sx.r)}
+		}
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return pairs, nil
+}

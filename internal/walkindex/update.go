@@ -33,19 +33,25 @@ var ErrTooLarge = errors.New("walkindex: index too large for incremental updates
 // first Update (in parallel over vertices) and patched incrementally as
 // walks are repaired, so a long stream of small edit batches never rescans
 // the whole path store.
+//
+// The machinery operates on a pathStore view shared by the full Index
+// (base 0, width n) and a ShardIndex (base lo, width hi-lo), so a sharded
+// deployment repairs each shard's walks with exactly the code the
+// single-node daemon runs — the union of per-shard repairs is the
+// single-node repair.
 
 // visitPosting says a walk's path occupies some vertex, first at the given
-// time. Walk ids are v*R + fp, bounded by maxWalks.
+// time. Walk ids are store-local — (v-base)*R + fp — bounded by maxWalks.
 type visitPosting struct {
 	walk int32
 	time uint16
 }
 
-// maxWalks bounds n*R so walk ids fit in the posting's int32.
+// maxWalks bounds width*R so walk ids fit in the posting's int32.
 const maxWalks = math.MaxInt32
 
 // rawVisit is a posting tagged with its vertex, the per-worker scratch
-// format of buildVisits and the patch format of Update.
+// format of buildVisits and the patch format of repairStore.
 type rawVisit struct {
 	x int32
 	p visitPosting
@@ -68,6 +74,28 @@ func lookupVisit(list []visitPair, x int32) (uint16, bool) {
 	return 0, false
 }
 
+// pathStore is the view of a walk store the repair machinery operates on:
+// a flat path slice covering `width` start vertices beginning at global id
+// `base`, plus the inverted visit index over those walks (indexed by
+// global vertex id — walk positions span the whole graph regardless of
+// which shard owns the walk).
+type pathStore struct {
+	paths   []int32
+	visits  [][]visitPosting
+	k, r    int
+	base    int // global id of the first stored start vertex
+	width   int // stored start vertices
+	nGlobal int // graph vertex count (visit-index width)
+	seed    int64
+}
+
+func (ix *Index) store() pathStore {
+	return pathStore{
+		paths: ix.paths, visits: ix.visits,
+		k: ix.k, r: ix.r, base: 0, width: ix.n, nGlobal: ix.n, seed: ix.seed,
+	}
+}
+
 // PrepareUpdate builds the inverted visit index eagerly (it is otherwise
 // built lazily by the first Update call). Workers follow the Build
 // convention: 1 means serial, below 1 means all CPUs. It returns an error
@@ -79,23 +107,23 @@ func (ix *Index) PrepareUpdate(workers int) error {
 	if int64(ix.n)*int64(ix.r) > maxWalks {
 		return fmt.Errorf("%w: n*R = %d*%d exceeds %d walks", ErrTooLarge, ix.n, ix.r, maxWalks)
 	}
-	ix.buildVisits(workers)
+	ix.visits = buildVisits(ix.store(), workers)
 	return nil
 }
 
 // buildVisits scans every stored path once, in parallel over vertices, and
 // assembles per-vertex posting lists holding each walk's first occupancy.
-func (ix *Index) buildVisits(workers int) {
-	parts := par.ResolveMax(workers, ix.n)
+func buildVisits(st pathStore, workers int) [][]visitPosting {
+	parts := par.ResolveMax(workers, st.width)
 	bufs := make([][]rawVisit, parts)
 	par.Do(parts, func(w int) {
-		lo, hi := par.Range(ix.n, parts, w)
+		lo, hi := par.Range(st.width, parts, w)
 		var buf []rawVisit
-		scratch := make([]visitPair, 0, ix.k+1)
-		for v := lo; v < hi; v++ {
-			for fp := 0; fp < ix.r; fp++ {
-				walk := int32(v*ix.r + fp)
-				scratch = ix.firstVisits(v, fp, scratch[:0])
+		scratch := make([]visitPair, 0, st.k+1)
+		for v := lo; v < hi; v++ { // store-local start vertex
+			for fp := 0; fp < st.r; fp++ {
+				walk := int32(v*st.r + fp)
+				scratch = firstVisitsPath(int32(st.base+v), st.pathRow(walk), scratch[:0])
 				for _, p := range scratch {
 					buf = append(buf, rawVisit{x: p.x, p: visitPosting{walk: walk, time: p.time}})
 				}
@@ -104,7 +132,7 @@ func (ix *Index) buildVisits(workers int) {
 		bufs[w] = buf
 	})
 
-	counts := make([]int, ix.n)
+	counts := make([]int, st.nGlobal)
 	total := 0
 	for _, buf := range bufs {
 		for _, rv := range buf {
@@ -115,7 +143,7 @@ func (ix *Index) buildVisits(workers int) {
 	// One flat allocation sliced per vertex; later patches that grow a list
 	// reallocate just that vertex's slice.
 	flat := make([]visitPosting, total)
-	visits := make([][]visitPosting, ix.n)
+	visits := make([][]visitPosting, st.nGlobal)
 	off := 0
 	for x, c := range counts {
 		visits[x] = flat[off : off : off+c]
@@ -126,17 +154,22 @@ func (ix *Index) buildVisits(workers int) {
 			visits[rv.x] = append(visits[rv.x], rv.p)
 		}
 	}
-	ix.visits = visits
+	return visits
 }
 
-// firstVisits appends (vertex, first occupancy time) pairs for walk
-// (v, fp) to dst and returns it: time 0 at the start vertex, time t+1 at
-// stored path entry t, stopping at death. Pairs are appended in occupancy
-// order, so times are strictly increasing. The list is at most K+1 long
-// and K is small, so the linear dedup scan beats a map by a wide margin.
-func (ix *Index) firstVisits(v, fp int, dst []visitPair) []visitPair {
-	dst = append(dst, visitPair{x: int32(v), time: 0})
-	path := ix.paths[(v*ix.r+fp)*ix.k : (v*ix.r+fp+1)*ix.k]
+// pathRow returns the stored path of a store-local walk id.
+func (st pathStore) pathRow(walk int32) []int32 {
+	return st.paths[int(walk)*st.k : (int(walk)+1)*st.k]
+}
+
+// firstVisitsPath appends (vertex, first occupancy time) pairs for the walk
+// starting at `start` with stored path `path` to dst and returns it: time 0
+// at the start vertex, time t+1 at path entry t, stopping at death. Pairs
+// are appended in occupancy order, so times are strictly increasing. The
+// list is at most K+1 long and K is small, so the linear dedup scan beats a
+// map by a wide margin.
+func firstVisitsPath(start int32, path []int32, dst []visitPair) []visitPair {
+	dst = append(dst, visitPair{x: start, time: 0})
 	for t, p := range path {
 		if p < 0 {
 			break
@@ -181,14 +214,21 @@ func (ix *Index) Update(g *graph.Graph, dirty []int, workers int) (int, error) {
 	if err := ix.PrepareUpdate(workers); err != nil {
 		return 0, err
 	}
+	return repairStore(g, ix.store(), dirty, workers), nil
+}
 
+// repairStore recomputes the suffixes of stored walks that occupy a dirty
+// vertex before the horizon and patches the visit index, returning the
+// number of walks repaired. The caller validates dirty and has built
+// st.visits.
+func repairStore(g *graph.Graph, st pathStore, dirty []int, workers int) int {
 	// A walk is affected iff it occupies some dirty vertex at a time from
 	// which a further move is made, i.e. before the horizon; repair starts
 	// at the earliest such occupancy.
 	firstDirty := make(map[int32]uint16)
 	for _, d := range dirty {
-		for _, p := range ix.visits[d] {
-			if int(p.time) >= ix.k {
+		for _, p := range st.visits[d] {
+			if int(p.time) >= st.k {
 				continue // occupied only at the final position: no move follows
 			}
 			if cur, ok := firstDirty[p.walk]; !ok || p.time < cur {
@@ -197,7 +237,7 @@ func (ix *Index) Update(g *graph.Graph, dirty []int, workers int) (int, error) {
 		}
 	}
 	if len(firstDirty) == 0 {
-		return 0, nil
+		return 0
 	}
 	walks := make([]int32, 0, len(firstDirty))
 	for w := range firstDirty {
@@ -207,39 +247,29 @@ func (ix *Index) Update(g *graph.Graph, dirty []int, workers int) (int, error) {
 
 	// Phase 1 (parallel over affected walks, disjoint path rows): recompute
 	// each walk's suffix on the new graph and collect posting diffs.
-	hseed := splitmix64(uint64(ix.seed))
+	hseed := splitmix64(uint64(st.seed))
 	parts := par.ResolveMax(workers, len(walks))
 	removals := make([][]rawVisit, parts) // stale postings (time ignored)
 	additions := make([][]rawVisit, parts)
 	par.Do(parts, func(w int) {
 		lo, hi := par.Range(len(walks), parts, w)
-		oldFV := make([]visitPair, 0, ix.k+1)
-		newFV := make([]visitPair, 0, ix.k+1)
+		oldFV := make([]visitPair, 0, st.k+1)
+		newFV := make([]visitPair, 0, st.k+1)
 		for _, walk := range walks[lo:hi] {
-			v, fp := int(walk)/ix.r, int(walk)%ix.r
-			oldFV = ix.firstVisits(v, fp, oldFV[:0])
+			v, fp := st.base+int(walk)/st.r, int(walk)%st.r
+			row := st.pathRow(walk)
+			oldFV = firstVisitsPath(int32(v), row, oldFV[:0])
 
 			// Replay from the first dirty occupancy; the prefix is valid
 			// for the new graph because it never stands on a dirty vertex.
 			tau := int(firstDirty[walk])
-			off := int(walk) * ix.k
 			p := v
 			if tau > 0 {
-				p = int(ix.paths[off+tau-1])
+				p = int(row[tau-1])
 			}
-			for t := tau; t < ix.k; t++ {
-				in := g.In(p)
-				if len(in) == 0 {
-					for ; t < ix.k; t++ {
-						ix.paths[off+t] = -1
-					}
-					break
-				}
-				p = in[edgeChoice(hseed, fp, t, p, len(in))]
-				ix.paths[off+t] = int32(p)
-			}
+			walkFrom(g, hseed, fp, tau, p, row)
 
-			newFV = ix.firstVisits(v, fp, newFV[:0])
+			newFV = firstVisitsPath(int32(v), row, newFV[:0])
 			// The visit lists are short (≤ K+1), so the O(K²) nested
 			// membership scans stay cheaper than building maps.
 			for _, o := range oldFV {
@@ -269,20 +299,20 @@ func (ix *Index) Update(g *graph.Graph, dirty []int, workers int) (int, error) {
 	}
 	for x, stale := range rmByVertex {
 		sort.Slice(stale, func(i, j int) bool { return stale[i] < stale[j] })
-		keep := ix.visits[x][:0]
-		for _, p := range ix.visits[x] {
+		keep := st.visits[x][:0]
+		for _, p := range st.visits[x] {
 			i := sort.Search(len(stale), func(i int) bool { return stale[i] >= p.walk })
 			if i < len(stale) && stale[i] == p.walk {
 				continue
 			}
 			keep = append(keep, p)
 		}
-		ix.visits[x] = keep
+		st.visits[x] = keep
 	}
 	for _, buf := range additions {
 		for _, rv := range buf {
-			ix.visits[rv.x] = append(ix.visits[rv.x], rv.p)
+			st.visits[rv.x] = append(st.visits[rv.x], rv.p)
 		}
 	}
-	return len(walks), nil
+	return len(walks)
 }

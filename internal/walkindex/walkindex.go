@@ -83,16 +83,19 @@ type Index struct {
 	visits [][]visitPosting
 }
 
-// Build constructs the walk index for g.
-func Build(g *graph.Graph, opt Options) (*Index, error) {
+// resolve normalizes Options in place: defaults filled, the horizon
+// derived from Eps when K is zero, bounds validated. Build and BuildShard
+// share it so a shard set and a full index resolve identical parameters
+// from identical flags.
+func (opt *Options) resolve() error {
 	if opt.C == 0 {
 		opt.C = 0.6
 	}
 	if !(opt.C > 0 && opt.C < 1) {
-		return nil, fmt.Errorf("walkindex: damping factor %v outside (0,1)", opt.C)
+		return fmt.Errorf("walkindex: damping factor %v outside (0,1)", opt.C)
 	}
 	if opt.K < 0 || opt.Walks < 0 {
-		return nil, fmt.Errorf("walkindex: negative K or Walks")
+		return fmt.Errorf("walkindex: negative K or Walks")
 	}
 	if opt.K == 0 {
 		eps := opt.Eps
@@ -100,7 +103,7 @@ func Build(g *graph.Graph, opt Options) (*Index, error) {
 			eps = 1e-3
 		}
 		if !(eps > 0 && eps < 1) {
-			return nil, fmt.Errorf("walkindex: accuracy eps %v outside (0,1)", eps)
+			return fmt.Errorf("walkindex: accuracy eps %v outside (0,1)", eps)
 		}
 		opt.K = int(math.Ceil(math.Log(eps)/math.Log(opt.C) - 1))
 		if opt.K < 1 {
@@ -113,7 +116,15 @@ func Build(g *graph.Graph, opt Options) (*Index, error) {
 	// edgeChoice packs fp and t into 16-bit fields; beyond that, distinct
 	// (fingerprint, step) pairs would alias and correlate the walks.
 	if opt.K > 0xFFFF || opt.Walks > 0xFFFF {
-		return nil, fmt.Errorf("walkindex: K = %d and Walks = %d must each be <= %d", opt.K, opt.Walks, 0xFFFF)
+		return fmt.Errorf("walkindex: K = %d and Walks = %d must each be <= %d", opt.K, opt.Walks, 0xFFFF)
+	}
+	return nil
+}
+
+// Build constructs the walk index for g.
+func Build(g *graph.Graph, opt Options) (*Index, error) {
+	if err := opt.resolve(); err != nil {
+		return nil, err
 	}
 
 	n := g.NumVertices()
@@ -134,23 +145,32 @@ func Build(g *graph.Graph, opt Options) (*Index, error) {
 		for v := lo; v < hi; v++ {
 			base := v * ix.r * ix.k
 			for fp := 0; fp < ix.r; fp++ {
-				off := base + fp*ix.k
-				p := v
-				for t := 0; t < ix.k; t++ {
-					in := g.In(p)
-					if len(in) == 0 {
-						for ; t < ix.k; t++ {
-							ix.paths[off+t] = -1
-						}
-						break
-					}
-					p = in[edgeChoice(hseed, fp, t, p, len(in))]
-					ix.paths[off+t] = int32(p)
-				}
+				walkFrom(g, hseed, fp, 0, v, ix.paths[base+fp*ix.k:base+(fp+1)*ix.k])
 			}
 		}
 	})
 	return ix, nil
+}
+
+// walkFrom fills path[tau:] with the coupled reverse walk of fingerprint fp
+// standing on vertex p before step tau (tau 0 with p = start vertex is a
+// whole walk; Update's suffix repair passes the first dirty occupancy). A
+// prefix slice (len(path) < K) yields exactly the first len(path) entries
+// of the full walk, because each step depends only on the previous
+// position — shards exploit this to recompute foreign walks on demand,
+// bit-identically to what a full Build would have stored.
+func walkFrom(g *graph.Graph, hseed uint64, fp, tau, p int, path []int32) {
+	for t := tau; t < len(path); t++ {
+		in := g.In(p)
+		if len(in) == 0 {
+			for ; t < len(path); t++ {
+				path[t] = -1
+			}
+			return
+		}
+		p = in[edgeChoice(hseed, fp, t, p, len(in))]
+		path[t] = int32(p)
+	}
 }
 
 func (ix *Index) initPow() {
@@ -258,21 +278,29 @@ func (ix *Index) Pair(a, b int) float64 {
 	}
 	ap := ix.paths[a*ix.r*ix.k : (a+1)*ix.r*ix.k]
 	bp := ix.paths[b*ix.r*ix.k : (b+1)*ix.r*ix.k]
+	return pairFromRows(ap, bp, ix.pow, ix.k, ix.r)
+}
+
+// pairFromRows runs the first-meeting accumulation over two walk blocks
+// (r*k entries each, walk-major). Index.Pair and ShardIndex scoring both
+// go through it, so a shard scoring a pair from recomputed rows produces
+// the unsharded estimate bit for bit.
+func pairFromRows(ap, bp []int32, pow []float64, k, r int) float64 {
 	var s float64
-	for fp := 0; fp < ix.r; fp++ {
-		off := fp * ix.k
-		for t := 0; t < ix.k; t++ {
+	for fp := 0; fp < r; fp++ {
+		off := fp * k
+		for t := 0; t < k; t++ {
 			pa, pb := ap[off+t], bp[off+t]
 			if pa < 0 || pb < 0 {
 				break
 			}
 			if pa == pb {
-				s += ix.pow[t]
+				s += pow[t]
 				break
 			}
 		}
 	}
-	return s * (1 / float64(ix.r))
+	return s * (1 / float64(r))
 }
 
 // Equal reports whether two indexes hold identical parameters and paths

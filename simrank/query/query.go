@@ -5,11 +5,11 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 	"sort"
 	"sync/atomic"
 
 	"oipsr/graph"
+	"oipsr/internal/atomicio"
 	"oipsr/internal/par"
 	"oipsr/internal/walkindex"
 )
@@ -306,7 +306,13 @@ func (ix *Index) TopKFromScores(ctx context.Context, scores []float64, q, k int,
 // exported so servers can estimate rerank cost (deadline-aware degradation
 // multiplies it by a measured per-candidate cost).
 func (ix *Index) RerankPoolSize(k, candidates int) int {
-	n := ix.wi.N()
+	return RerankPool(ix.wi.N(), k, candidates)
+}
+
+// RerankPool is RerankPoolSize as a free function over the vertex count,
+// for callers (the scatter/gather router) that size rerank work without
+// holding an Index.
+func RerankPool(n, k, candidates int) int {
 	if k > n-1 {
 		k = n - 1
 	}
@@ -329,7 +335,27 @@ func (ix *Index) RerankPoolSize(k, candidates int) int {
 // between candidates (each exact pair score is expensive enough to check
 // every time) and abandons the call with the context's error.
 func (ix *Index) rankFromScores(ctx context.Context, scores []float64, q, k int, opt *TopKOptions) ([]Ranked, error) {
-	n := ix.wi.N()
+	return RankScores(ctx, ix.g, ix.wi.C(), ix.wi.Horizon(), scores, q, k, opt)
+}
+
+// RankScores finishes a top-k query from a dense score row without an
+// Index: candidate selection by estimated score, then the optional exact
+// rerank against g with damping factor c and horizon K. It is the exact
+// code path TopK ends in, exported for the scatter/gather router, which
+// assembles the dense row from per-shard partials and must rank it — and
+// rerank the globally merged candidate pool in ONE place, because the
+// exact scorer's memoization is accuracy-preserving but not bit-stable
+// across visiting orders, so reranking per shard and merging would not
+// reproduce the single-node scores.
+//
+// Callers validate q/k (k already clamped to at most n-1) and, when
+// opt.Rerank is set, pass the non-nil graph the scores were computed
+// against. The only error source is ctx cancellation.
+func RankScores(ctx context.Context, g *graph.Graph, c float64, horizon int, scores []float64, q, k int, opt *TopKOptions) ([]Ranked, error) {
+	n := len(scores)
+	if opt == nil {
+		opt = &TopKOptions{}
+	}
 	pool := k
 	if opt.Rerank {
 		pool = opt.Candidates
@@ -352,7 +378,7 @@ func (ix *Index) rankFromScores(ctx context.Context, scores []float64, q, k int,
 		// sharing one scorer across a batch could (harmlessly but
 		// detectably) perturb scores. Independent memos keep the batch
 		// bit-identical to independent TopK calls.
-		ex := newExactScorer(ix.g, ix.wi.C(), ix.wi.Horizon(), pruneEps)
+		ex := newExactScorer(g, c, horizon, pruneEps)
 		check := par.NewCancelChecker(ctx, 1)
 		for i := range cands {
 			if err := check.Stop(); err != nil {
@@ -425,37 +451,7 @@ func Load(r io.Reader) (*Index, error) {
 // any point leaves either the old file or the complete new one — never a
 // truncated or empty index.
 func (ix *Index) SaveFile(path string) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".walkindex-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if err := ix.Save(tmp); err != nil {
-		tmp.Close()
-		return err
-	}
-	// The data must be on stable storage before the rename publishes the
-	// name, or a crash could expose an empty/partial file at path.
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return err
-	}
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	if err := d.Sync(); err != nil {
-		d.Close()
-		return err
-	}
-	return d.Close()
+	return atomicio.WriteFile(path, ix.Save)
 }
 
 // LoadFile reads an index from path.

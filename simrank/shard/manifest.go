@@ -1,0 +1,255 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"oipsr/graph"
+	"oipsr/internal/atomicio"
+	"oipsr/internal/walkindex"
+	"oipsr/simrank/query"
+)
+
+// The shard manifest binds a shard directory together: which files cover
+// which vertex ranges, under which build parameters, with which checksums.
+// It is the unit of deployment consistency — a shard fleet whose members
+// loaded from one manifest is guaranteed to be an exact partition of one
+// single-node index, because the manifest pins (n, c, k, walks, seed) and
+// the per-file CRCs pin the bytes.
+//
+// On disk the manifest is two lines: a JSON document, then
+// "crc32 <8 hex digits>" over the JSON bytes — the same
+// corruption-detection stance as the binary index formats, kept
+// line-oriented so operators can still read and diff it. Both the manifest
+// and every shard file are published with the fsync-then-rename idiom
+// (oipsr/internal/atomicio), so a crashed build never leaves a torn
+// directory, only a missing one.
+
+// ManifestVersion is the current manifest format revision.
+const ManifestVersion = 1
+
+// ManifestName is the manifest's filename inside a shard directory.
+const ManifestName = "manifest.json"
+
+// Sentinel errors returned by LoadManifest / OpenShard.
+var (
+	ErrManifestCorrupt = errors.New("shard: manifest checksum mismatch (corrupted manifest)")
+	ErrManifestVersion = errors.New("shard: unsupported manifest version")
+	ErrShardChecksum   = errors.New("shard: shard file does not match its manifest checksum")
+)
+
+// FileInfo describes one shard file of a manifest.
+type FileInfo struct {
+	Range
+	File string `json:"file"`
+	// CRC32 is 8 hex digits of the CRC-32 (IEEE) over the file EXCLUDING
+	// its own 4-byte trailer — i.e. the same value the trailer stores.
+	// Hashing the whole file would be useless for binding files to ranges:
+	// CRC-32's residue property makes every message-plus-its-own-CRC hash
+	// to the constant 0x2144df1c, so all valid shard files would share one
+	// "checksum" and a swapped file would sail through.
+	CRC32 string `json:"crc32"`
+	Bytes int64  `json:"bytes"`
+}
+
+// Manifest describes a complete shard directory.
+type Manifest struct {
+	Version int        `json:"version"`
+	N       int        `json:"n"`
+	C       float64    `json:"c"`
+	K       int        `json:"k"`
+	Walks   int        `json:"walks"`
+	Seed    int64      `json:"seed"`
+	Shards  []FileInfo `json:"shards"`
+}
+
+// BuildAll plans a `shards`-way partition of g, builds every shard index,
+// and publishes them to dir (created if missing) with a sealed manifest.
+// Every file lands via write-temp/fsync/rename, the manifest last, so a
+// reader that finds a manifest finds every file it names, complete. The
+// shard rows are collectively bit-identical to query.BuildIndex(g, opt).
+func BuildAll(g *graph.Graph, opt query.Options, dir string, shards int) (*Manifest, error) {
+	plan, err := Plan(g.NumVertices(), shards)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	m := &Manifest{Version: ManifestVersion, N: g.NumVertices()}
+	for i, r := range plan {
+		s, err := Build(g, opt, r.Lo, r.Hi)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			// The resolved parameters (defaults filled, K derived from Eps)
+			// come from the built shard, so the manifest records what was
+			// actually built, not the possibly-zero request.
+			m.C, m.K, m.Walks, m.Seed = s.C(), s.Horizon(), s.Walks(), s.Seed()
+		}
+		name := fmt.Sprintf("shard-%04d.srwk", i)
+		tw := &trailerCRCWriter{crc: crc32.NewIEEE()}
+		var size int64
+		err = atomicio.WriteFile(filepath.Join(dir, name), func(w io.Writer) error {
+			cw := &countingWriter{w: io.MultiWriter(w, tw)}
+			if err := s.sx.Save(cw); err != nil {
+				return err
+			}
+			size = cw.n
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		m.Shards = append(m.Shards, FileInfo{
+			Range: r,
+			File:  name,
+			CRC32: fmt.Sprintf("%08x", tw.crc.Sum32()),
+			Bytes: size,
+		})
+	}
+	if err := WriteManifest(dir, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// trailerCRCWriter hashes everything written to it EXCEPT the last four
+// bytes, by lagging a 4-byte tail behind the hash — the streaming way to
+// compute "CRC of the file minus its trailer" without buffering the file.
+type trailerCRCWriter struct {
+	crc  hash.Hash32
+	tail [4]byte
+	have int
+}
+
+func (tw *trailerCRCWriter) Write(p []byte) (int, error) {
+	n := len(p)
+	if tw.have+n <= 4 {
+		copy(tw.tail[tw.have:], p)
+		tw.have += n
+		return n, nil
+	}
+	// Flush all but the final 4 bytes of (tail ++ p) into the hash.
+	excess := tw.have + n - 4
+	if excess >= tw.have {
+		tw.crc.Write(tw.tail[:tw.have])
+		tw.crc.Write(p[:excess-tw.have])
+		copy(tw.tail[:], p[len(p)-4:])
+	} else {
+		tw.crc.Write(tw.tail[:excess])
+		copy(tw.tail[:], tw.tail[excess:tw.have])
+		copy(tw.tail[tw.have-excess:], p)
+	}
+	tw.have = 4
+	return n, nil
+}
+
+// WriteManifest seals and atomically publishes m as dir/ManifestName.
+func WriteManifest(dir string, m *Manifest) error {
+	doc, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	return atomicio.WriteFile(filepath.Join(dir, ManifestName), func(w io.Writer) error {
+		_, err := fmt.Fprintf(w, "%s\ncrc32 %08x\n", doc, crc32.ChecksumIEEE(doc))
+		return err
+	})
+}
+
+// LoadManifest reads and verifies dir/ManifestName: the checksum line must
+// match the document, the version must be this build's, and the shard
+// ranges must form a contiguous partition of [0, n).
+func LoadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, err
+	}
+	doc, tail, ok := bytes.Cut(data, []byte{'\n'})
+	if !ok {
+		return nil, fmt.Errorf("%w: missing checksum line", ErrManifestCorrupt)
+	}
+	var stored uint32
+	if _, err := fmt.Sscanf(string(bytes.TrimSpace(tail)), "crc32 %08x", &stored); err != nil {
+		return nil, fmt.Errorf("%w: malformed checksum line", ErrManifestCorrupt)
+	}
+	if got := crc32.ChecksumIEEE(doc); got != stored {
+		return nil, fmt.Errorf("%w: stored %08x, computed %08x", ErrManifestCorrupt, stored, got)
+	}
+	var m Manifest
+	if err := json.Unmarshal(doc, &m); err != nil {
+		return nil, fmt.Errorf("shard: parsing manifest: %w", err)
+	}
+	if m.Version != ManifestVersion {
+		return nil, fmt.Errorf("%w: manifest has version %d, this build reads version %d", ErrManifestVersion, m.Version, ManifestVersion)
+	}
+	if m.N < 0 || m.K < 1 || m.Walks < 1 || !(m.C > 0 && m.C < 1) {
+		return nil, fmt.Errorf("shard: invalid manifest parameters (n=%d, k=%d, walks=%d, c=%v)", m.N, m.K, m.Walks, m.C)
+	}
+	next := 0
+	for i, fi := range m.Shards {
+		if fi.Lo != next || fi.Hi < fi.Lo {
+			return nil, fmt.Errorf("shard: manifest shard %d range [%d,%d) breaks the partition at %d", i, fi.Lo, fi.Hi, next)
+		}
+		if fi.File == "" || fi.File != filepath.Base(fi.File) {
+			return nil, fmt.Errorf("shard: manifest shard %d has invalid file name %q", i, fi.File)
+		}
+		next = fi.Hi
+	}
+	if next != m.N {
+		return nil, fmt.Errorf("shard: manifest shards cover [0,%d) of [0,%d)", next, m.N)
+	}
+	return &m, nil
+}
+
+// OpenShard loads shard i of a manifest from dir, verifying the file
+// against the manifest's checksum and the loaded parameters against the
+// manifest's before trusting it. The returned shard has no graph attached;
+// call AttachGraph before serving.
+func OpenShard(dir string, m *Manifest, i int) (*Shard, error) {
+	if i < 0 || i >= len(m.Shards) {
+		return nil, fmt.Errorf("shard: shard ordinal %d outside [0,%d)", i, len(m.Shards))
+	}
+	fi := m.Shards[i]
+	// Whole-file read: the CRC must cover exactly the file's bytes, and the
+	// shard is about to occupy memory of the same order anyway.
+	data, err := os.ReadFile(filepath.Join(dir, fi.File))
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 4 {
+		return nil, fmt.Errorf("%w: %s is %d bytes", ErrShardChecksum, fi.File, len(data))
+	}
+	if got := fmt.Sprintf("%08x", crc32.ChecksumIEEE(data[:len(data)-4])); got != fi.CRC32 {
+		return nil, fmt.Errorf("%w: %s has crc %s, manifest says %s", ErrShardChecksum, fi.File, got, fi.CRC32)
+	}
+	sx, err := walkindex.LoadShard(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	if sx.N() != m.N || sx.Lo() != fi.Lo || sx.Hi() != fi.Hi ||
+		sx.C() != m.C || sx.Horizon() != m.K || sx.Walks() != m.Walks || sx.Seed() != m.Seed {
+		return nil, fmt.Errorf("shard: %s does not match its manifest entry (n=%d [%d,%d) c=%v k=%d r=%d seed=%d)",
+			fi.File, sx.N(), sx.Lo(), sx.Hi(), sx.C(), sx.Horizon(), sx.Walks(), sx.Seed())
+	}
+	return &Shard{sx: sx}, nil
+}

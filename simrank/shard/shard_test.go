@@ -1,0 +1,264 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"oipsr/graph"
+	"oipsr/graph/gen"
+	"oipsr/simrank/query"
+)
+
+func TestPlanPartition(t *testing.T) {
+	for _, tc := range []struct{ n, shards int }{
+		{0, 1}, {1, 1}, {10, 1}, {10, 3}, {10, 10}, {7, 16}, {101, 4},
+	} {
+		plan, err := Plan(tc.n, tc.shards)
+		if err != nil {
+			t.Fatalf("Plan(%d,%d): %v", tc.n, tc.shards, err)
+		}
+		if len(plan) != tc.shards {
+			t.Fatalf("Plan(%d,%d): %d ranges", tc.n, tc.shards, len(plan))
+		}
+		next, minW, maxW := 0, tc.n, 0
+		for _, r := range plan {
+			if r.Lo != next || r.Hi < r.Lo {
+				t.Fatalf("Plan(%d,%d): range %+v breaks partition at %d", tc.n, tc.shards, r, next)
+			}
+			w := r.Hi - r.Lo
+			minW, maxW = min(minW, w), max(maxW, w)
+			next = r.Hi
+		}
+		if next != tc.n {
+			t.Fatalf("Plan(%d,%d): covers [0,%d)", tc.n, tc.shards, next)
+		}
+		if maxW-minW > 1 {
+			t.Fatalf("Plan(%d,%d): unbalanced widths [%d,%d]", tc.n, tc.shards, minW, maxW)
+		}
+	}
+	if _, err := Plan(10, 0); err == nil {
+		t.Error("Plan with 0 shards: expected error")
+	}
+	if _, err := Plan(-1, 2); err == nil {
+		t.Error("Plan with negative n: expected error")
+	}
+}
+
+// TestBuildAllRoundTrip: BuildAll publishes a loadable directory whose
+// shards, opened through the manifest, answer partial queries that
+// concatenate into the single-node dense rows bitwise.
+func TestBuildAllRoundTrip(t *testing.T) {
+	g := gen.WebGraph(57, 6, 2)
+	opt := query.Options{Walks: 18, Seed: 7, Workers: 1}
+	dir := t.TempDir()
+	m, err := BuildAll(g, opt, dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Shards) != 3 || m.N != 57 || m.Walks != 18 || m.Seed != 7 {
+		t.Fatalf("manifest: %+v", m)
+	}
+	if m.C != 0.6 || m.K < 1 {
+		t.Fatalf("manifest did not record resolved defaults: c=%v k=%d", m.C, m.K)
+	}
+
+	loaded, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := query.BuildIndex(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := []int{0, 31, 56}
+	ctx := context.Background()
+
+	var got [][]float64
+	for i := range loaded.Shards {
+		s, err := OpenShard(dir, loaded, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.PartialScores(ctx, sources, 1); err == nil {
+			t.Fatal("PartialScores without a graph: expected error")
+		}
+		if err := s.AttachGraph(g); err != nil {
+			t.Fatal(err)
+		}
+		rows, err := s.PartialScores(ctx, sources, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == nil {
+			got = make([][]float64, len(sources))
+		}
+		for si := range rows {
+			got[si] = append(got[si], rows[si]...)
+		}
+	}
+	for si, q := range sources {
+		want, err := full.SingleSource(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range want {
+			if got[si][v] != want[v] {
+				t.Fatalf("source %d target %d: sharded %v != full %v", q, v, got[si][v], want[v])
+			}
+		}
+	}
+}
+
+// TestManifestCorruptionDetection: every tamper mode is caught before a
+// wrong answer can be served.
+func TestManifestCorruptionDetection(t *testing.T) {
+	g := gen.WebGraph(30, 4, 5)
+	dir := t.TempDir()
+	m, err := BuildAll(g, query.Options{Walks: 8, Seed: 1}, dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mpath := filepath.Join(dir, ManifestName)
+	orig, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a byte inside the JSON document.
+	bad := append([]byte(nil), orig...)
+	bad[10] ^= 1
+	if err := os.WriteFile(mpath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadManifest(dir); !errors.Is(err, ErrManifestCorrupt) {
+		t.Fatalf("tampered manifest: got %v, want ErrManifestCorrupt", err)
+	}
+	if err := os.WriteFile(mpath, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a byte inside a shard file: OpenShard must refuse before
+	// walkindex even parses it.
+	spath := filepath.Join(dir, m.Shards[1].File)
+	sdata, err := os.ReadFile(spath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sbad := append([]byte(nil), sdata...)
+	sbad[len(sbad)/2] ^= 0x10
+	if err := os.WriteFile(spath, sbad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenShard(dir, m, 1); !errors.Is(err, ErrShardChecksum) {
+		t.Fatalf("tampered shard file: got %v, want ErrShardChecksum", err)
+	}
+
+	// Swapping two shard files is also a checksum mismatch (the manifest
+	// binds file names to ranges).
+	if err := os.WriteFile(spath, sdata, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d0, err := os.ReadFile(filepath.Join(dir, m.Shards[0].File))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(spath, d0, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenShard(dir, m, 1); !errors.Is(err, ErrShardChecksum) {
+		t.Fatalf("swapped shard files: got %v, want ErrShardChecksum", err)
+	}
+}
+
+// TestShardApplyEditsParity: after identical edit batches, a shard fleet
+// remains an exact partition of the single-node index — same scores, same
+// generations.
+func TestShardApplyEditsParity(t *testing.T) {
+	g := gen.CitationGraph(40, 4, 3)
+	opt := query.Options{Walks: 12, Seed: 9, Workers: 1}
+	full, err := query.BuildIndex(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Plan(40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := make([]*Shard, len(plan))
+	for i, r := range plan {
+		if shards[i], err = Build(g, opt, r.Lo, r.Hi); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctx := context.Background()
+	batches := [][]graph.Edit{
+		{{Op: graph.EditAdd, U: 1, V: 39}, {Op: graph.EditAdd, U: 20, V: 0}},
+		{{Op: graph.EditRemove, U: 1, V: 39}},
+		{{Op: graph.EditAdd, U: 1, V: 39}}, // already removed-re-added churn
+	}
+	for bi, edits := range batches {
+		fullStats, err := full.ApplyEdits(edits, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range shards {
+			stats, err := s.ApplyEdits(edits, 1+i%2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Generation != fullStats.Generation {
+				t.Fatalf("batch %d shard %d: generation %d != full %d", bi, i, stats.Generation, fullStats.Generation)
+			}
+		}
+		q := (bi * 13) % 40
+		want, err := full.SingleSource(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []float64
+		for _, s := range shards {
+			rows, err := s.PartialScores(ctx, []int{q}, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, rows[0]...)
+		}
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("batch %d source %d target %d: sharded %v != full %v", bi, q, v, got[v], want[v])
+			}
+		}
+	}
+
+	// A pure no-op batch keeps every generation (and with it every cached
+	// response downstream).
+	gen0 := shards[0].Generation()
+	stats, err := shards[0].ApplyEdits([]graph.Edit{{Op: graph.EditAdd, U: 1, V: 39}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Generation != gen0 || shards[0].Generation() != gen0 {
+		t.Fatalf("no-op batch bumped generation %d -> %d", gen0, stats.Generation)
+	}
+}
+
+// TestShardValidation: out-of-range sources and pairs are rejected.
+func TestShardValidation(t *testing.T) {
+	g := gen.WebGraph(20, 4, 1)
+	s, err := Build(g, query.Options{Walks: 6}, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := s.PartialScores(ctx, []int{20}, 1); err == nil {
+		t.Error("out-of-range source: expected error")
+	}
+	if _, err := s.ScorePairs(ctx, []uint64{uint64(3)<<32 | 25}, 1); err == nil {
+		t.Error("out-of-range pair: expected error")
+	}
+}
