@@ -1,0 +1,112 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"oipsr/graph/gen"
+	"oipsr/internal/naive"
+	"oipsr/simrank/query"
+)
+
+// runEnginesWorkload compares the two single-source engine families behind
+// the serving seam: the walk index (Monte-Carlo estimates, the ?engine=walk
+// default) and the linearized solver (?engine=linearized, exact up to the
+// series truncation). For each graph size it reports build cost, max
+// absolute error against a deeply converged naive iteration, and p50/p99
+// single-source latency — the accuracy/latency trade the engine parameter
+// lets clients make per request.
+func runEnginesWorkload(cfg config) {
+	header("Engine families: walk estimates vs linearized exact", "?engine= trade-off")
+
+	const (
+		walks   = 200
+		refIter = 60 // naive reference horizon: C^60 ~ 5e-14, far below the 1e-8 gate
+		queries = 32
+	)
+	sizes := []int{150, 300, 600, 1200}
+
+	fmt.Printf("walks per vertex R=%d, reference=naive K=%d, workers=%d\n\n", walks, refIter, benchWorkers)
+	fmt.Printf("%7s | %9s %9s | %9s %9s %9s | %9s %9s %9s\n",
+		"n", "idx build", "solve", "walk err", "w p50", "w p99", "lin err", "l p50", "l p99")
+
+	for _, size := range sizes {
+		n := size / cfg.scale
+		if n < 50 {
+			n = 50
+		}
+		g := gen.WebGraph(n, 8, cfg.seed)
+
+		t0 := time.Now()
+		idx, err := query.BuildIndex(g, query.Options{Walks: walks, Seed: cfg.seed, Workers: benchWorkers})
+		must(err)
+		buildTime := time.Since(t0)
+
+		t0 = time.Now()
+		must(idx.PrepareExact(context.Background(), benchWorkers))
+		solveTime := time.Since(t0)
+		st, _ := idx.ExactStats()
+
+		ref, err := naive.ComputeWorkers(g, idx.C(), refIter, benchWorkers)
+		must(err)
+
+		qs := queryVertices(n, queries)
+		buf := make([]float64, n)
+		var walkErr, linErr float64
+		for _, q := range qs {
+			row, err := idx.SingleSource(context.Background(), q)
+			must(err)
+			walkErr = math.Max(walkErr, maxAbsDiff(row, ref.Row(q)))
+			exact, err := idx.ExactSingleSource(context.Background(), q, buf)
+			must(err)
+			linErr = math.Max(linErr, maxAbsDiff(exact, ref.Row(q)))
+		}
+
+		wP50, wP99 := latencies(qs, func(q int) {
+			_, err := idx.SingleSource(context.Background(), q)
+			must(err)
+		})
+		lP50, lP99 := latencies(qs, func(q int) {
+			_, err := idx.ExactSingleSource(context.Background(), q, buf)
+			must(err)
+		})
+
+		emitJSON("engines", map[string]any{
+			"n":             n,
+			"m":             g.NumEdges(),
+			"walks":         walks,
+			"horizon":       idx.Horizon(),
+			"build_seconds": seconds(buildTime),
+			"solve_seconds": seconds(solveTime),
+			"solve_sweeps":  st.SolveIters,
+			"residual":      st.Residual,
+			"walk_err_max":  walkErr,
+			"lin_err_max":   linErr,
+			"walk_p50":      seconds(wP50),
+			"walk_p99":      seconds(wP99),
+			"lin_p50":       seconds(lP50),
+			"lin_p99":       seconds(lP99),
+		})
+
+		fmt.Printf("%7d | %9v %9v | %9.2g %9v %9v | %9.2g %9v %9v\n",
+			n, buildTime.Round(time.Millisecond), solveTime.Round(time.Millisecond),
+			walkErr, wP50.Round(time.Microsecond), wP99.Round(time.Microsecond),
+			linErr, lP50.Round(time.Microsecond), lP99.Round(time.Microsecond))
+	}
+	fmt.Println("\n(err = max |s - naive| over the query set; the walk engine trades that")
+	fmt.Println(" error for row lookups, the linearized engine pays a truncated series")
+	fmt.Println(" per query after a one-time diagonal solve.)")
+}
+
+// maxAbsDiff returns max_j |a[j] - b[j]| over the shorter length.
+func maxAbsDiff(a, b []float64) float64 {
+	var m float64
+	for j := range a {
+		if d := math.Abs(a[j] - b[j]); d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -26,12 +26,13 @@
 //	serve             closed-loop load vs admission control (simrankd overload)
 //	memory            tiled engine under a memory cap     (spill-to-disk)
 //	shard             sharded fleet + router vs single node (simrankd -mode router)
+//	engines           walk vs linearized engine accuracy/latency (?engine= seam)
 //	ablate            design-choice ablations             (DESIGN.md)
 //
 // The -scale flag shrinks the workloads (absolute numbers change, shapes do
 // not); -quick is shorthand for a fast smoke run. -workers sets the
 // worker-pool size for the timed experiments (0 = all CPUs). One NDJSON
-// record per measured data point is always written to BENCH_PR7.json in
+// record per measured data point is always written to BENCH_PR8.json in
 // the working directory (the perf trajectory file); -json FILE (or "-" for
 // stdout) tees the same records to a second sink.
 package main
@@ -72,7 +73,7 @@ func main() {
 	args := flag.Args()
 	if len(args) == 0 {
 		flag.Usage()
-		fmt.Fprintln(os.Stderr, "\nrun \"bench all\" or pick experiments: datasets exp1-dblp exp1-web exp1-patent exp1-amortized exp1-density exp2-memory exp3-convergence exp3-bounds exp4-ndcg exp4-topk scaling query updates batch serve memory shard ablate")
+		fmt.Fprintln(os.Stderr, "\nrun \"bench all\" or pick experiments: datasets exp1-dblp exp1-web exp1-patent exp1-amortized exp1-density exp2-memory exp3-convergence exp3-bounds exp4-ndcg exp4-topk scaling query updates batch serve memory shard engines ablate")
 		os.Exit(2)
 	}
 
@@ -95,12 +96,13 @@ func main() {
 		"serve":            runServeWorkload,
 		"memory":           runMemoryWorkload,
 		"shard":            runShardWorkload,
+		"engines":          runEnginesWorkload,
 		"ablate":           runAblations,
 	}
 	order := []string{
 		"datasets", "exp1-dblp", "exp1-web", "exp1-patent", "exp1-amortized",
 		"exp1-density", "exp2-memory", "exp3-convergence", "exp3-bounds",
-		"exp4-ndcg", "exp4-topk", "scaling", "query", "updates", "batch", "serve", "memory", "shard", "ablate",
+		"exp4-ndcg", "exp4-topk", "scaling", "query", "updates", "batch", "serve", "memory", "shard", "engines", "ablate",
 	}
 
 	if len(args) == 1 && args[0] == "all" {

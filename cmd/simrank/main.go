@@ -6,8 +6,9 @@
 //	simrank -gen web -n 20000 -block 2048 -max-mem 2000000000 -query 5 -stats
 //
 // Graphs come either from an edge-list file (-graph) or from a built-in
-// generator (-gen, see cmd/gengraph for the types). Algorithms: oip-sr
-// (default), oip-dsr, psum-sr, naive, mtx-sr.
+// generator (-gen, see cmd/gengraph for the types). The -algo values are
+// the engine registry's names (oipsr/simrank/engine) — oip-sr is the
+// default; run with -algo help to list what this build registers.
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"oipsr/graph/gen"
 	"oipsr/graph/gio"
 	"oipsr/simrank"
+	"oipsr/simrank/engine"
 )
 
 func main() {
@@ -28,7 +30,7 @@ func main() {
 		n         = flag.Int("n", 1000, "generator: vertices")
 		d         = flag.Int("d", 8, "generator: average degree")
 		seed      = flag.Int64("seed", 1, "generator / SVD seed")
-		algo      = flag.String("algo", "oip-sr", "algorithm: oip-sr | oip-dsr | psum-sr | naive | mtx-sr | p-rank | monte-carlo")
+		algo      = flag.String("algo", "oip-sr", "algorithm: "+engine.NameList(" | ")+" (or \"help\" to list)")
 		c         = flag.Float64("c", 0.6, "damping factor C")
 		k         = flag.Int("k", 0, "iterations (0 = derive from -eps)")
 		eps       = flag.Float64("eps", 1e-3, "desired accuracy")
@@ -46,6 +48,17 @@ func main() {
 		stats     = flag.Bool("stats", false, "print run statistics")
 	)
 	flag.Parse()
+
+	// -algo help (and any unregistered name) answers from the registry, the
+	// single source of truth for what this build can compute.
+	if *algo == "help" {
+		fmt.Printf("registered algorithms: %s\n", engine.NameList(", "))
+		return
+	}
+	if !simrank.Algorithm(*algo).Valid() {
+		fmt.Fprintf(os.Stderr, "simrank: unknown algorithm %q (registered: %s)\n", *algo, engine.NameList(", "))
+		os.Exit(2)
+	}
 
 	g, err := loadGraph(*graphPath, *genType, *n, *d, *seed)
 	if err != nil {
@@ -107,6 +120,9 @@ func main() {
 		}
 		if st.Rank > 0 {
 			fmt.Printf("svd rank       %d\n", st.Rank)
+		}
+		if st.Residual > 0 {
+			fmt.Printf("residual       %.3g\n", st.Residual)
 		}
 		if *block > 0 {
 			fmt.Printf("tile peak      %d B (spills %d, loads %d)\n", st.TilePeakBytes, st.TileSpills, st.TileLoads)

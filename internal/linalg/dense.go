@@ -10,7 +10,11 @@
 // straightforwardly and validated against explicit oracles in the tests.
 package linalg
 
-import "fmt"
+import (
+	"fmt"
+
+	"oipsr/internal/par"
+)
 
 // Dense is a dense row-major rows x cols matrix.
 type Dense struct {
@@ -63,24 +67,36 @@ func (m *Dense) T() *Dense {
 }
 
 // Mul returns a*b. Panics on dimension mismatch.
-func Mul(a, b *Dense) *Dense {
+func Mul(a, b *Dense) *Dense { return MulWorkers(a, b, 1) }
+
+// MulWorkers returns a*b with output rows computed in parallel across the
+// given worker-pool size (par.Resolve semantics: < 1 means all CPUs). Each
+// output row depends on one row of a and all of b, both read-only, and the
+// per-row accumulation order is independent of the partition — results are
+// bit-identical to the serial product for every worker count. Panics on
+// dimension mismatch.
+func MulWorkers(a, b *Dense, workers int) *Dense {
 	if a.cols != b.rows {
 		panic(fmt.Sprintf("linalg: Mul dimension mismatch %dx%d * %dx%d", a.rows, a.cols, b.rows, b.cols))
 	}
 	c := NewDense(a.rows, b.cols)
-	for i := 0; i < a.rows; i++ {
-		arow := a.Row(i)
-		crow := c.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				crow[j] += av * bv
+	w := par.ResolveMax(workers, a.rows)
+	par.Do(w, func(id int) {
+		lo, hi := par.Range(a.rows, w, id)
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			crow := c.Row(i)
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
 			}
 		}
-	}
+	})
 	return c
 }
 

@@ -36,6 +36,14 @@ type SVDResult struct {
 // series, whose accuracy is dominated by the rank cutoff rather than the
 // subspace angle), seeded deterministically.
 func TruncatedSVD(op Operator, rank, iters int, seed int64) (*SVDResult, error) {
+	return TruncatedSVDWorkers(op, rank, iters, seed, 1)
+}
+
+// TruncatedSVDWorkers is TruncatedSVD with the dense products computed by a
+// worker pool (par.Resolve semantics). The operator applies run on whatever
+// parallelism op itself implements; results are bit-identical for every
+// worker count.
+func TruncatedSVDWorkers(op Operator, rank, iters int, seed int64, workers int) (*SVDResult, error) {
 	rows, cols := op.Dims()
 	if rank <= 0 || rank > rows || rank > cols {
 		return nil, fmt.Errorf("linalg: rank %d out of range for %dx%d operator", rank, rows, cols)
@@ -64,10 +72,10 @@ func TruncatedSVD(op Operator, rank, iters int, seed int64) (*SVDResult, error) 
 	// Rayleigh-Ritz: T = (A^T X)^T (A^T X) = X^T A A^T X, eigenpairs give
 	// the singular values squared and the rotation aligning X with U.
 	op.ApplyT(x, tmpC) // B = A^T X  (cols x rank), B^T B = T
-	t := Mul(tmpC.T(), tmpC)
+	t := MulWorkers(tmpC.T(), tmpC, workers)
 	w, rot := SymEig(t)
 
-	u := Mul(x, rot)
+	u := MulWorkers(x, rot, workers)
 	sigma := make([]float64, rank)
 	for i, wi := range w {
 		if wi < 0 {
@@ -76,7 +84,7 @@ func TruncatedSVD(op Operator, rank, iters int, seed int64) (*SVDResult, error) 
 		sigma[i] = math.Sqrt(wi)
 	}
 	// V = A^T U diag(1/sigma); zero singular values get zero vectors.
-	btu := Mul(tmpC, rot) // A^T X rot = A^T U
+	btu := MulWorkers(tmpC, rot, workers) // A^T X rot = A^T U
 	v := NewDense(cols, rank)
 	for j := 0; j < rank; j++ {
 		if sigma[j] <= 1e-300 {

@@ -1,0 +1,246 @@
+package linsr
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"oipsr/graph"
+	"oipsr/graph/gen"
+	"oipsr/internal/naive"
+)
+
+const (
+	testC = 0.6
+	// testTol is the solve tolerance for the accuracy tests; the naive
+	// reference below is converged far past it.
+	testTol = 1e-10
+	// refK converges the naive oracle to ~C^refK = 1e-22, so disagreement
+	// measures linsr's error alone.
+	refK = 100
+)
+
+func mustSolver(t *testing.T, g *graph.Graph, opt Options) *Solver {
+	t.Helper()
+	s, err := New(context.Background(), g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func refMatrix(t *testing.T, g *graph.Graph) [][]float64 {
+	t.Helper()
+	m, err := naive.ComputeWorkers(g, testC, refK, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumVertices()
+	rows := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		rows[i] = append([]float64(nil), m.Row(i)...)
+	}
+	return rows
+}
+
+// testGraphs covers the structural edge cases: cycles (the divergence
+// trap for the undamped Richardson solve), DAGs, zero in-degree vertices,
+// self-loops, isolated vertices, and hub overlap.
+func testGraphs(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	mk := func(n int, edges [][2]int) *graph.Graph {
+		g, err := graph.FromEdges(n, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	return map[string]*graph.Graph{
+		"cycle":    mk(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}),
+		"selfloop": mk(3, [][2]int{{0, 0}, {0, 1}, {1, 2}, {2, 0}}),
+		"dag":      mk(6, [][2]int{{0, 2}, {1, 2}, {0, 3}, {1, 3}, {2, 4}, {3, 4}, {3, 5}}),
+		"star":     mk(6, [][2]int{{1, 0}, {2, 0}, {3, 0}, {4, 0}, {5, 0}}),
+		"isolated": mk(4, [][2]int{{0, 1}, {1, 0}}),
+		"web":      gen.WebGraph(60, 5, 3),
+		"coauthor": gen.CoauthorGraph(50, 3, 2),
+	}
+}
+
+// TestSingleSourceMatchesConvergedNaive is the core accuracy gate: the
+// linearization solves the conventional fixed point, so every row must
+// agree with a deeply converged Jeh-Widom iteration.
+func TestSingleSourceMatchesConvergedNaive(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			ref := refMatrix(t, g)
+			s := mustSolver(t, g, Options{C: testC, Tol: testTol})
+			n := g.NumVertices()
+			sc := s.NewScratch()
+			worst := 0.0
+			for q := 0; q < n; q++ {
+				row, err := s.SingleSourceScratch(context.Background(), q, nil, sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for j, v := range row {
+					if d := math.Abs(v - ref[q][j]); d > worst {
+						worst = d
+					}
+				}
+			}
+			if worst > 1e-8 {
+				t.Errorf("max abs error vs converged naive: %g > 1e-8 (residual %g)", worst, s.Stats().Residual)
+			}
+		})
+	}
+}
+
+// TestPairMatchesSingleSource checks the streaming pair path against the
+// full row (exact equality is not required — the two accumulate in a
+// different order — but agreement must be at rounding level).
+func TestPairMatchesSingleSource(t *testing.T) {
+	g := gen.WebGraph(40, 4, 1)
+	s := mustSolver(t, g, Options{C: testC, Tol: testTol})
+	row, err := s.SingleSource(context.Background(), 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []int{0, 3, 7, 19, 39} {
+		got, err := s.Pair(context.Background(), 7, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := row[b]
+		if b == 7 {
+			want = 1 // Pair pins the diagonal by definition
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("Pair(7,%d) = %g, row value %g", b, got, want)
+		}
+	}
+}
+
+// TestSolveDeterministicAcrossWorkers pins the bit-identity discipline:
+// the diagonal solve partitions vertices across workers but each vertex's
+// series is self-contained, so d — and every downstream score — must be
+// bit-identical for every worker count.
+func TestSolveDeterministicAcrossWorkers(t *testing.T) {
+	g := gen.WebGraph(80, 6, 5)
+	base := mustSolver(t, g, Options{C: testC, Tol: testTol, Workers: 1})
+	for _, workers := range []int{2, 3, 7} {
+		s := mustSolver(t, g, Options{C: testC, Tol: testTol, Workers: workers})
+		for i := range base.d {
+			if s.d[i] != base.d[i] {
+				t.Fatalf("workers=%d: d[%d] = %x differs from serial %x", workers, i, s.d[i], base.d[i])
+			}
+		}
+		if s.Stats().SolveIters != base.Stats().SolveIters {
+			t.Fatalf("workers=%d: %d sweeps vs serial %d", workers, s.Stats().SolveIters, base.Stats().SolveIters)
+		}
+	}
+}
+
+// TestPropertyRandomGraphs fuzzes structure: random sparse digraphs must
+// stay within tolerance of the converged oracle and within [0,1].
+func TestPropertyRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(24)
+		maxM := n * n
+		m := rng.Intn(maxM / 2)
+		if m > 4*n {
+			m = 4 * n
+		}
+		edges := make([][2]int, 0, m)
+		for len(edges) < m {
+			edges = append(edges, [2]int{rng.Intn(n), rng.Intn(n)})
+		}
+		g, err := graph.FromEdges(n, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(context.Background(), g, Options{C: testC, Tol: testTol})
+		if err != nil {
+			t.Fatalf("trial %d (n=%d m=%d): %v", trial, n, m, err)
+		}
+		ref := refMatrix(t, g)
+		for q := 0; q < n; q++ {
+			row, err := s.SingleSource(context.Background(), q, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j, v := range row {
+				if d := math.Abs(v - ref[q][j]); d > 1e-8 {
+					t.Fatalf("trial %d (n=%d m=%d): s(%d,%d) = %g vs oracle %g", trial, n, m, q, j, v, ref[q][j])
+				}
+				if v < -1e-9 || v > 1+1e-9 {
+					t.Fatalf("trial %d: s(%d,%d) = %g outside [0,1]", trial, q, j, v)
+				}
+			}
+		}
+	}
+}
+
+// TestCancellation covers both cancellable phases: a pre-cancelled context
+// must abort the diagonal solve, and cancelling between solve steps must
+// abort an in-flight single-source query.
+func TestCancellation(t *testing.T) {
+	g := gen.WebGraph(120, 6, 9)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := New(ctx, g, Options{C: testC, Tol: testTol}); err != context.Canceled {
+		t.Fatalf("New on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+
+	s := mustSolver(t, g, Options{C: testC, Tol: testTol})
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := s.SingleSource(ctx2, 0, nil); err != context.Canceled {
+		t.Fatalf("SingleSource on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, err := s.Pair(ctx2, 0, 1); err != context.Canceled {
+		t.Fatalf("Pair on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestOptionValidation pins the error surface.
+func TestOptionValidation(t *testing.T) {
+	g := gen.WebGraph(10, 3, 1)
+	cases := []Options{
+		{C: 1.5},
+		{C: -0.2},
+		{C: 0.6, Tol: 2},
+		{C: 0.6, T: -1},
+	}
+	for _, opt := range cases {
+		if _, err := New(context.Background(), g, opt); err == nil {
+			t.Errorf("New(%+v): expected error", opt)
+		}
+	}
+	s := mustSolver(t, g, Options{})
+	if _, err := s.SingleSource(context.Background(), -1, nil); err == nil {
+		t.Error("SingleSource(-1): expected error")
+	}
+	if _, err := s.SingleSource(context.Background(), 10, nil); err == nil {
+		t.Error("SingleSource(10): expected error")
+	}
+	if _, err := s.Pair(context.Background(), 0, 10); err == nil {
+		t.Error("Pair(0,10): expected error")
+	}
+}
+
+// TestEmptyGraph: a zero-vertex graph builds a trivial solver.
+func TestEmptyGraph(t *testing.T) {
+	g, err := graph.FromEdges(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mustSolver(t, g, Options{})
+	if s.N() != 0 {
+		t.Fatalf("N() = %d", s.N())
+	}
+	if _, err := s.SingleSource(context.Background(), 0, nil); err == nil {
+		t.Error("SingleSource on empty graph: expected range error")
+	}
+}

@@ -26,6 +26,7 @@ import (
 
 	"oipsr/graph"
 	"oipsr/internal/linalg"
+	"oipsr/internal/par"
 	"oipsr/internal/simmat"
 )
 
@@ -43,6 +44,12 @@ type Options struct {
 	SolveTol float64
 	// Seed seeds the randomized SVD start block.
 	Seed int64
+	// Workers sets the worker-pool size for the dense linear algebra
+	// (operator applies, matmuls, the output materialization): 1 means
+	// serial, anything below 1 means all CPUs. Scores are bit-identical for
+	// every worker count — workers own disjoint output rows and the per-row
+	// arithmetic does not depend on the partition.
+	Workers int
 }
 
 // Stats reports phase times and the memory that makes mtx-SR explode
@@ -56,7 +63,10 @@ type Stats struct {
 	AuxBytes   int64   // U, V, M, W and scratch (excludes the output matrix)
 }
 
-type qOperator struct{ g *graph.Graph }
+type qOperator struct {
+	g       *graph.Graph
+	workers int
+}
 
 func (q qOperator) Dims() (int, int) {
 	n := q.g.NumVertices()
@@ -64,49 +74,59 @@ func (q qOperator) Dims() (int, int) {
 }
 
 // Apply computes dst = Q*x: row i of dst is the average of x's rows over
-// I(i).
+// I(i). Rows are independent, so the worker partition cannot change the
+// result.
 func (q qOperator) Apply(x, dst *linalg.Dense) {
 	n := q.g.NumVertices()
 	k := x.Cols()
-	for i := 0; i < n; i++ {
-		drow := dst.Row(i)
-		for j := 0; j < k; j++ {
-			drow[j] = 0
-		}
-		in := q.g.In(i)
-		if len(in) == 0 {
-			continue
-		}
-		inv := 1 / float64(len(in))
-		for _, u := range in {
-			xrow := x.Row(u)
+	workers := par.ResolveMax(q.workers, n)
+	par.Do(workers, func(w int) {
+		lo, hi := par.Range(n, workers, w)
+		for i := lo; i < hi; i++ {
+			drow := dst.Row(i)
 			for j := 0; j < k; j++ {
-				drow[j] += xrow[j]
+				drow[j] = 0
+			}
+			in := q.g.In(i)
+			if len(in) == 0 {
+				continue
+			}
+			inv := 1 / float64(len(in))
+			for _, u := range in {
+				xrow := x.Row(u)
+				for j := 0; j < k; j++ {
+					drow[j] += xrow[j]
+				}
+			}
+			for j := 0; j < k; j++ {
+				drow[j] *= inv
 			}
 		}
-		for j := 0; j < k; j++ {
-			drow[j] *= inv
-		}
-	}
+	})
 }
 
 // ApplyT computes dst = Q^T*x: dst[j] = sum over i in O(j) of x[i]/|I(i)|.
+// Rows of dst are independent, as in Apply.
 func (q qOperator) ApplyT(x, dst *linalg.Dense) {
 	n := q.g.NumVertices()
 	k := x.Cols()
-	for j := 0; j < n; j++ {
-		drow := dst.Row(j)
-		for c := 0; c < k; c++ {
-			drow[c] = 0
-		}
-		for _, i := range q.g.Out(j) {
-			inv := 1 / float64(q.g.InDegree(i))
-			xrow := x.Row(i)
+	workers := par.ResolveMax(q.workers, n)
+	par.Do(workers, func(w int) {
+		lo, hi := par.Range(n, workers, w)
+		for j := lo; j < hi; j++ {
+			drow := dst.Row(j)
 			for c := 0; c < k; c++ {
-				drow[c] += inv * xrow[c]
+				drow[c] = 0
+			}
+			for _, i := range q.g.Out(j) {
+				inv := 1 / float64(q.g.InDegree(i))
+				xrow := x.Row(i)
+				for c := 0; c < k; c++ {
+					drow[c] += inv * xrow[c]
+				}
 			}
 		}
-	}
+	})
 }
 
 // Compute runs mtx-SR and returns the approximate similarity matrix.
@@ -141,7 +161,7 @@ func Compute(g *graph.Graph, opt Options) (*simmat.Matrix, *Stats, error) {
 	st := &Stats{Rank: opt.Rank}
 
 	t0 := time.Now()
-	svd, err := linalg.TruncatedSVD(qOperator{g}, opt.Rank, opt.PowerIters, opt.Seed)
+	svd, err := linalg.TruncatedSVDWorkers(qOperator{g, opt.Workers}, opt.Rank, opt.PowerIters, opt.Seed, opt.Workers)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -150,7 +170,7 @@ func Compute(g *graph.Graph, opt Options) (*simmat.Matrix, *Stats, error) {
 	r := opt.Rank
 	// W = diag(sigma) V^T U.
 	t1 := time.Now()
-	vtU := linalg.Mul(svd.V.T(), svd.U)
+	vtU := linalg.MulWorkers(svd.V.T(), svd.U, opt.Workers)
 	w := linalg.NewDense(r, r)
 	for i := 0; i < r; i++ {
 		si := svd.Sigma[i]
@@ -178,23 +198,28 @@ func Compute(g *graph.Graph, opt Options) (*simmat.Matrix, *Stats, error) {
 		}
 	}
 
-	// S = (1-C) (I + C U M U^T).
-	um := linalg.Mul(svd.U, m) // n x r
+	// S = (1-C) (I + C U M U^T). The materialization is the n^2 r hot loop;
+	// output rows are disjoint, so it parallelizes bit-identically.
+	um := linalg.MulWorkers(svd.U, m, opt.Workers) // n x r
 	out := simmat.New(n)
 	cf := (1 - opt.C) * opt.C
-	for i := 0; i < n; i++ {
-		umRow := um.Row(i)
-		orow := out.Row(i)
-		for j := 0; j < n; j++ {
-			ujRow := svd.U.Row(j)
-			dot := 0.0
-			for k := 0; k < r; k++ {
-				dot += umRow[k] * ujRow[k]
+	workers := par.ResolveMax(opt.Workers, n)
+	par.Do(workers, func(w int) {
+		lo, hi := par.Range(n, workers, w)
+		for i := lo; i < hi; i++ {
+			umRow := um.Row(i)
+			orow := out.Row(i)
+			for j := 0; j < n; j++ {
+				ujRow := svd.U.Row(j)
+				dot := 0.0
+				for k := 0; k < r; k++ {
+					dot += umRow[k] * ujRow[k]
+				}
+				orow[j] = cf * dot
 			}
-			orow[j] = cf * dot
+			orow[i] += 1 - opt.C
 		}
-		orow[i] += 1 - opt.C
-	}
+	})
 	st.SolveTime = time.Since(t1)
 	st.AuxBytes = svd.U.Bytes() + svd.V.Bytes() + int64(r)*8 +
 		w.Bytes() + m.Bytes() + sigma2.Bytes() + um.Bytes()

@@ -133,3 +133,28 @@ func TestSymmetry(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestParallelEquivalence pins the Workers contract: every stage of the
+// pipeline (operator applies inside the SVD, the dense matmuls, the output
+// materialization) assigns workers disjoint output rows with
+// partition-independent per-row arithmetic, so scores and stats must be
+// bit-identical for every worker count.
+func TestParallelEquivalence(t *testing.T) {
+	g := gen.WebGraph(70, 5, 4)
+	base, baseStats, err := Compute(g, Options{C: 0.6, Rank: 12, Seed: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8} {
+		m, st, err := Compute(g, Options{C: 0.6, Rank: 12, Seed: 3, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if d := simmat.MaxDiff(base, m); d != 0 {
+			t.Fatalf("workers=%d: max diff %g, want bit-identical", workers, d)
+		}
+		if st.SolveIters != baseStats.SolveIters || st.Residual != baseStats.Residual || st.Rank != baseStats.Rank {
+			t.Fatalf("workers=%d: stats %+v differ from serial %+v", workers, st, baseStats)
+		}
+	}
+}

@@ -100,6 +100,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !s.checkMethod(w, r, http.MethodPost) {
 		return
 	}
+	if !s.requireWalkEngine(w, r) {
+		return
+	}
 	var req batchRequest
 	if !s.decodeJSONBody(w, r, &req) {
 		return
@@ -309,6 +312,9 @@ type joinResponse struct {
 func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	s.reqJoin.Add(1)
 	if !s.checkMethod(w, r, http.MethodPost) {
+		return
+	}
+	if !s.requireWalkEngine(w, r) {
 		return
 	}
 	var req joinRequest

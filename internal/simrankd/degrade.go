@@ -2,6 +2,7 @@ package simrankd
 
 import (
 	"context"
+	"sync/atomic"
 	"time"
 )
 
@@ -20,6 +21,12 @@ import (
 // batch chunks both feed it). Before the first completed rerank there is
 // no estimate and nothing degrades — the first request simply tries, and
 // either completes (seeding the model) or times out into a clean 503.
+//
+// ?engine=linearized requests degrade by the same rules through a second
+// EWMA cell: when the remaining deadline cannot afford an exact
+// single-source solve (whole-query cost, observed after every steady-state
+// solve), the request is served the walk estimates instead — marked
+// degraded, never cached — exactly like a rerank the budget cannot afford.
 
 // rerankSafety is the headroom multiplier on the estimated rerank cost: a
 // rerank is only attempted when at least twice its EWMA estimate remains,
@@ -33,39 +40,52 @@ const rerankSafety = 2
 // dozen requests.
 const rerankEWMAWeight = 8
 
+// ewmaObserve folds one observation (nanoseconds) into cell: the first
+// observation seeds the estimate outright, later ones move it by
+// 1/rerankEWMAWeight of the difference.
+func ewmaObserve(cell *atomic.Uint64, obs int64) {
+	if obs < 1 {
+		obs = 1
+	}
+	for {
+		old := cell.Load()
+		if old == 0 {
+			// First observation seeds the estimate outright.
+			if cell.CompareAndSwap(0, uint64(obs)) {
+				return
+			}
+			continue
+		}
+		step := (obs - int64(old)) / rerankEWMAWeight
+		if step == 0 && obs != int64(old) {
+			// Small differences must still move the estimate, or it
+			// freezes near the first observation.
+			if obs > int64(old) {
+				step = 1
+			} else {
+				step = -1
+			}
+		}
+		if cell.CompareAndSwap(old, uint64(int64(old)+step)) {
+			return
+		}
+	}
+}
+
 // observeRerank folds one completed exact rerank of `candidates` pool
 // entries into the per-candidate cost EWMA.
 func (sv *serving) observeRerank(elapsed time.Duration, candidates int) {
 	if candidates <= 0 {
 		return
 	}
-	per := elapsed.Nanoseconds() / int64(candidates)
-	if per < 1 {
-		per = 1
-	}
-	for {
-		old := sv.rerankNanosPerCand.Load()
-		if old == 0 {
-			// First observation seeds the estimate outright.
-			if sv.rerankNanosPerCand.CompareAndSwap(0, uint64(per)) {
-				return
-			}
-			continue
-		}
-		step := (per - int64(old)) / rerankEWMAWeight
-		if step == 0 && per != int64(old) {
-			// Small differences must still move the estimate, or it
-			// freezes near the first observation.
-			if per > int64(old) {
-				step = 1
-			} else {
-				step = -1
-			}
-		}
-		if sv.rerankNanosPerCand.CompareAndSwap(old, uint64(int64(old)+step)) {
-			return
-		}
-	}
+	ewmaObserve(&sv.rerankNanosPerCand, elapsed.Nanoseconds()/int64(candidates))
+}
+
+// observeExact folds one completed exact (linearized) single-source solve
+// into the whole-query cost EWMA. Callers skip the call that also paid the
+// one-time diagonal solve, so the model tracks steady-state query cost.
+func (sv *serving) observeExact(elapsed time.Duration) {
+	ewmaObserve(&sv.exactNanos, elapsed.Nanoseconds())
 }
 
 // shouldDegrade reports whether an exact rerank of `candidates` pool
@@ -81,5 +101,23 @@ func (sv *serving) shouldDegrade(ctx context.Context, candidates int) bool {
 		return false
 	}
 	need := time.Duration(per*uint64(candidates)) * rerankSafety
+	return time.Until(deadline) < need
+}
+
+// shouldDegradeExact reports whether an exact (linearized) single-source
+// solve no longer fits the request's remaining deadline budget. As with
+// shouldDegrade, no deadline or no cost estimate yet means never degrade —
+// the first exact query simply tries, and either completes (seeding the
+// model) or times out into a clean 503.
+func (sv *serving) shouldDegradeExact(ctx context.Context) bool {
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		return false
+	}
+	per := sv.exactNanos.Load()
+	if per == 0 {
+		return false
+	}
+	need := time.Duration(per) * rerankSafety
 	return time.Until(deadline) < need
 }

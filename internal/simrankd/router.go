@@ -73,6 +73,11 @@ type Router struct {
 	cache *lru.Cache[string, []byte]
 	mux   *http.ServeMux
 
+	// exact holds the lazily-built linearized solver behind the router's
+	// ?engine=linearized queries (see engine.go) — the router has the full
+	// graph, so exact rows are solved locally, not scattered.
+	exact routerExact
+
 	reqSingleSource atomic.Int64
 	reqTopK         atomic.Int64
 	reqBatch        atomic.Int64
@@ -333,6 +338,12 @@ func (rt *Router) handleSingleSource(w http.ResponseWriter, r *http.Request) {
 	if !rt.checkMethod(w, r, http.MethodGet, http.MethodPost) {
 		return
 	}
+	eng, err := engineParam(r)
+	if err != nil {
+		rt.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rt.countEngine(eng)
 	q, err := intParam(r, "q", 0, true)
 	if err != nil {
 		rt.writeError(w, http.StatusBadRequest, "%v", err)
@@ -354,6 +365,10 @@ func (rt *Router) handleSingleSource(w http.ResponseWriter, r *http.Request) {
 
 	rt.mu.RLock()
 	defer rt.mu.RUnlock()
+	if eng == engineLinearized {
+		rt.serveSingleSourceExact(w, r, q, minRaw != "", minVal)
+		return
+	}
 	cacheable := minRaw != ""
 	var key string
 	if cacheable {
@@ -396,6 +411,12 @@ func (rt *Router) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if !rt.checkMethod(w, r, http.MethodGet, http.MethodPost) {
 		return
 	}
+	eng, err := engineParam(r)
+	if err != nil {
+		rt.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rt.countEngine(eng)
 	q, err := intParam(r, "q", 0, true)
 	if err != nil {
 		rt.writeError(w, http.StatusBadRequest, "%v", err)
@@ -415,9 +436,17 @@ func (rt *Router) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rerank := boolParam(r, "rerank")
+	if eng == engineLinearized && rerank {
+		rt.writeError(w, http.StatusBadRequest, "\"rerank\" is not valid with engine=linearized (exact scores need no rerank)")
+		return
+	}
 
 	rt.mu.RLock()
 	defer rt.mu.RUnlock()
+	if eng == engineLinearized {
+		rt.serveTopKExact(w, r, q, k)
+		return
+	}
 	key := rtTopKKey(rt.genTagLocked(), q, k, rerank)
 	if body, ok := rt.cache.Get(key); ok {
 		writeJSONBytes(w, body)
@@ -611,6 +640,7 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "simrankd_request_errors_total %d\n", rt.reqErrors.Load())
 	fmt.Fprintf(w, "simrankd_requests_shed_total %d\n", rt.shedTotal.Load())
 	fmt.Fprintf(w, "simrankd_requests_degraded_total %d\n", rt.degradedTotal.Load())
+	rt.writeEngineMetrics(w)
 	fmt.Fprintf(w, "simrankd_shard_errors_total %d\n", rt.shardErrors.Load())
 	fmt.Fprintf(w, "simrankd_inflight_requests %d\n", rt.inflight.Load())
 	fmt.Fprintf(w, "simrankd_queued_requests %d\n", rt.queued.Load())

@@ -27,6 +27,9 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !rt.checkMethod(w, r, http.MethodPost) {
 		return
 	}
+	if !rt.requireWalkEngine(w, r) {
+		return
+	}
 	var req batchRequest
 	if !rt.decodeJSONBody(w, r, &req) {
 		return
@@ -214,6 +217,9 @@ func (rt *Router) computeBatchLines(ctx context.Context, req *batchRequest, mode
 func (rt *Router) handleJoin(w http.ResponseWriter, r *http.Request) {
 	rt.reqJoin.Add(1)
 	if !rt.checkMethod(w, r, http.MethodPost) {
+		return
+	}
+	if !rt.requireWalkEngine(w, r) {
 		return
 	}
 	var req joinRequest

@@ -161,12 +161,19 @@ type singleSourceResponse struct {
 	Degraded bool `json:"degraded,omitempty"`
 }
 
-// handleSingleSource serves GET/POST /v1/single_source?q=17[&min=0.01].
+// handleSingleSource serves GET/POST
+// /v1/single_source?q=17[&min=0.01][&engine=walk|linearized].
 func (s *Server) handleSingleSource(w http.ResponseWriter, r *http.Request) {
 	s.reqSingleSource.Add(1)
 	if !s.checkMethod(w, r, http.MethodGet, http.MethodPost) {
 		return
 	}
+	eng, err := engineParam(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.countEngine(eng)
 	q, err := intParam(r, "q", 0, true)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
@@ -186,6 +193,10 @@ func (s *Server) handleSingleSource(w http.ResponseWriter, r *http.Request) {
 
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if eng == engineLinearized {
+		s.serveSingleSourceExact(w, r, q, minRaw != "", minVal)
+		return
+	}
 	// Dense responses are O(n) bytes each; caching them would make cache
 	// memory scale with graph size times -cache entries, so only the
 	// thresholded (sparse) form is memoized.
@@ -258,12 +269,19 @@ type topKResponse struct {
 	Results  []query.Ranked `json:"results"`
 }
 
-// handleTopK serves GET/POST /v1/topk?q=17&k=10[&rerank=1].
+// handleTopK serves GET/POST
+// /v1/topk?q=17&k=10[&rerank=1][&engine=walk|linearized].
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	s.reqTopK.Add(1)
 	if !s.checkMethod(w, r, http.MethodGet, http.MethodPost) {
 		return
 	}
+	eng, err := engineParam(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.countEngine(eng)
 	q, err := intParam(r, "q", 0, true)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
@@ -279,9 +297,17 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rerank := boolParam(r, "rerank")
+	if eng == engineLinearized && rerank {
+		s.writeError(w, http.StatusBadRequest, "\"rerank\" is not valid with engine=linearized (exact scores need no rerank)")
+		return
+	}
 
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if eng == engineLinearized {
+		s.serveTopKExact(w, r, q, k)
+		return
+	}
 	key := topKCacheKey(s.idx.Generation(), q, k, rerank)
 	if body, ok := s.cache.Get(key); ok {
 		writeJSONBytes(w, body)
@@ -474,6 +500,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "simrankd_request_errors_total %d\n", s.reqErrors.Load())
 	fmt.Fprintf(w, "simrankd_requests_shed_total %d\n", s.shedTotal.Load())
 	fmt.Fprintf(w, "simrankd_requests_degraded_total %d\n", s.degradedTotal.Load())
+	s.writeEngineMetrics(w)
 	fmt.Fprintf(w, "simrankd_inflight_requests %d\n", s.inflight.Load())
 	fmt.Fprintf(w, "simrankd_queued_requests %d\n", s.queued.Load())
 	fmt.Fprintf(w, "simrankd_cache_hits_total %d\n", hits)

@@ -46,6 +46,17 @@ type serving struct {
 	// deadline-aware degradation (see degrade.go).
 	rerankNanosPerCand atomic.Uint64
 
+	// exactNanos is the EWMA cost of one exact (linearized) single-source
+	// solve, in nanoseconds — the degradation cost model behind
+	// ?engine=linearized requests (see degrade.go).
+	exactNanos atomic.Uint64
+
+	// Per-engine request counters for the endpoints that accept ?engine=
+	// (/v1/single_source and /v1/topk), exported on /metrics as
+	// simrankd_engine_requests_total{engine}.
+	engineWalkTotal atomic.Int64
+	engineLinTotal  atomic.Int64
+
 	// Counters exported on /metrics. Latency is a histogram over every
 	// /v1 request, including error, shed, and degraded paths.
 	latency       *histogram.Histogram

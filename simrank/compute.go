@@ -1,381 +1,56 @@
 package simrank
 
 import (
+	"context"
 	"fmt"
-	"time"
 
 	"oipsr/graph"
-	"oipsr/internal/core"
-	"oipsr/internal/dsr"
-	"oipsr/internal/montecarlo"
-	"oipsr/internal/mtxsr"
-	"oipsr/internal/naive"
-	"oipsr/internal/numeric"
-	"oipsr/internal/partition"
-	"oipsr/internal/prank"
-	"oipsr/internal/psum"
-	"oipsr/internal/simmat"
+	"oipsr/simrank/engine"
 )
 
 // Compute runs the selected SimRank engine over g and returns the all-pairs
 // scores plus run statistics. See Options for the engine-specific knobs.
 //
-// When opt.BlockSize > 0 the supported engines (OIPSR, OIPDSR, PsumSR,
-// Naive) run against the tiled score-matrix backend: bounded resident
-// memory (opt.MaxMemoryBytes) with spill-to-disk, and scores bit-identical
-// to the dense backend. Call Scores.Close on tiled results when done.
+// Engines are looked up in the simrank/engine registry — registry
+// membership is what makes an Algorithm valid — and every registered
+// engine produces scores bit-identical for any worker count.
+//
+// When opt.BlockSize > 0 the engines that support it (OIPSR, OIPDSR,
+// PsumSR, Naive) run against the tiled score-matrix backend: bounded
+// resident memory (opt.MaxMemoryBytes) with spill-to-disk, and scores
+// bit-identical to the dense backend. Call Scores.Close on tiled results
+// when done.
 func Compute(g *graph.Graph, opt Options) (*Scores, *Stats, error) {
-	if err := opt.validate(); err != nil {
-		return nil, nil, err
-	}
+	return ComputeContext(context.Background(), g, opt)
+}
+
+// ComputeContext is Compute with a context. Engines that advertise
+// cancellation (today only Linearized, at solve-step boundaries) return
+// ctx.Err() when the context ends mid-computation; the classic sweep
+// engines run to completion regardless.
+func ComputeContext(ctx context.Context, g *graph.Graph, opt Options) (*Scores, *Stats, error) {
 	alg := opt.Algorithm
 	if alg == "" {
 		alg = OIPSR
 	}
+	eng, ok := engine.Get(alg)
+	if !ok {
+		return nil, nil, fmt.Errorf("simrank: unknown algorithm %q", alg)
+	}
+	p := opt.params()
 	if opt.BlockSize > 0 {
-		return computeTiled(g, alg, opt)
-	}
-	switch alg {
-	case OIPSR:
-		return computeOIP(g, opt)
-	case OIPDSR:
-		return computeDSR(g, opt)
-	case PsumSR:
-		return computePsum(g, opt)
-	case Naive:
-		return computeNaive(g, opt)
-	case MtxSR:
-		return computeMtx(g, opt)
-	case PRank:
-		return computePRank(g, opt)
-	case MonteCarlo:
-		return computeMonteCarlo(g, opt)
-	}
-	return nil, nil, fmt.Errorf("simrank: unknown algorithm %q", alg)
-}
-
-func computePRank(g *graph.Graph, opt Options) (*Scores, *Stats, error) {
-	m, st, err := prank.Compute(g, prank.Options{
-		CIn:       opt.C,
-		COut:      opt.COut,
-		Lambda:    opt.Lambda,
-		K:         opt.K,
-		Eps:       opt.Eps,
-		Partition: partitionOptions(opt),
-		Workers:   opt.Workers,
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	return &Scores{src: m}, &Stats{
-		Algorithm:   PRank,
-		Iterations:  st.Iterations,
-		PlanTime:    st.PlanTime,
-		ComputeTime: st.SweepTime,
-		InnerAdds:   st.InnerAdds,
-		OuterAdds:   st.OuterAdds,
-		AuxBytes:    st.AuxBytes,
-		StateBytes:  simmat.StateBytes(g.NumVertices(), 4),
-		ShareRatio:  (st.InShareRatio + st.OutShareRatio) / 2,
-	}, nil
-}
-
-func computeMonteCarlo(g *graph.Graph, opt Options) (*Scores, *Stats, error) {
-	m, st, err := montecarlo.Compute(g, montecarlo.Options{
-		C:       opt.C,
-		K:       opt.K,
-		Eps:     opt.Eps,
-		Walks:   opt.Walks,
-		Seed:    opt.Seed,
-		Workers: opt.Workers,
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	return &Scores{src: m}, &Stats{
-		Algorithm:   MonteCarlo,
-		Iterations:  st.Walks,
-		ComputeTime: st.Elapsed,
-		AuxBytes:    st.AuxBytes,
-		StateBytes:  simmat.StateBytes(g.NumVertices(), 1),
-	}, nil
-}
-
-func partitionOptions(opt Options) partition.Options {
-	return partition.Options{
-		Dense:      opt.DensePartition,
-		PairCap:    opt.PairCap,
-		UseEdmonds: opt.UseEdmonds,
-	}
-}
-
-func tileOptions(opt Options) simmat.TileOptions {
-	return simmat.TileOptions{
-		BlockSize:      opt.BlockSize,
-		MaxMemoryBytes: opt.MaxMemoryBytes,
-		SpillDir:       opt.SpillDir,
-	}
-}
-
-// computeTiled dispatches to the tiled-backend engines.
-func computeTiled(g *graph.Graph, alg Algorithm, opt Options) (*Scores, *Stats, error) {
-	switch alg {
-	case OIPSR:
-		m, st, err := core.ComputeTiled(g, core.Options{
-			C:            opt.C,
-			K:            opt.K,
-			Eps:          opt.Eps,
-			StopDiff:     opt.StopDiff,
-			Partition:    partitionOptions(opt),
-			DisableOuter: opt.DisableOuterSharing,
-			Workers:      opt.Workers,
-			Tile:         tileOptions(opt),
-		})
+		if !eng.Caps().Tiled {
+			return nil, nil, fmt.Errorf("simrank: the tiled backend (BlockSize > 0) does not support algorithm %q", alg)
+		}
+		src, st, err := eng.ComputeTiled(ctx, g, p)
 		if err != nil {
 			return nil, nil, err
 		}
-		return &Scores{src: m}, &Stats{
-			Algorithm:        OIPSR,
-			Iterations:       st.Iterations,
-			PlanTime:         st.PlanTime,
-			ComputeTime:      st.SweepTime,
-			InnerAdds:        st.InnerAdds,
-			OuterAdds:        st.OuterAdds,
-			AuxBytes:         st.AuxBytes,
-			StateBytes:       st.StateBytes,
-			ShareRatio:       st.ShareRatio,
-			AvgDiff:          st.AvgDiff,
-			NumSets:          st.NumSets,
-			FinalDiff:        st.FinalDiff,
-			TilePeakBytes:    st.Tile.HighWaterBytes,
-			TileSpills:       st.Tile.Spills,
-			TileLoads:        st.Tile.Loads,
-			TileSpilledBytes: st.Tile.SpilledBytes,
-		}, nil
-	case OIPDSR:
-		m, st, err := dsr.ComputeTiled(g, dsr.Options{
-			C:         opt.C,
-			K:         opt.K,
-			Eps:       opt.Eps,
-			Partition: partitionOptions(opt),
-			Workers:   opt.Workers,
-			Tile:      tileOptions(opt),
-		})
-		if err != nil {
-			return nil, nil, err
-		}
-		return &Scores{src: m}, &Stats{
-			Algorithm:        OIPDSR,
-			Iterations:       st.Iterations,
-			PlanTime:         st.PlanTime,
-			ComputeTime:      st.SweepTime,
-			InnerAdds:        st.InnerAdds,
-			OuterAdds:        st.OuterAdds,
-			AuxBytes:         st.AuxBytes,
-			StateBytes:       st.StateBytes,
-			ShareRatio:       st.ShareRatio,
-			AvgDiff:          st.AvgDiff,
-			NumSets:          st.NumSets,
-			TilePeakBytes:    st.Tile.HighWaterBytes,
-			TileSpills:       st.Tile.Spills,
-			TileLoads:        st.Tile.Loads,
-			TileSpilledBytes: st.Tile.SpilledBytes,
-		}, nil
-	case PsumSR:
-		c, k, err := resolveGeometricSchedule(opt)
-		if err != nil {
-			return nil, nil, err
-		}
-		t0 := time.Now()
-		m, st, err := psum.ComputeTiled(g, psum.Options{
-			C: c, K: k, Threshold: opt.Threshold, Workers: opt.Workers,
-			Tile: tileOptions(opt),
-		})
-		if err != nil {
-			return nil, nil, err
-		}
-		return &Scores{src: m}, &Stats{
-			Algorithm:        PsumSR,
-			Iterations:       st.Iterations,
-			ComputeTime:      time.Since(t0),
-			InnerAdds:        st.InnerAdds,
-			OuterAdds:        st.OuterAdds,
-			AuxBytes:         st.AuxBytes,
-			StateBytes:       m.Bytes() * 2,
-			SievedPairs:      st.SievedPairs,
-			TilePeakBytes:    st.Tile.HighWaterBytes,
-			TileSpills:       st.Tile.Spills,
-			TileLoads:        st.Tile.Loads,
-			TileSpilledBytes: st.Tile.SpilledBytes,
-		}, nil
-	case Naive:
-		c, k, err := resolveGeometricSchedule(opt)
-		if err != nil {
-			return nil, nil, err
-		}
-		t0 := time.Now()
-		m, err := naive.ComputeTiledWorkers(g, c, k, opt.Workers, tileOptions(opt))
-		if err != nil {
-			return nil, nil, err
-		}
-		met := m.Store().Metrics()
-		return &Scores{src: m}, &Stats{
-			Algorithm:        Naive,
-			Iterations:       k,
-			ComputeTime:      time.Since(t0),
-			StateBytes:       m.Bytes() * 2,
-			TilePeakBytes:    met.HighWaterBytes,
-			TileSpills:       met.Spills,
-			TileLoads:        met.Loads,
-			TileSpilledBytes: met.SpilledBytes,
-		}, nil
+		return &Scores{src: src}, st, nil
 	}
-	return nil, nil, fmt.Errorf("simrank: the tiled backend (BlockSize > 0) does not support algorithm %q", alg)
-}
-
-func computeOIP(g *graph.Graph, opt Options) (*Scores, *Stats, error) {
-	m, st, err := core.Compute(g, core.Options{
-		C:            opt.C,
-		K:            opt.K,
-		Eps:          opt.Eps,
-		StopDiff:     opt.StopDiff,
-		Partition:    partitionOptions(opt),
-		DisableOuter: opt.DisableOuterSharing,
-		Workers:      opt.Workers,
-	})
+	src, st, err := eng.Compute(ctx, g, p)
 	if err != nil {
 		return nil, nil, err
 	}
-	return &Scores{src: m}, &Stats{
-		Algorithm:   OIPSR,
-		Iterations:  st.Iterations,
-		PlanTime:    st.PlanTime,
-		ComputeTime: st.SweepTime,
-		InnerAdds:   st.InnerAdds,
-		OuterAdds:   st.OuterAdds,
-		AuxBytes:    st.AuxBytes,
-		StateBytes:  st.StateBytes,
-		ShareRatio:  st.ShareRatio,
-		AvgDiff:     st.AvgDiff,
-		NumSets:     st.NumSets,
-		FinalDiff:   st.FinalDiff,
-	}, nil
-}
-
-func computeDSR(g *graph.Graph, opt Options) (*Scores, *Stats, error) {
-	m, st, err := dsr.Compute(g, dsr.Options{
-		C:         opt.C,
-		K:         opt.K,
-		Eps:       opt.Eps,
-		Partition: partitionOptions(opt),
-		Workers:   opt.Workers,
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	return &Scores{src: m}, &Stats{
-		Algorithm:   OIPDSR,
-		Iterations:  st.Iterations,
-		PlanTime:    st.PlanTime,
-		ComputeTime: st.SweepTime,
-		InnerAdds:   st.InnerAdds,
-		OuterAdds:   st.OuterAdds,
-		AuxBytes:    st.AuxBytes,
-		StateBytes:  st.StateBytes,
-		ShareRatio:  st.ShareRatio,
-		AvgDiff:     st.AvgDiff,
-		NumSets:     st.NumSets,
-	}, nil
-}
-
-func computePsum(g *graph.Graph, opt Options) (*Scores, *Stats, error) {
-	c, k, err := resolveGeometricSchedule(opt)
-	if err != nil {
-		return nil, nil, err
-	}
-	t0 := time.Now()
-	m, st, err := psum.Compute(g, psum.Options{C: c, K: k, Threshold: opt.Threshold, Workers: opt.Workers})
-	if err != nil {
-		return nil, nil, err
-	}
-	return &Scores{src: m}, &Stats{
-		Algorithm:   PsumSR,
-		Iterations:  st.Iterations,
-		ComputeTime: time.Since(t0),
-		InnerAdds:   st.InnerAdds,
-		OuterAdds:   st.OuterAdds,
-		AuxBytes:    st.AuxBytes,
-		StateBytes:  simmat.StateBytes(g.NumVertices(), 2),
-		SievedPairs: st.SievedPairs,
-	}, nil
-}
-
-func computeNaive(g *graph.Graph, opt Options) (*Scores, *Stats, error) {
-	c, k, err := resolveGeometricSchedule(opt)
-	if err != nil {
-		return nil, nil, err
-	}
-	t0 := time.Now()
-	m, err := naive.ComputeWorkers(g, c, k, opt.Workers)
-	if err != nil {
-		return nil, nil, err
-	}
-	return &Scores{src: m}, &Stats{
-		Algorithm:   Naive,
-		Iterations:  k,
-		ComputeTime: time.Since(t0),
-		StateBytes:  simmat.StateBytes(g.NumVertices(), 2),
-	}, nil
-}
-
-func computeMtx(g *graph.Graph, opt Options) (*Scores, *Stats, error) {
-	c := opt.C
-	if c == 0 {
-		c = 0.6
-	}
-	m, st, err := mtxsr.Compute(g, mtxsr.Options{
-		C:    c,
-		Rank: opt.Rank,
-		Seed: opt.Seed,
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	return &Scores{src: m}, &Stats{
-		Algorithm:   MtxSR,
-		Iterations:  st.SolveIters,
-		PlanTime:    st.SVDTime,
-		ComputeTime: st.SolveTime,
-		AuxBytes:    st.AuxBytes,
-		StateBytes:  simmat.StateBytes(g.NumVertices(), 1),
-		Rank:        st.Rank,
-	}, nil
-}
-
-// resolveGeometricSchedule applies the shared defaulting rules (C = 0.6,
-// eps = 1e-3, Lizorkin iteration bound) for the engines that take a plain
-// (C, K) pair.
-func resolveGeometricSchedule(opt Options) (c float64, k int, err error) {
-	c = opt.C
-	if c == 0 {
-		c = 0.6
-	}
-	if !(c > 0 && c < 1) {
-		return 0, 0, fmt.Errorf("simrank: damping factor %v outside (0,1)", c)
-	}
-	k = opt.K
-	if k < 0 {
-		return 0, 0, fmt.Errorf("simrank: negative iteration count %d", k)
-	}
-	if k == 0 {
-		eps := opt.Eps
-		if eps == 0 {
-			eps = 1e-3
-		}
-		if !(eps > 0 && eps < 1) {
-			return 0, 0, fmt.Errorf("simrank: accuracy eps %v outside (0,1)", eps)
-		}
-		k = numeric.IterationsConventional(c, eps)
-	}
-	return c, k, nil
+	return &Scores{src: src}, st, nil
 }

@@ -1,0 +1,37 @@
+package engine
+
+import (
+	"context"
+
+	"oipsr/graph"
+	"oipsr/internal/montecarlo"
+	"oipsr/internal/simmat"
+)
+
+func init() { Register(monteCarloEngine{base{MonteCarlo}}) }
+
+// monteCarloEngine is the Fogaras-Racz first-meeting-time estimator.
+type monteCarloEngine struct{ base }
+
+func (monteCarloEngine) Caps() Caps { return Caps{AllPairs: true} }
+
+func (monteCarloEngine) Compute(_ context.Context, g *graph.Graph, p Params) (simmat.Source, *Stats, error) {
+	m, st, err := montecarlo.Compute(g, montecarlo.Options{
+		C:       p.C,
+		K:       p.K,
+		Eps:     p.Eps,
+		Walks:   p.Walks,
+		Seed:    p.Seed,
+		Workers: p.Workers,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, &Stats{
+		Algorithm:   MonteCarlo,
+		Iterations:  st.Walks,
+		ComputeTime: st.Elapsed,
+		AuxBytes:    st.AuxBytes,
+		StateBytes:  simmat.StateBytes(g.NumVertices(), 1),
+	}, nil
+}

@@ -1,0 +1,42 @@
+package engine
+
+import (
+	"context"
+
+	"oipsr/graph"
+	"oipsr/internal/mtxsr"
+	"oipsr/internal/simmat"
+)
+
+func init() { Register(mtxEngine{base{MtxSR}}) }
+
+// mtxEngine is Li et al.'s SVD-based low-rank approximation.
+type mtxEngine struct{ base }
+
+func (mtxEngine) Caps() Caps { return Caps{AllPairs: true} }
+
+func (mtxEngine) Compute(_ context.Context, g *graph.Graph, p Params) (simmat.Source, *Stats, error) {
+	c := p.C
+	if c == 0 {
+		c = 0.6
+	}
+	m, st, err := mtxsr.Compute(g, mtxsr.Options{
+		C:       c,
+		Rank:    p.Rank,
+		Seed:    p.Seed,
+		Workers: p.Workers,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, &Stats{
+		Algorithm:   MtxSR,
+		Iterations:  st.SolveIters,
+		PlanTime:    st.SVDTime,
+		ComputeTime: st.SolveTime,
+		AuxBytes:    st.AuxBytes,
+		StateBytes:  simmat.StateBytes(g.NumVertices(), 1),
+		Rank:        st.Rank,
+		Residual:    st.Residual,
+	}, nil
+}

@@ -1,45 +1,41 @@
 package simrank
 
 import (
-	"fmt"
-	"time"
+	"oipsr/internal/simmat"
+	"oipsr/simrank/engine"
 )
 
-// Algorithm selects the SimRank engine.
-type Algorithm string
+// Algorithm selects the SimRank engine. It aliases engine.Algorithm: the
+// simrank/engine registry is the single source of truth for which names
+// exist, and Algorithm.Valid reports registry membership.
+type Algorithm = engine.Algorithm
 
-// The available engines. See the package documentation for the trade-offs.
+// The built-in engines, re-exported from the registry package. See the
+// package documentation for the trade-offs.
 const (
 	// OIPSR is the paper's partial-sums-sharing algorithm (Algorithm 1),
 	// the default.
-	OIPSR Algorithm = "oip-sr"
+	OIPSR = engine.OIPSR
 	// OIPDSR is the differential (exponential-convergence) SimRank with
 	// OIP sharing.
-	OIPDSR Algorithm = "oip-dsr"
+	OIPDSR = engine.OIPDSR
 	// PsumSR is Lizorkin et al.'s partial sums memoization baseline.
-	PsumSR Algorithm = "psum-sr"
+	PsumSR = engine.PsumSR
 	// Naive is the original Jeh-Widom iteration.
-	Naive Algorithm = "naive"
+	Naive = engine.Naive
 	// MtxSR is Li et al.'s SVD-based low-rank approximation.
-	MtxSR Algorithm = "mtx-sr"
+	MtxSR = engine.MtxSR
 	// PRank is Penetrating Rank (Zhao et al.): SimRank generalized to use
-	// both in- and out-links, with OIP sharing applied in both directions —
-	// the extension the paper's Related Work describes.
-	PRank Algorithm = "p-rank"
-	// MonteCarlo is the Fogaras-Racz sampling estimator: s(a,b) is
-	// estimated from the first meeting time of coupled reverse random
-	// walks. Probabilistic; Theta(n^2) time independent of K.
-	MonteCarlo Algorithm = "monte-carlo"
+	// both in- and out-links, with OIP sharing applied in both directions.
+	PRank = engine.PRank
+	// MonteCarlo is the Fogaras-Racz sampling estimator. Probabilistic;
+	// Theta(n^2) time independent of K.
+	MonteCarlo = engine.MonteCarlo
+	// Linearized is Maehara et al.'s linearization: a diagonal-correction
+	// solve turns SimRank into a linear system, answering exact
+	// single-source and single-pair queries with no n^2 state.
+	Linearized = engine.Linearized
 )
-
-// Valid reports whether a is a known algorithm.
-func (a Algorithm) Valid() bool {
-	switch a {
-	case OIPSR, OIPDSR, PsumSR, Naive, MtxSR, PRank, MonteCarlo:
-		return true
-	}
-	return false
-}
 
 // Options configure Compute. The zero value means: OIP-SR, C = 0.6,
 // accuracy eps = 1e-3 (the paper's defaults).
@@ -52,17 +48,18 @@ type Options struct {
 
 	// K fixes the iteration count. 0 means derive it from Eps: the
 	// Lizorkin bound ceil(log_C eps)-style count for the geometric engines,
-	// the Proposition-7 count for OIPDSR.
+	// the Proposition-7 count for OIPDSR. For Linearized, K pins the series
+	// horizon the same way.
 	K int
 
-	// Eps is the desired accuracy when K == 0; 0 means 1e-3.
+	// Eps is the desired accuracy when K == 0; 0 means 1e-3. For
+	// Linearized it is also the diagonal-solve tolerance.
 	Eps float64
 
 	// Workers sets the worker-pool size of the iteration phase: 1 means
 	// serial, anything below 1 means runtime.GOMAXPROCS(0). Every engine
 	// partitions work so that scores — and, where reported, operation
-	// counts — are bit-identical for every worker count; MtxSR's dense
-	// linear algebra currently ignores the option.
+	// counts — are bit-identical for every worker count.
 	Workers int
 
 	// StopDiff, when positive, stops geometric engines early once the
@@ -109,10 +106,11 @@ type Options struct {
 	// BlockSize, when positive, selects the tiled score-matrix backend:
 	// the n x n state becomes a grid of BlockSize x BlockSize tiles with
 	// symmetric (upper-triangular) storage, a bounded working set, and
-	// spill-to-disk for evicted tiles. Supported by OIPSR, OIPDSR, PsumSR
-	// and Naive; scores are bit-identical to the dense backend for every
-	// block size and worker count. Results computed this way hold tile
-	// resources — call Scores.Close when done.
+	// spill-to-disk for evicted tiles. Supported by the engines whose
+	// Caps().Tiled is set (OIPSR, OIPDSR, PsumSR, Naive); scores are
+	// bit-identical to the dense backend for every block size and worker
+	// count. Results computed this way hold tile resources — call
+	// Scores.Close when done.
 	BlockSize int
 
 	// MaxMemoryBytes caps the resident tile bytes of the whole computation
@@ -127,58 +125,33 @@ type Options struct {
 	SpillDir string
 }
 
-func (o Options) validate() error {
-	if o.Algorithm != "" && !o.Algorithm.Valid() {
-		return fmt.Errorf("simrank: unknown algorithm %q", o.Algorithm)
+// params flattens the Options into the normalized engine.Params handed to
+// registry engines (the tiled knobs fold into Tile).
+func (o Options) params() engine.Params {
+	return engine.Params{
+		C:                   o.C,
+		K:                   o.K,
+		Eps:                 o.Eps,
+		Workers:             o.Workers,
+		StopDiff:            o.StopDiff,
+		Threshold:           o.Threshold,
+		Rank:                o.Rank,
+		Seed:                o.Seed,
+		Lambda:              o.Lambda,
+		COut:                o.COut,
+		Walks:               o.Walks,
+		DisableOuterSharing: o.DisableOuterSharing,
+		DensePartition:      o.DensePartition,
+		UseEdmonds:          o.UseEdmonds,
+		PairCap:             o.PairCap,
+		Tile: simmat.TileOptions{
+			BlockSize:      o.BlockSize,
+			MaxMemoryBytes: o.MaxMemoryBytes,
+			SpillDir:       o.SpillDir,
+		},
 	}
-	return nil
 }
 
-// Stats reports what a computation did. Fields not applicable to the chosen
-// engine are zero.
-type Stats struct {
-	Algorithm  Algorithm
-	Iterations int
-
-	// PlanTime covers preprocessing (DMST-Reduce for the OIP engines, the
-	// truncated SVD for MtxSR); ComputeTime covers the iteration phase.
-	PlanTime    time.Duration
-	ComputeTime time.Duration
-
-	// InnerAdds and OuterAdds count scalar additions on inner/outer partial
-	// sums (the paper's cost unit). Zero for Naive and MtxSR.
-	InnerAdds int64
-	OuterAdds int64
-
-	// AuxBytes is auxiliary memory beyond the score matrices — the
-	// "intermediate memory" of the paper's Fig. 6d. StateBytes is the
-	// n^2-sized state the engine holds while running.
-	AuxBytes   int64
-	StateBytes int64
-
-	// Sharing metrics (OIP engines): fraction of partial-sum additions
-	// avoided, the mean symmetric-difference size d_(+) over shared MST
-	// edges, and the number of non-empty in-neighbor sets.
-	ShareRatio float64
-	AvgDiff    float64
-	NumSets    int
-
-	// FinalDiff is the last successive-iterate max-norm difference when
-	// StopDiff was used.
-	FinalDiff float64
-
-	// Rank is the SVD rank used (MtxSR).
-	Rank int
-
-	// SievedPairs counts threshold-sieved scores (PsumSR).
-	SievedPairs int64
-
-	// Tiled-backend accounting (zero unless Options.BlockSize > 0):
-	// TilePeakBytes is the peak resident tile memory, TileSpills counts
-	// dirty tiles evicted to disk, TileLoads counts tiles paged back in,
-	// and TileSpilledBytes is the exact cumulative spill traffic.
-	TilePeakBytes    int64
-	TileSpills       int64
-	TileLoads        int64
-	TileSpilledBytes int64
-}
+// Stats reports what a computation did. It aliases engine.Stats; fields not
+// applicable to the chosen engine are zero.
+type Stats = engine.Stats

@@ -48,6 +48,10 @@ type Index struct {
 	// gen counts applied updates; cache layers fold it into their keys so
 	// pre-update responses can never be served post-update.
 	gen atomic.Uint64
+	// exact lazily holds the linearized-SimRank solver behind
+	// ExactSingleSource, keyed by (generation, graph) so edits invalidate
+	// it; see exactengine.go.
+	exact exactState
 }
 
 // Ranked is one entry of a top-k result.
