@@ -1,0 +1,175 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"oipsr/graph"
+	"oipsr/graph/gen"
+	"oipsr/simrank/query"
+)
+
+// runIndexWorkload measures the on-disk walk-index formats: the dense v1
+// payload against the delta/varint-compressed v2 posting blocks, and the
+// in-memory (decoded) serving path against the demand-paged (mmap-backed)
+// one.
+//
+// Three numbers matter. Bytes per vertex — the coupled walks coalesce, so
+// shared suffixes delta-encode to almost nothing and v2 is required to
+// come in at no more than half of v1 on these graphs (a hard gate: a
+// regression exits non-zero, which the CI index smoke relies on). Cold
+// single-source latency — a mapped index answers its first query straight
+// from the page cache after decoding only the blocks it touches, which is
+// the entire point of paying the decode on the query path. Warm latency —
+// once the decoded-block LRU holds the working set, mapped queries must
+// sit within noise of dense ones.
+//
+// Before anything is timed, the three backings are equivalence-checked:
+// dense v1, decoded v2 and mapped v2 must answer the sample queries
+// bit-identically, before and after an edit batch (which for the mapped
+// index also rewrites its backing file). Divergence exits non-zero.
+func runIndexWorkload(cfg config) {
+	header("On-disk formats: compressed v2 + demand paging vs dense v1", "walkindex format v2")
+
+	dir, err := os.MkdirTemp("", "bench-index-*")
+	must(err)
+	defer os.RemoveAll(dir)
+
+	type workload struct {
+		name  string
+		g     *graph.Graph
+		walks int
+	}
+	nWeb := 2000 / cfg.scale
+	if nWeb < 300 {
+		nWeb = 300
+	}
+	nPat := 2600 / cfg.scale
+	if nPat < 400 {
+		nPat = 400
+	}
+	workloads := []workload{
+		{"berkstan*", gen.WebGraph(nWeb, 11, cfg.seed), 100},
+		{"patent*", gen.CitationGraph(nPat, 4, cfg.seed), 100},
+	}
+
+	fmt.Printf("%-10s | %12s %12s %8s | %12s %12s | %12s %12s\n",
+		"workload", "v1 bytes", "v2 bytes", "ratio", "B/vertex v1", "B/vertex v2", "cold us", "warm us")
+
+	for _, w := range workloads {
+		n := w.g.NumVertices()
+		idx, err := query.BuildIndex(w.g, query.Options{Walks: w.walks, Seed: cfg.seed, Workers: benchWorkers})
+		must(err)
+
+		v1Path := filepath.Join(dir, w.name+".v1.idx")
+		v2Path := filepath.Join(dir, w.name+".v2.idx")
+		must(idx.SaveFileFormat(v1Path, query.FormatV1))
+		must(idx.SaveFileFormat(v2Path, query.FormatV2))
+		v1Bytes, v2Bytes := fileSize(v1Path), fileSize(v2Path)
+		ratio := float64(v2Bytes) / float64(v1Bytes)
+
+		// Equivalence gate across the three backings, then through an edit
+		// batch (the mapped index flushes it back to v2Path).
+		dense, err := query.LoadFile(v1Path)
+		must(err)
+		decoded, err := query.LoadFile(v2Path)
+		must(err)
+		mapped, err := query.LoadFileMapped(v2Path, query.MappedOptions{})
+		must(err)
+		sample := queryVertices(n, 8)
+		checkIndexEquivalence(w.name+" load", sample, dense, decoded, mapped)
+		edits := []graph.Edit{
+			{Op: graph.EditAdd, U: sample[0], V: sample[1]},
+			{Op: graph.EditAdd, U: sample[2], V: sample[0]},
+			{Op: graph.EditRemove, U: sample[0], V: sample[1]},
+		}
+		for _, ix := range []*query.Index{dense, decoded, mapped} {
+			must(ix.AttachGraph(w.g))
+			_, err := ix.ApplyEdits(edits, benchWorkers)
+			must(err)
+		}
+		checkIndexEquivalence(w.name+" edited", sample, dense, decoded, mapped)
+		// The flushed file must reproduce the live mapped index on its own.
+		reloaded, err := query.LoadFileMapped(v2Path, query.MappedOptions{})
+		must(err)
+		checkIndexEquivalence(w.name+" reloaded", sample, mapped, reloaded)
+		must(reloaded.Close())
+		must(mapped.Close())
+
+		// Cold: a fresh mapped open answering its first query (decodes only
+		// the touched blocks). Warm: the same query once the block LRU holds
+		// the working set. Dense-decoded latency is the reference.
+		q := sample[0]
+		t0 := time.Now()
+		cold, err := query.LoadFileMapped(v2Path, query.MappedOptions{})
+		must(err)
+		_, err = cold.SingleSource(context.Background(), q)
+		must(err)
+		coldLat := time.Since(t0)
+		warmLat := timeSingleSource(cold, q, 20)
+		denseLat := timeSingleSource(decoded, q, 20)
+		must(cold.Close())
+
+		fmt.Printf("%-10s | %12d %12d %7.1f%% | %12.1f %12.1f | %12d %12d\n",
+			w.name, v1Bytes, v2Bytes, ratio*100,
+			float64(v1Bytes)/float64(n), float64(v2Bytes)/float64(n),
+			coldLat.Microseconds(), warmLat.Microseconds())
+		emitJSON("index", map[string]any{
+			"workload": w.name, "n": n, "walks": w.walks,
+			"v1_bytes": v1Bytes, "v2_bytes": v2Bytes, "compression_ratio": ratio,
+			"bytes_per_vertex_v1": float64(v1Bytes) / float64(n),
+			"bytes_per_vertex_v2": float64(v2Bytes) / float64(n),
+			"cold_us_mapped":      coldLat.Microseconds(), "warm_us_mapped": warmLat.Microseconds(),
+			"warm_us_dense": denseLat.Microseconds(),
+			"equivalence":   "dense/decoded/mapped bit-identical incl. edits",
+		})
+
+		if ratio > 0.5 {
+			fmt.Fprintf(os.Stderr, "bench: index: %s v2 is %.1f%% of v1, want <= 50%%\n", w.name, ratio*100)
+			os.Exit(1)
+		}
+	}
+	fmt.Println("\nv2 <= 50% of v1 verified; dense/decoded/mapped answers bit-identical before and after edits")
+}
+
+// checkIndexEquivalence exits non-zero unless every index answers the
+// sample single-source queries bit-identically to the first one.
+func checkIndexEquivalence(stage string, sample []int, indexes ...*query.Index) {
+	ctx := context.Background()
+	for _, q := range sample {
+		want, err := indexes[0].SingleSource(ctx, q)
+		must(err)
+		for i, ix := range indexes[1:] {
+			got, err := ix.SingleSource(ctx, q)
+			must(err)
+			for v := range want {
+				if got[v] != want[v] {
+					fmt.Fprintf(os.Stderr, "bench: index: %s: backing %d (%s) diverges from %s at source %d target %d: %v != %v\n",
+						stage, i+1, ix.Backend(), indexes[0].Backend(), q, v, got[v], want[v])
+					os.Exit(1)
+				}
+			}
+		}
+	}
+}
+
+// timeSingleSource reports the per-query latency of reps single-source
+// queries for vertex q.
+func timeSingleSource(ix *query.Index, q, reps int) time.Duration {
+	t0 := time.Now()
+	for i := 0; i < reps; i++ {
+		_, err := ix.SingleSource(context.Background(), q)
+		must(err)
+	}
+	return time.Since(t0) / time.Duration(reps)
+}
+
+// fileSize returns the size of path in bytes.
+func fileSize(path string) int64 {
+	fi, err := os.Stat(path)
+	must(err)
+	return fi.Size()
+}

@@ -27,12 +27,13 @@
 //	memory            tiled engine under a memory cap     (spill-to-disk)
 //	shard             sharded fleet + router vs single node (simrankd -mode router)
 //	engines           walk vs linearized engine accuracy/latency (?engine= seam)
+//	index             on-disk format v2 size + mmap serving latency (walkindex)
 //	ablate            design-choice ablations             (DESIGN.md)
 //
 // The -scale flag shrinks the workloads (absolute numbers change, shapes do
 // not); -quick is shorthand for a fast smoke run. -workers sets the
 // worker-pool size for the timed experiments (0 = all CPUs). One NDJSON
-// record per measured data point is always written to BENCH_PR8.json in
+// record per measured data point is always written to BENCH_PR9.json in
 // the working directory (the perf trajectory file); -json FILE (or "-" for
 // stdout) tees the same records to a second sink.
 package main
@@ -73,7 +74,7 @@ func main() {
 	args := flag.Args()
 	if len(args) == 0 {
 		flag.Usage()
-		fmt.Fprintln(os.Stderr, "\nrun \"bench all\" or pick experiments: datasets exp1-dblp exp1-web exp1-patent exp1-amortized exp1-density exp2-memory exp3-convergence exp3-bounds exp4-ndcg exp4-topk scaling query updates batch serve memory shard engines ablate")
+		fmt.Fprintln(os.Stderr, "\nrun \"bench all\" or pick experiments: datasets exp1-dblp exp1-web exp1-patent exp1-amortized exp1-density exp2-memory exp3-convergence exp3-bounds exp4-ndcg exp4-topk scaling query updates batch serve memory shard engines index ablate")
 		os.Exit(2)
 	}
 
@@ -97,12 +98,13 @@ func main() {
 		"memory":           runMemoryWorkload,
 		"shard":            runShardWorkload,
 		"engines":          runEnginesWorkload,
+		"index":            runIndexWorkload,
 		"ablate":           runAblations,
 	}
 	order := []string{
 		"datasets", "exp1-dblp", "exp1-web", "exp1-patent", "exp1-amortized",
 		"exp1-density", "exp2-memory", "exp3-convergence", "exp3-bounds",
-		"exp4-ndcg", "exp4-topk", "scaling", "query", "updates", "batch", "serve", "memory", "shard", "engines", "ablate",
+		"exp4-ndcg", "exp4-topk", "scaling", "query", "updates", "batch", "serve", "memory", "shard", "engines", "index", "ablate",
 	}
 
 	if len(args) == 1 && args[0] == "all" {

@@ -104,6 +104,8 @@ type options struct {
 
 	indexPath    string
 	rebuild      bool
+	indexFormat  int
+	indexMmap    bool
 	c            float64
 	k            int
 	eps          float64
@@ -158,6 +160,26 @@ func validate(o *options) error {
 	if o.prewarmExact && o.mode != "serve" {
 		return fmt.Errorf("-prewarm-exact only applies to -mode serve (got %q)", o.mode)
 	}
+	if o.indexFormat != query.FormatV1 && o.indexFormat != query.FormatV2 {
+		return fmt.Errorf("-index-format must be %d or %d (got %d)", query.FormatV1, query.FormatV2, o.indexFormat)
+	}
+	if o.indexMmap {
+		switch o.mode {
+		case "serve":
+			if o.indexPath == "" {
+				return errors.New("-index-mmap needs -index (a file to map)")
+			}
+			if o.indexFormat != query.FormatV2 {
+				return fmt.Errorf("-index-mmap requires -index-format %d (only format v2 files can be mapped)", query.FormatV2)
+			}
+		case "shard":
+			if o.shardDir == "" {
+				return errors.New("-index-mmap in shard mode needs -shard-dir (a built format-v2 manifest)")
+			}
+		default:
+			return fmt.Errorf("-index-mmap only applies to -mode serve or shard (got %q: the router holds no index, build-shards chooses formats with -index-format)", o.mode)
+		}
+	}
 	switch o.mode {
 	case "build-shards":
 		if o.shards < 1 {
@@ -210,6 +232,8 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 1, "generator / index seed")
 	flag.StringVar(&o.indexPath, "index", "", "walk-index file: loaded when present, else built and saved here")
 	flag.BoolVar(&o.rebuild, "rebuild", false, "rebuild the index even if -index exists")
+	flag.IntVar(&o.indexFormat, "index-format", query.FormatV2, "on-disk format written for -index and build-shards: 1 (dense) or 2 (compressed, mappable); loading negotiates from the file")
+	flag.BoolVar(&o.indexMmap, "index-mmap", false, "serve/shard: page the walk index from its format-v2 file on demand (mmap-backed) instead of decoding it into memory")
 	flag.Float64Var(&o.c, "c", 0.6, "damping factor C")
 	flag.IntVar(&o.k, "k", 0, "walk horizon (0 = derive from -eps)")
 	flag.Float64Var(&o.eps, "eps", 1e-3, "truncation target when -k is 0")
@@ -266,13 +290,13 @@ func main() {
 	switch o.mode {
 	case "build-shards":
 		t0 := time.Now()
-		m, err := shard.BuildAll(g, opt, o.shardDir, o.shards)
+		m, err := shard.BuildAllFormat(g, opt, o.shardDir, o.shards, o.indexFormat)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "simrankd: %v\n", err)
 			os.Exit(1)
 		}
-		log.Printf("shards: built %d shards (n=%d walks=%d horizon=%d c=%g) into %s in %v",
-			len(m.Shards), m.N, m.Walks, m.K, m.C, o.shardDir, time.Since(t0))
+		log.Printf("shards: built %d format-v%d shards (n=%d walks=%d horizon=%d c=%g) into %s in %v",
+			len(m.Shards), m.Format, m.N, m.Walks, m.K, m.C, o.shardDir, time.Since(t0))
 		return
 
 	case "shard":
@@ -281,8 +305,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "simrankd: %v\n", err)
 			os.Exit(1)
 		}
-		log.Printf("shard: range [%d,%d) of n=%d walks=%d horizon=%d c=%g (%d bytes)",
-			sh.Lo(), sh.Hi(), sh.N(), sh.Walks(), sh.Horizon(), sh.C(), sh.Bytes())
+		log.Printf("shard: range [%d,%d) of n=%d walks=%d horizon=%d c=%g (%d bytes, %s)",
+			sh.Lo(), sh.Hi(), sh.N(), sh.Walks(), sh.Horizon(), sh.C(), sh.Bytes(), sh.Backend())
 		if o.prewarm {
 			t0 := time.Now()
 			if err := sh.PrepareUpdates(o.workers); err != nil {
@@ -310,13 +334,13 @@ func main() {
 		handler = rt
 
 	default: // serve
-		idx, err := openIndex(g, o.indexPath, o.rebuild, opt)
+		idx, err := openIndex(g, &o, opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "simrankd: %v\n", err)
 			os.Exit(1)
 		}
-		log.Printf("index: n=%d walks=%d horizon=%d c=%g (%d bytes)",
-			idx.N(), idx.Walks(), idx.Horizon(), idx.C(), idx.Bytes())
+		log.Printf("index: n=%d walks=%d horizon=%d c=%g (%d bytes, %s)",
+			idx.N(), idx.Walks(), idx.Horizon(), idx.C(), idx.Bytes(), idx.Backend())
 		if o.prewarm {
 			t0 := time.Now()
 			if err := idx.PrepareUpdates(o.workers); err != nil {
@@ -405,7 +429,12 @@ func openShard(g *graph.Graph, o *options, opt query.Options) (*shard.Shard, err
 			return nil, fmt.Errorf("-shard-ordinal %d out of range: manifest %s has %d shards",
 				o.shardOrdinal, o.shardDir, len(m.Shards))
 		}
-		sh, err := shard.OpenShard(o.shardDir, m, o.shardOrdinal)
+		var sh *shard.Shard
+		if o.indexMmap {
+			sh, err = shard.OpenShardMapped(o.shardDir, m, o.shardOrdinal, query.MappedOptions{})
+		} else {
+			sh, err = shard.OpenShard(o.shardDir, m, o.shardOrdinal)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -429,17 +458,26 @@ func openShard(g *graph.Graph, o *options, opt query.Options) (*shard.Shard, err
 }
 
 // openIndex loads the walk index from path when possible, building (and,
-// with a path, persisting) it otherwise. A loaded index gets the graph
-// re-attached so reranked top-k queries work.
-func openIndex(g *graph.Graph, path string, rebuild bool, opt query.Options) (*query.Index, error) {
-	if path != "" && !rebuild {
-		idx, err := query.LoadFile(path)
+// with a path, persisting, in -index-format) it otherwise. With
+// -index-mmap a freshly built index is saved first and then reopened
+// mapped, so serving always pages from the sealed file. A loaded index
+// gets the graph re-attached so reranked top-k queries work.
+func openIndex(g *graph.Graph, o *options, opt query.Options) (*query.Index, error) {
+	path := o.indexPath
+	load := func() (*query.Index, error) {
+		if o.indexMmap {
+			return query.LoadFileMapped(path, query.MappedOptions{})
+		}
+		return query.LoadFile(path)
+	}
+	if path != "" && !o.rebuild {
+		idx, err := load()
 		switch {
 		case err == nil:
 			if err := idx.AttachGraph(g); err != nil {
 				return nil, fmt.Errorf("index %s does not match the graph: %w", path, err)
 			}
-			log.Printf("index: loaded %s", path)
+			log.Printf("index: loaded %s (%s)", path, idx.Backend())
 			if warn := paramMismatch(idx, opt); warn != "" {
 				log.Printf("index: WARNING: loaded index disagrees with flags (%s); index-shaping flags are ignored for a loaded index — pass -rebuild to apply them", warn)
 			}
@@ -457,10 +495,21 @@ func openIndex(g *graph.Graph, path string, rebuild bool, opt query.Options) (*q
 	}
 	log.Printf("index: built in %v", time.Since(t0))
 	if path != "" {
-		if err := idx.SaveFile(path); err != nil {
+		if err := idx.SaveFileFormat(path, o.indexFormat); err != nil {
 			return nil, fmt.Errorf("saving index %s: %w", path, err)
 		}
-		log.Printf("index: saved %s", path)
+		log.Printf("index: saved %s (format v%d)", path, o.indexFormat)
+		if o.indexMmap {
+			mapped, err := load()
+			if err != nil {
+				return nil, fmt.Errorf("reopening index %s mapped: %w", path, err)
+			}
+			if err := mapped.AttachGraph(g); err != nil {
+				return nil, fmt.Errorf("index %s does not match the graph: %w", path, err)
+			}
+			log.Printf("index: reopened %s (%s)", path, mapped.Backend())
+			return mapped, nil
+		}
 	}
 	return idx, nil
 }

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"oipsr/simrank/query"
 )
 
 // goodOptions is a valid baseline; each failure case perturbs one field.
@@ -17,6 +19,7 @@ func goodOptions() options {
 		queueDepth:  0,
 		reqTimeout:  10 * time.Second,
 		drain:       10 * time.Second,
+		indexFormat: query.FormatV2,
 	}
 }
 
@@ -46,6 +49,23 @@ func TestValidateRejectsBadFlags(t *testing.T) {
 			o.backends = "http://a:1"
 			o.shardTimeout = -time.Second
 		}, "-shard-timeout"},
+		{"bad_index_format", func(o *options) { o.indexFormat = 3 }, "-index-format"},
+		{"mmap_no_index", func(o *options) { o.indexMmap = true }, "-index"},
+		{"mmap_v1_format", func(o *options) {
+			o.indexMmap = true
+			o.indexPath = "walks.idx"
+			o.indexFormat = query.FormatV1
+		}, "-index-format"},
+		{"mmap_router", func(o *options) {
+			o.mode = "router"
+			o.backends = "http://a:1"
+			o.indexMmap = true
+		}, "-index-mmap"},
+		{"mmap_shard_no_dir", func(o *options) {
+			o.mode = "shard"
+			o.shards = 2
+			o.indexMmap = true
+		}, "-shard-dir"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -74,6 +94,14 @@ func TestValidateAcceptsGoodFlags(t *testing.T) {
 		{"shard_from_dir", func(o *options) { o.mode = "shard"; o.shardDir = "s/"; o.shardOrdinal = 7 }},
 		{"shard_in_memory", func(o *options) { o.mode = "shard"; o.shards = 3; o.shardOrdinal = 2 }},
 		{"router", func(o *options) { o.mode = "router"; o.backends = "http://a:1, http://b:2" }},
+		{"serve_mmap", func(o *options) { o.indexMmap = true; o.indexPath = "walks.idx" }},
+		{"shard_mmap", func(o *options) { o.mode = "shard"; o.shardDir = "s/"; o.indexMmap = true }},
+		{"build_v1", func(o *options) {
+			o.mode = "build-shards"
+			o.shards = 4
+			o.shardDir = "s/"
+			o.indexFormat = query.FormatV1
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,143 @@
+package simrankd
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"oipsr/graph/gen"
+	"oipsr/simrank/query"
+)
+
+// TestMappedServesBitIdenticalResponses: a server over a demand-paged
+// (mmap-backed) format-v2 index must answer every endpoint with bodies
+// byte-identical to a server over the same index decoded densely — before
+// and after a live POST /v1/edges batch, which for the mapped index also
+// rewrites the backing file.
+func TestMappedServesBitIdenticalResponses(t *testing.T) {
+	g := gen.WebGraph(150, 8, 101)
+	built, err := query.BuildIndex(g, query.Options{Walks: 40, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "walks.v2.idx")
+	if err := built.SaveFileFormat(path, query.FormatV2); err != nil {
+		t.Fatal(err)
+	}
+
+	dense, err := query.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dense.AttachGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := query.LoadFileMapped(path, query.MappedOptions{CacheBlocks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+	if err := mapped.AttachGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	if b := mapped.Backend(); b != "mapped" && b != "mapped-readat" {
+		t.Fatalf("mapped index backend = %q", b)
+	}
+
+	tsDense := httptest.NewServer(newServer(dense, 0, 1))
+	defer tsDense.Close()
+	tsMapped := httptest.NewServer(newServer(mapped, 0, 1))
+	defer tsMapped.Close()
+
+	queryPaths := []string{
+		"/v1/topk?q=3&k=10",
+		"/v1/topk?q=77&k=5&rerank=1",
+		"/v1/single_source?q=42",
+		"/v1/single_source?q=8&min=0.01",
+	}
+	compare := func(stage string) {
+		t.Helper()
+		for _, p := range queryPaths {
+			codeD, bodyD := get(t, tsDense.URL+p)
+			codeM, bodyM := get(t, tsMapped.URL+p)
+			if codeD != http.StatusOK || codeM != http.StatusOK {
+				t.Fatalf("%s %s: status %d / %d", stage, p, codeD, codeM)
+			}
+			if string(bodyD) != string(bodyM) {
+				t.Fatalf("%s %s: dense and mapped responses differ:\n%s\n%s", stage, p, bodyD, bodyM)
+			}
+		}
+		codeD, bodyD := postJSON(t, tsDense.URL+"/v1/batch", `{"sources":[1,5,120],"k":6}`)
+		codeM, bodyM := postJSON(t, tsMapped.URL+"/v1/batch", `{"sources":[1,5,120],"k":6}`)
+		if codeD != http.StatusOK || codeM != http.StatusOK {
+			t.Fatalf("%s /v1/batch: status %d / %d", stage, codeD, codeM)
+		}
+		if string(bodyD) != string(bodyM) {
+			t.Fatalf("%s /v1/batch: responses differ:\n%s\n%s", stage, bodyD, bodyM)
+		}
+		codeD, bodyD = postJSON(t, tsDense.URL+"/v1/join", `{"threshold":0.05,"k":10}`)
+		codeM, bodyM = postJSON(t, tsMapped.URL+"/v1/join", `{"threshold":0.05,"k":10}`)
+		if codeD != http.StatusOK || codeM != http.StatusOK {
+			t.Fatalf("%s /v1/join: status %d / %d", stage, codeD, codeM)
+		}
+		if string(bodyD) != string(bodyM) {
+			t.Fatalf("%s /v1/join: responses differ:\n%s\n%s", stage, bodyD, bodyM)
+		}
+	}
+	compare("pre-edit")
+
+	body, _ := testEditBatch(t, g)
+	codeD, respD := postJSON(t, tsDense.URL+"/v1/edges", body)
+	codeM, respM := postJSON(t, tsMapped.URL+"/v1/edges", body)
+	if codeD != http.StatusOK || codeM != http.StatusOK {
+		t.Fatalf("/v1/edges: status %d (%s) / %d (%s)", codeD, respD, codeM, respM)
+	}
+	// The edges response embeds wall-clock timing; compare everything else.
+	var editD, editM map[string]any
+	if err := json.Unmarshal(respD, &editD); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(respM, &editM); err != nil {
+		t.Fatal(err)
+	}
+	delete(editD, "update_micros")
+	delete(editM, "update_micros")
+	jd, _ := json.Marshal(editD)
+	jm, _ := json.Marshal(editM)
+	if string(jd) != string(jm) {
+		t.Fatalf("/v1/edges: dense and mapped responses differ:\n%s\n%s", respD, respM)
+	}
+	compare("post-edit")
+
+	// The edit batch flushed through to the backing file: a fresh dense
+	// load of it must agree with the live mapped server.
+	reloaded, err := query.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reloaded.AttachGraph(dense.Graph()); err != nil {
+		t.Fatal(err)
+	}
+	tsReloaded := httptest.NewServer(newServer(reloaded, 0, 1))
+	defer tsReloaded.Close()
+	for _, p := range queryPaths {
+		_, bodyM := get(t, tsMapped.URL+p)
+		_, bodyR := get(t, tsReloaded.URL+p)
+		if string(bodyM) != string(bodyR) {
+			t.Fatalf("reload %s: edited file does not reproduce the live mapped answers:\n%s\n%s", p, bodyM, bodyR)
+		}
+	}
+
+	var hz struct {
+		Backend string `json:"backend"`
+	}
+	_, hzBody := get(t, tsMapped.URL+"/healthz")
+	if err := json.Unmarshal(hzBody, &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Backend != mapped.Backend() {
+		t.Fatalf("healthz backend = %q, want %q", hz.Backend, mapped.Backend())
+	}
+}

@@ -459,6 +459,9 @@ type healthzResponse struct {
 	Horizon    int     `json:"horizon"`
 	C          float64 `json:"c"`
 	IndexBytes int64   `json:"index_bytes"`
+	// Backend is the walk-storage backing: "dense" in memory, "mapped"
+	// (or "mapped-readat") when serving a demand-paged v2 index file.
+	Backend    string  `json:"backend"`
 	Generation uint64  `json:"generation"`
 	UptimeSecs float64 `json:"uptime_seconds"`
 }
@@ -474,6 +477,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Horizon:    s.idx.Horizon(),
 		C:          s.idx.C(),
 		IndexBytes: s.idx.Bytes(),
+		Backend:    s.idx.Backend(),
 		Generation: s.idx.Generation(),
 		UptimeSecs: time.Since(s.started).Seconds(),
 	})

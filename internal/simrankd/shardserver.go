@@ -320,6 +320,9 @@ type shardHealthzResponse struct {
 	C          float64 `json:"c"`
 	Seed       int64   `json:"seed"`
 	IndexBytes int64   `json:"index_bytes"`
+	// Backend is the walk-storage backing: "dense" in memory, "mapped"
+	// (or "mapped-readat") when serving a demand-paged v2 shard file.
+	Backend    string  `json:"backend"`
 	Generation uint64  `json:"generation"`
 	UptimeSecs float64 `json:"uptime_seconds"`
 }
@@ -338,6 +341,7 @@ func (s *ShardServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		C:          s.sh.C(),
 		Seed:       s.sh.Seed(),
 		IndexBytes: s.sh.Bytes(),
+		Backend:    s.sh.Backend(),
 		Generation: s.sh.Generation(),
 		UptimeSecs: time.Since(s.started).Seconds(),
 	})

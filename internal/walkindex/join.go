@@ -149,7 +149,27 @@ func (ix *Index) Join(ctx context.Context, k int, threshold float64, maxCandidat
 		set := make(map[uint64]struct{})
 		head := make([]int32, ix.n)
 		next := make([]int32, ix.n)
+		// The slot scan is position-major — entry (v, fp, t) for every v —
+		// which a flat materialized store serves by direct indexing. A
+		// mapped store instead materializes each fingerprint's prefix
+		// positions once (vertex-sequential, so each backing block decodes
+		// once per fingerprint), mirroring the shard join's recomputation
+		// buffer.
+		flat := ix.store.Flat()
+		depth := maxT + 1
+		var pos []int32 // pos[v*depth+t], only for the mapped path
+		if flat == nil {
+			pos = make([]int32, ix.n*depth)
+		}
 		for fp := lo; fp < hi; fp++ {
+			if flat == nil {
+				if overflow.Load() || check.Stop() != nil {
+					return
+				}
+				for v := 0; v < ix.n; v++ {
+					copy(pos[v*depth:(v+1)*depth], ix.store.Row(v)[fp*ix.k:fp*ix.k+depth])
+				}
+			}
 			for t := 0; t <= maxT; t++ {
 				if overflow.Load() || check.Stop() != nil {
 					return
@@ -159,7 +179,12 @@ func (ix *Index) Join(ctx context.Context, k int, threshold float64, maxCandidat
 				}
 				alive := false
 				for v := 0; v < ix.n; v++ {
-					p := ix.paths[(v*ix.r+fp)*ix.k+t]
+					var p int32
+					if flat != nil {
+						p = flat[(v*ix.r+fp)*ix.k+t]
+					} else {
+						p = pos[v*depth+t]
+					}
 					if p < 0 {
 						continue
 					}

@@ -1,0 +1,497 @@
+package walkindex
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"slices"
+	"sync"
+
+	"oipsr/internal/atomicio"
+	"oipsr/internal/lru"
+)
+
+// Mapped (paged) loading of format-v2 index files.
+//
+// LoadMapped and LoadShardMapped open a v2 file without materializing the
+// dense []int32 path payload. Queries decode single posting blocks on
+// demand — zero-copy out of an mmap'd region where the platform supports
+// it (mmap_unix.go), through ReadAt otherwise — behind a small LRU of
+// decoded blocks. The file is fully validated at open (header guards,
+// structural decode of every block, per-entry range checks, CRC, exact
+// file length), so the demand-paging read path cannot fail on the bytes
+// it already vetted: a decode error after open means the file was mutated
+// underneath the mapping, and the store panics with that diagnosis rather
+// than serving silently corrupt scores.
+//
+// Update works on a mapped index too: repaired rows are promoted into an
+// in-memory overlay (copy-on-write per block), and the Update paths flush
+// the overlay back to disk by rewriting only the dirty vertices' blocks —
+// clean block bytes are copied verbatim — through atomicio, then remapping
+// the new file. If the flush fails, the in-memory overlay still serves
+// consistent post-edit answers; the backing file is simply stale, and the
+// next successful Update persists both.
+
+// DefaultMappedCacheBlocks is the decoded-block LRU capacity used when
+// MappedOptions.CacheBlocks is zero. At the default block geometry (64
+// vertices per block) this keeps ~2k vertices' decoded walks hot.
+const DefaultMappedCacheBlocks = 32
+
+// MappedOptions configures LoadMapped and LoadShardMapped.
+type MappedOptions struct {
+	// CacheBlocks is the capacity of the decoded-block LRU. Zero means
+	// DefaultMappedCacheBlocks; negative disables caching (every row
+	// access decodes its block — useful only for measuring cold costs).
+	CacheBlocks int
+	// DisableMmap forces the portable ReadAt path even where mmap is
+	// available.
+	DisableMmap bool
+}
+
+func (o MappedOptions) cacheBlocks() int {
+	if o.CacheBlocks == 0 {
+		return DefaultMappedCacheBlocks
+	}
+	return o.CacheBlocks
+}
+
+// fileBacking is the byte source behind a mapped store: an mmap'd region
+// when available, a plain ReadAt fallback otherwise.
+type fileBacking struct {
+	f    *os.File
+	data []byte // whole-file mapping; nil on the ReadAt path
+	size int64
+}
+
+func openBacking(path string, disableMmap bool) (*fileBacking, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("walkindex: opening mapped index: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("walkindex: opening mapped index: %w", err)
+	}
+	bk := &fileBacking{f: f, size: st.Size()}
+	if !disableMmap && bk.size > 0 {
+		if data, err := mmapFile(f, bk.size); err == nil {
+			bk.data = data
+		}
+		// mmap failure is not an error: fall back to ReadAt silently.
+	}
+	return bk, nil
+}
+
+// slice returns file bytes [off, off+n): a zero-copy view of the mapping,
+// or a fresh ReadAt copy. Offsets come from the validated directory.
+func (bk *fileBacking) slice(off, n int64) ([]byte, error) {
+	if bk.data != nil {
+		return bk.data[off : off+n : off+n], nil
+	}
+	buf := make([]byte, n)
+	if _, err := bk.f.ReadAt(buf, off); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (bk *fileBacking) close() error {
+	var err error
+	if bk.data != nil {
+		err = munmapFile(bk.data)
+		bk.data = nil
+	}
+	if cerr := bk.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// mappedStore is the PathStore paging a format-v2 file block by block.
+type mappedStore struct {
+	path   string
+	what   string // "index" or "shard", for error labels
+	rows   int    // store-local start vertices
+	k, r   int
+	stride int // r*k entries per row
+	blockB int // start vertices per posting block
+	opts   MappedOptions
+
+	pre        []byte  // header + v2 meta, reused verbatim by flush
+	dir        []int64 // numBlocks+1 payload byte offsets
+	payloadOff int64   // file offset of payload byte 0
+
+	bk    *fileBacking
+	cache *lru.Cache[int, []int32] // decoded clean blocks
+
+	mu      sync.Mutex
+	overlay map[int][]int32 // dirty decoded blocks, not yet flushed
+}
+
+func newMappedStore(path, what string, rows, k, r int, blockB int64, dir []int64, pre []byte, opts MappedOptions) (*mappedStore, error) {
+	bk, err := openBacking(path, opts.DisableMmap)
+	if err != nil {
+		return nil, err
+	}
+	return &mappedStore{
+		path: path, what: what, rows: rows, k: k, r: r, stride: r * k,
+		blockB: int(blockB), opts: opts,
+		pre: pre, dir: dir, payloadOff: int64(len(pre)) + 8*int64(len(dir)),
+		bk:      bk,
+		cache:   lru.New[int, []int32](opts.cacheBlocks()),
+		overlay: map[int][]int32{},
+	}, nil
+}
+
+// decodeBlock decodes posting block b from the backing file. The file was
+// fully validated at open, so failure here means it changed on disk under
+// the store — that is unrecoverable mid-query, hence the panic.
+func (ms *mappedStore) decodeBlock(b int) []int32 {
+	width := min(ms.blockB, ms.rows-b*ms.blockB)
+	buf, err := ms.bk.slice(ms.payloadOff+ms.dir[b], ms.dir[b+1]-ms.dir[b])
+	if err != nil {
+		panic(fmt.Sprintf("walkindex: mapped %s %s changed on disk (block %d: %v)", ms.what, ms.path, b, err))
+	}
+	dst := make([]int32, width*ms.stride)
+	if err := decodeV2Block(buf, dst, width, ms.k, ms.r); err != nil {
+		panic(fmt.Sprintf("walkindex: mapped %s %s changed on disk (block %d: %v)", ms.what, ms.path, b, err))
+	}
+	return dst
+}
+
+// block returns the decoded posting block holding store-local vertex v's
+// walks: the dirty overlay copy if one exists, the LRU'd clean copy, or a
+// fresh decode.
+func (ms *mappedStore) block(b int) []int32 {
+	ms.mu.Lock()
+	blk, dirty := ms.overlay[b]
+	ms.mu.Unlock()
+	if dirty {
+		return blk
+	}
+	if blk, ok := ms.cache.Get(b); ok {
+		return blk
+	}
+	blk = ms.decodeBlock(b)
+	ms.cache.Put(b, blk)
+	return blk
+}
+
+func (ms *mappedStore) Row(v int) []int32 {
+	b := v / ms.blockB
+	blk := ms.block(b)
+	off := (v - b*ms.blockB) * ms.stride
+	return blk[off : off+ms.stride]
+}
+
+// MutableRow promotes v's block into the overlay (copy-on-write) and
+// returns the writable row. The overlay copy also replaces the block's
+// cache slot, so readers converge on the repaired data immediately.
+func (ms *mappedStore) MutableRow(v int) []int32 {
+	b := v / ms.blockB
+	ms.mu.Lock()
+	blk, ok := ms.overlay[b]
+	if !ok {
+		if clean, hit := ms.cache.Get(b); hit {
+			blk = slices.Clone(clean)
+		} else {
+			blk = ms.decodeBlock(b)
+		}
+		ms.overlay[b] = blk
+		ms.cache.Put(b, blk)
+	}
+	ms.mu.Unlock()
+	off := (v - b*ms.blockB) * ms.stride
+	return blk[off : off+ms.stride]
+}
+
+// Flat returns nil: a mapped store has no dense backing slice, so callers
+// take their per-block fallback paths.
+func (ms *mappedStore) Flat() []int32 { return nil }
+
+func (ms *mappedStore) Rows() int { return ms.rows }
+
+// Bytes reports the backing file's size — the compressed on-disk
+// footprint, which is what a mapped deployment actually pages — not the
+// transient decoded-block cache.
+func (ms *mappedStore) Bytes() int64 { return ms.bk.size }
+
+func (ms *mappedStore) Kind() string {
+	if ms.bk.data != nil {
+		return "mapped"
+	}
+	return "mapped-readat"
+}
+
+func (ms *mappedStore) Close() error {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	ms.cache.Clear()
+	ms.overlay = map[int][]int32{}
+	return ms.bk.close()
+}
+
+// flush rewrites the backing file with the overlay's dirty blocks
+// re-encoded and every clean block's bytes copied verbatim, atomically
+// (temp + fsync + rename), then remaps the new file and demotes the
+// overlay into the clean cache. Called by the Update paths via flushStore.
+//
+// On error the overlay is kept: queries keep serving the repaired in-memory
+// state, the file on disk is merely stale, and the next successful Update
+// persists both.
+func (ms *mappedStore) flush() error {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if len(ms.overlay) == 0 {
+		return nil
+	}
+	nb := len(ms.dir) - 1
+	blocks := make([][]byte, nb)
+	for b := 0; b < nb; b++ {
+		if blk, ok := ms.overlay[b]; ok {
+			vlo := b * ms.blockB
+			width := min(ms.blockB, ms.rows-vlo)
+			enc, err := appendV2Block(nil, func(v int) []int32 {
+				off := (v - vlo) * ms.stride
+				return blk[off : off+ms.stride]
+			}, vlo, width, ms.k, ms.r)
+			if err != nil {
+				return err
+			}
+			if len(enc) > maxV2BlockBytes {
+				return fmt.Errorf("%w: encoded posting block of %d bytes exceeds %d", ErrFormatLimits, len(enc), maxV2BlockBytes)
+			}
+			blocks[b] = enc
+		} else {
+			raw, err := ms.bk.slice(ms.payloadOff+ms.dir[b], ms.dir[b+1]-ms.dir[b])
+			if err != nil {
+				return fmt.Errorf("walkindex: flushing mapped %s: reading clean block %d: %w", ms.what, b, err)
+			}
+			blocks[b] = raw
+		}
+	}
+	if err := atomicio.WriteFile(ms.path, func(w io.Writer) error {
+		return writeV2(w, ms.pre, blocks, ms.what)
+	}); err != nil {
+		return fmt.Errorf("walkindex: flushing mapped %s: %w", ms.what, err)
+	}
+
+	// The file on disk is now the repaired index; swap the mapping and
+	// bookkeeping over to it. Failing to remap after a successful rename
+	// is reported, and the overlay is kept so queries stay correct.
+	newDir := make([]int64, nb+1)
+	for b, blk := range blocks {
+		newDir[b+1] = newDir[b] + int64(len(blk))
+	}
+	bk, err := openBacking(ms.path, ms.opts.DisableMmap)
+	if err != nil {
+		return fmt.Errorf("walkindex: remapping flushed %s: %w", ms.what, err)
+	}
+	old := ms.bk
+	ms.bk, ms.dir = bk, newDir
+	for b, blk := range ms.overlay {
+		ms.cache.Put(b, blk)
+	}
+	ms.overlay = map[int][]int32{}
+	if err := old.close(); err != nil {
+		return fmt.Errorf("walkindex: closing pre-flush mapping: %w", err)
+	}
+	return nil
+}
+
+// LoadMapped opens a format-v2 index file for demand paging instead of
+// decoding it into memory. The whole file is validated up front — same
+// checks, same order as Load (see serialize.go) — but the decoded payload
+// is discarded block by block; only the ~16 B/block directory stays
+// resident. v1 files are dense-only: re-save with SaveFormat(FormatV2)
+// to map them (Load reads both formats into memory).
+func LoadMapped(path string, opts MappedOptions) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("walkindex: opening mapped index: %w", err)
+	}
+	defer f.Close()
+	crc := crc32.NewIEEE()
+	br := bufio.NewReaderSize(f, 1<<16)
+
+	// Step 1: header parse + plausibility guards (as in Load).
+	var hdr [headerSize]byte
+	if err := readFull(br, crc, hdr[:], "header"); err != nil {
+		return nil, err
+	}
+	if [8]byte(hdr[:8]) != magic {
+		return nil, ErrBadMagic
+	}
+	version := binary.LittleEndian.Uint32(hdr[8:])
+	if version == FormatV1 {
+		return nil, fmt.Errorf("%w: file is format v1 (dense); only format v2 can be mapped — re-save it with SaveFormat(FormatV2)", ErrVersion)
+	}
+	if version != FormatV2 {
+		return nil, fmt.Errorf("%w: file has version %d, this build reads versions %d and %d", ErrVersion, version, FormatV1, FormatV2)
+	}
+	n := int64(binary.LittleEndian.Uint64(hdr[12:]))
+	k := int64(binary.LittleEndian.Uint64(hdr[20:]))
+	fps := int64(binary.LittleEndian.Uint64(hdr[28:]))
+	c := math.Float64frombits(binary.LittleEndian.Uint64(hdr[36:]))
+	seed := int64(binary.LittleEndian.Uint64(hdr[44:]))
+	if n < 0 || k < 1 || fps < 1 {
+		return nil, fmt.Errorf("walkindex: invalid header (n=%d, k=%d, r=%d)", n, k, fps)
+	}
+	if k > maxHorizon {
+		return nil, fmt.Errorf("walkindex: implausible walk horizon k = %d", k)
+	}
+	if !(c > 0 && c < 1) {
+		return nil, fmt.Errorf("walkindex: invalid header damping factor %v", c)
+	}
+	elems := n * fps * k
+	if n > 0 && (elems/n/fps != k || elems > maxElems) {
+		return nil, fmt.Errorf("walkindex: implausible index size n*r*k = %d*%d*%d", n, fps, k)
+	}
+
+	// Steps 2–5: structural + semantic scan of every block, checksum,
+	// trailing-data probe — retaining only the directory.
+	blockB, dir, err := scanV2Payload(br, crc, n, k, fps, n, "paths")
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 6: construction from validated fields only.
+	pre := make([]byte, headerSize+8)
+	copy(pre, hdr[:])
+	binary.LittleEndian.PutUint32(pre[headerSize:], uint32(blockB))
+	binary.LittleEndian.PutUint32(pre[headerSize+4:], uint32(len(dir)-1))
+	ms, err := newMappedStore(path, "index", int(n), int(k), int(fps), blockB, dir, pre, opts)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{n: int(n), k: int(k), r: int(fps), c: c, seed: seed, store: ms}
+	ix.initPow()
+	return ix, nil
+}
+
+// LoadShardMapped is LoadMapped for shard files written by
+// ShardIndex.SaveFormat with FormatV2.
+func LoadShardMapped(path string, opts MappedOptions) (*ShardIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("walkindex: opening mapped shard: %w", err)
+	}
+	defer f.Close()
+	crc := crc32.NewIEEE()
+	br := bufio.NewReaderSize(f, 1<<16)
+
+	// Step 1: header parse + plausibility guards (as in LoadShard).
+	var hdr [shardHeaderSize]byte
+	if err := readFull(br, crc, hdr[:], "shard header"); err != nil {
+		return nil, err
+	}
+	if [8]byte(hdr[:8]) != shardMagic {
+		return nil, ErrBadMagic
+	}
+	version := binary.LittleEndian.Uint32(hdr[8:])
+	if version == FormatV1 {
+		return nil, fmt.Errorf("%w: file is format v1 (dense); only format v2 can be mapped — re-save it with SaveFormat(FormatV2)", ErrVersion)
+	}
+	if version != FormatV2 {
+		return nil, fmt.Errorf("%w: file has version %d, this build reads versions %d and %d", ErrVersion, version, FormatV1, FormatV2)
+	}
+	n := int64(binary.LittleEndian.Uint64(hdr[12:]))
+	lo := int64(binary.LittleEndian.Uint64(hdr[20:]))
+	hi := int64(binary.LittleEndian.Uint64(hdr[28:]))
+	k := int64(binary.LittleEndian.Uint64(hdr[36:]))
+	fps := int64(binary.LittleEndian.Uint64(hdr[44:]))
+	c := math.Float64frombits(binary.LittleEndian.Uint64(hdr[52:]))
+	seed := int64(binary.LittleEndian.Uint64(hdr[60:]))
+	if n < 0 || k < 1 || fps < 1 {
+		return nil, fmt.Errorf("walkindex: invalid shard header (n=%d, k=%d, r=%d)", n, k, fps)
+	}
+	if lo < 0 || hi < lo || hi > n {
+		return nil, fmt.Errorf("walkindex: invalid shard header range [%d,%d) with n=%d", lo, hi, n)
+	}
+	if k > maxHorizon {
+		return nil, fmt.Errorf("walkindex: implausible walk horizon k = %d", k)
+	}
+	if !(c > 0 && c < 1) {
+		return nil, fmt.Errorf("walkindex: invalid shard header damping factor %v", c)
+	}
+	width := hi - lo
+	elems := width * fps * k
+	if width > 0 && (elems/width/fps != k || elems > maxElems) {
+		return nil, fmt.Errorf("walkindex: implausible shard size width*r*k = %d*%d*%d", width, fps, k)
+	}
+
+	// Steps 2–5 on the owned range; entries are global vertex ids in [0, n).
+	blockB, dir, err := scanV2Payload(br, crc, width, k, fps, n, "shard paths")
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 6: construction from validated fields only.
+	pre := make([]byte, shardHeaderSize+8)
+	copy(pre, hdr[:])
+	binary.LittleEndian.PutUint32(pre[shardHeaderSize:], uint32(blockB))
+	binary.LittleEndian.PutUint32(pre[shardHeaderSize+4:], uint32(len(dir)-1))
+	ms, err := newMappedStore(path, "shard", int(width), int(k), int(fps), blockB, dir, pre, opts)
+	if err != nil {
+		return nil, err
+	}
+	sx := &ShardIndex{n: int(n), lo: int(lo), hi: int(hi), k: int(k), r: int(fps), c: c, seed: seed, store: ms}
+	sx.initPow()
+	return sx, nil
+}
+
+// scanV2Payload validates the v2 payload exactly as readV2Payload decodes
+// it — same directory guards, same per-block structural decode, plus the
+// per-entry range check that Load runs afterward — but into one reused
+// block buffer, so open-time validation of a mapped file costs a single
+// block of memory, not the dense index. The documented load order is
+// preserved: an out-of-range entry found mid-scan is held back until the
+// checksum and trailing-data probe have run, so a corrupt file reports
+// ErrChecksum here exactly as it would through Load.
+func scanV2Payload(br *bufio.Reader, crc hash.Hash32, rows, k, r, n int64, section string) (blockB int64, dir []int64, err error) {
+	blockB, dir, err = readV2Dir(br, crc, rows, k, section)
+	if err != nil {
+		return 0, nil, err
+	}
+	nb := int64(len(dir)) - 1
+	var blockBuf []byte
+	var dst []int32
+	var rangeErr error
+	for b := int64(0); b < nb; b++ {
+		width := min(blockB, rows-b*blockB)
+		blen := dir[b+1] - dir[b]
+		if blen > v2MaxBlockLen(width, k, r) {
+			return 0, nil, fmt.Errorf("walkindex: implausible v2 block length %d", blen)
+		}
+		if int64(cap(blockBuf)) < blen {
+			blockBuf = make([]byte, blen)
+		}
+		buf := blockBuf[:blen]
+		if err := readFull(br, crc, buf, section+" v2 block"); err != nil {
+			return 0, nil, err
+		}
+		need := int(width * r * k)
+		if cap(dst) < need {
+			dst = make([]int32, need)
+		}
+		if err := decodeV2Block(buf, dst[:need], int(width), int(k), int(r)); err != nil {
+			return 0, nil, fmt.Errorf("walkindex: %s block %d: %w", section, b, err)
+		}
+		if rangeErr == nil {
+			rangeErr = validateEntries(dst[:need], n, section[:len(section)-1])
+		}
+	}
+	if err := checkTrailer(br, crc, section+" checksum"); err != nil {
+		return 0, nil, err
+	}
+	if rangeErr != nil {
+		return 0, nil, rangeErr
+	}
+	return blockB, dir, nil
+}

@@ -1,0 +1,347 @@
+package walkindex
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"oipsr/graph"
+	"oipsr/graph/gen"
+)
+
+// saveV2File writes ix in format v2 to a temp file and returns the path.
+func saveV2File(t *testing.T, ix *Index) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "index.srwk")
+	var buf bytes.Buffer
+	if err := ix.SaveFormat(&buf, FormatV2); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// mappedVariants opens the same v2 file through every mapped configuration
+// worth distinguishing: mmap'd, ReadAt fallback, and uncached.
+func mappedVariants(t *testing.T, path string) map[string]*Index {
+	t.Helper()
+	variants := map[string]MappedOptions{
+		"mmap":    {},
+		"readat":  {DisableMmap: true},
+		"nocache": {CacheBlocks: -1},
+	}
+	out := make(map[string]*Index, len(variants))
+	for name, opts := range variants {
+		mx, err := LoadMapped(path, opts)
+		if err != nil {
+			t.Fatalf("LoadMapped(%s): %v", name, err)
+		}
+		t.Cleanup(func() { mx.Close() })
+		out[name] = mx
+	}
+	return out
+}
+
+// TestMappedByteIdenticalQueries is the backend-equivalence property: the
+// dense in-memory index and every mapped configuration must produce
+// byte-identical float64 answers for SingleSource, MultiSource, Pair, and
+// Join — same walks, same summation order, so exact equality, not epsilon.
+func TestMappedByteIdenticalQueries(t *testing.T) {
+	g := gen.WebGraph(500, 6, 13)
+	dense, err := Build(g, Options{Walks: 30, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := saveV2File(t, dense)
+	ctx := context.Background()
+
+	denseJoin, err := dense.Join(ctx, 25, 0.05, 200000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := []int{0, 7, 99, 250, 499}
+	denseMS, err := dense.MultiSource(ctx, sources, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, mx := range mappedVariants(t, path) {
+		if !dense.Equal(mx) {
+			t.Fatalf("%s: mapped index != dense index", name)
+		}
+		for _, q := range sources {
+			dr, err := dense.SingleSource(ctx, q, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mr, err := mx.SingleSource(ctx, q, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range dr {
+				if dr[v] != mr[v] {
+					t.Fatalf("%s: SingleSource(%d)[%d] = %v, dense %v", name, q, v, mr[v], dr[v])
+				}
+			}
+			if got, want := mx.Pair(q, (q+13)%500), dense.Pair(q, (q+13)%500); got != want {
+				t.Fatalf("%s: Pair(%d) = %v, dense %v", name, q, got, want)
+			}
+		}
+		ms, err := mx.MultiSource(ctx, sources, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ms {
+			for v := range ms[i] {
+				if ms[i][v] != denseMS[i][v] {
+					t.Fatalf("%s: MultiSource row %d differs at %d", name, i, v)
+				}
+			}
+		}
+		mj, err := mx.Join(ctx, 25, 0.05, 200000, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(mj) != len(denseJoin) {
+			t.Fatalf("%s: Join returned %d pairs, dense %d", name, len(mj), len(denseJoin))
+		}
+		for i := range mj {
+			if mj[i] != denseJoin[i] {
+				t.Fatalf("%s: Join pair %d = %+v, dense %+v", name, i, mj[i], denseJoin[i])
+			}
+		}
+	}
+}
+
+// TestMappedUpdatePersists: Update on a mapped index must (a) leave the
+// in-memory index Equal to a fresh build on the edited graph, and (b)
+// flush the repaired blocks back to the file, so a reopen — mapped or
+// dense — sees the post-edit index.
+func TestMappedUpdatePersists(t *testing.T) {
+	g := gen.CitationGraph(300, 4, 5)
+	dense, err := Build(g, Options{Walks: 15, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := saveV2File(t, dense)
+	mx, err := LoadMapped(path, MappedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mx.Close()
+
+	cur := g
+	for batch := 0; batch < 3; batch++ {
+		next, sum, err := cur.ApplyEdits([]graph.Edit{
+			{Op: graph.EditAdd, U: (batch*37 + 11) % 300, V: (batch*53 + 2) % 300},
+			{Op: graph.EditRemove, U: cur.In(batch + 1)[0], V: batch + 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mx.Update(next, sum.DirtyIn, 3); err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := Build(next, Options{Walks: 15, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mx.Equal(fresh) {
+			t.Fatalf("batch %d: mapped Update != fresh Build", batch)
+		}
+
+		// The flush rewrote the file: a cold open must see the same index.
+		reopened, err := LoadMapped(path, MappedOptions{})
+		if err != nil {
+			t.Fatalf("batch %d: reopening flushed file: %v", batch, err)
+		}
+		if !reopened.Equal(fresh) {
+			t.Fatalf("batch %d: flushed file != fresh Build", batch)
+		}
+		reopened.Close()
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := Load(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("batch %d: dense-loading flushed file: %v", batch, err)
+		}
+		if !loaded.Equal(fresh) {
+			t.Fatalf("batch %d: dense load of flushed file != fresh Build", batch)
+		}
+		cur = next
+	}
+}
+
+// TestShardMappedByteIdentical: the sharded read path over a mapped store
+// must match the dense shard exactly, including update + flush + reopen.
+func TestShardMappedByteIdentical(t *testing.T) {
+	g := gen.WebGraph(400, 5, 17)
+	opt := Options{Walks: 20, Seed: 6}
+	sx, err := BuildShard(g, opt, 100, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "shard.srwk")
+	var buf bytes.Buffer
+	if err := sx.SaveFormat(&buf, FormatV2); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mx, err := LoadShardMapped(path, MappedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mx.Close()
+	if !sx.Equal(mx) {
+		t.Fatal("mapped shard != dense shard")
+	}
+
+	ctx := context.Background()
+	sources := []int{0, 100, 150, 299, 399}
+	want, err := sx.PartialMultiSource(ctx, g, sources, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mx.PartialMultiSource(ctx, g, sources, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		for v := range want[i] {
+			if want[i][v] != got[i][v] {
+				t.Fatalf("PartialMultiSource row %d differs at %d", i, v)
+			}
+		}
+	}
+
+	next, sum, err := g.ApplyEdits([]graph.Edit{
+		{Op: graph.EditAdd, U: 120, V: 180},
+		{Op: graph.EditRemove, U: g.In(150)[0], V: 150},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mx.Update(next, sum.DirtyIn, 2); err != nil {
+		t.Fatal(err)
+	}
+	freshShard, err := BuildShard(next, opt, 100, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mx.Equal(freshShard) {
+		t.Fatal("mapped shard Update != fresh shard build")
+	}
+	reopened, err := LoadShardMapped(path, MappedOptions{})
+	if err != nil {
+		t.Fatalf("reopening flushed shard: %v", err)
+	}
+	defer reopened.Close()
+	if !reopened.Equal(freshShard) {
+		t.Fatal("flushed shard file != fresh shard build")
+	}
+}
+
+// TestMappedConcurrentReaders drives parallel queries through the shared
+// block cache; under -race this checks the store's synchronization.
+func TestMappedConcurrentReaders(t *testing.T) {
+	g := gen.WebGraph(300, 5, 23)
+	dense, err := Build(g, Options{Walks: 12, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 2-block cache against a ~5-block file keeps eviction churning.
+	mx, err := LoadMapped(saveV2File(t, dense), MappedOptions{CacheBlocks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mx.Close()
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for q := w; q < 300; q += 8 {
+				want, err := dense.SingleSource(ctx, q, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got, err := mx.SingleSource(ctx, q, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for v := range want {
+					if want[v] != got[v] {
+						t.Errorf("SingleSource(%d)[%d] differs", q, v)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestLoadMappedRejections: v1 files, corruption, truncation, and trailing
+// data are all rejected at open — the paged read path never sees them.
+func TestLoadMappedRejections(t *testing.T) {
+	ix := buildSmall(t)
+	dir := t.TempDir()
+	write := func(name string, data []byte) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	var v1, v2 bytes.Buffer
+	if err := ix.Save(&v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.SaveFormat(&v2, FormatV2); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := LoadMapped(write("v1.srwk", v1.Bytes()), MappedOptions{}); !errors.Is(err, ErrVersion) {
+		t.Errorf("LoadMapped(v1 file) = %v, want ErrVersion", err)
+	}
+	corrupt := append([]byte(nil), v2.Bytes()...)
+	corrupt[len(corrupt)-8] ^= 0x10
+	if _, err := LoadMapped(write("corrupt.srwk", corrupt), MappedOptions{}); err == nil {
+		t.Error("LoadMapped accepted a bit-flipped file")
+	}
+	if _, err := LoadMapped(write("trunc.srwk", v2.Bytes()[:v2.Len()-6]), MappedOptions{}); err == nil {
+		t.Error("LoadMapped accepted a truncated file")
+	}
+	trailing := append(append([]byte(nil), v2.Bytes()...), 0x00)
+	if _, err := LoadMapped(write("trailing.srwk", trailing), MappedOptions{}); !errors.Is(err, ErrTrailingData) {
+		t.Errorf("LoadMapped(trailing byte) = %v, want ErrTrailingData", err)
+	}
+	if _, err := LoadMapped(filepath.Join(dir, "missing.srwk"), MappedOptions{}); err == nil {
+		t.Error("LoadMapped accepted a missing file")
+	}
+	mx, err := LoadMapped(write("good.srwk", v2.Bytes()), MappedOptions{})
+	if err != nil {
+		t.Fatalf("LoadMapped rejected a valid file: %v", err)
+	}
+	if !ix.Equal(mx) {
+		t.Error("mapped small index != original")
+	}
+	if mx.Backend() != "mapped" && mx.Backend() != "mapped-readat" {
+		t.Errorf("Backend() = %q", mx.Backend())
+	}
+	mx.Close()
+}

@@ -1,0 +1,17 @@
+//go:build !unix
+
+package walkindex
+
+import (
+	"errors"
+	"os"
+)
+
+var errNoMmap = errors.New("walkindex: mmap not supported on this platform")
+
+// mmapFile always fails here; fileBacking falls back to ReadAt.
+func mmapFile(*os.File, int64) ([]byte, error) {
+	return nil, errNoMmap
+}
+
+func munmapFile([]byte) error { return nil }

@@ -1,0 +1,21 @@
+//go:build unix
+
+package walkindex
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the first size bytes of f read-only. Callers fall back to
+// ReadAt on any error, so this never needs to succeed.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 || size != int64(int(size)) {
+		return nil, syscall.EINVAL
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}

@@ -69,9 +69,9 @@ func (ix *Index) MultiSource(ctx context.Context, sources []int, workers int) ([
 		if err := tableCheck.Stop(); err != nil {
 			return nil, err
 		}
-		base := q * ix.r * ix.k
+		blk := ix.store.Row(q)
 		for fp := 0; fp < ix.r; fp++ {
-			row := ix.paths[base+fp*ix.k : base+(fp+1)*ix.k]
+			row := blk[fp*ix.k : (fp+1)*ix.k]
 			for t, p := range row {
 				if p < 0 {
 					break
@@ -87,9 +87,9 @@ func (ix *Index) MultiSource(ctx context.Context, sources []int, workers int) ([
 	cur := make([]int, nslots)
 	copy(cur, off[:nslots])
 	for si, q := range sources {
-		base := q * ix.r * ix.k
+		blk := ix.store.Row(q)
 		for fp := 0; fp < ix.r; fp++ {
-			row := ix.paths[base+fp*ix.k : base+(fp+1)*ix.k]
+			row := blk[fp*ix.k : (fp+1)*ix.k]
 			for t, p := range row {
 				if p < 0 {
 					break
@@ -127,10 +127,10 @@ func (ix *Index) MultiSource(ctx context.Context, sources []int, workers int) ([
 			for i := range acc {
 				acc[i] = 0
 			}
-			base := v * ix.r * ix.k
+			blk := ix.store.Row(v)
 			for fp := 0; fp < ix.r; fp++ {
 				epoch++
-				row := ix.paths[base+fp*ix.k : base+(fp+1)*ix.k]
+				row := blk[fp*ix.k : (fp+1)*ix.k]
 				for t, pv := range row {
 					if pv < 0 {
 						break // a dead target never meets anyone

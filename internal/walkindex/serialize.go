@@ -11,11 +11,14 @@ import (
 	"math"
 )
 
-// On-disk format (all integers little-endian):
+// On-disk formats (all integers little-endian). Both formats share the
+// 52-byte header; the version field selects the payload encoding.
+//
+// Format 1 (dense):
 //
 //	offset  size  field
 //	0       8     magic "SRWKIDX\x00"
-//	8       4     format version (currently 1)
+//	8       4     format version (1)
 //	12      8     n   (vertices, int64)
 //	20      8     k   (horizon, int64)
 //	28      8     r   (fingerprints, int64)
@@ -24,22 +27,67 @@ import (
 //	52      4*n*r*k   paths ([]int32)
 //	...     4     CRC-32 (IEEE) of every preceding byte
 //
+// Format 2 (compressed, mmap-able; see v2.go for the posting codec):
+//
+//	offset  size  field
+//	0..51         same header fields, version 2
+//	52      4     block size B (start vertices per posting block, uint32)
+//	56      4     numBlocks = ceil(n/B) (uint32)
+//	60      8*(numBlocks+1)  block directory: byte offset of each posting
+//	              block within the payload; entry 0 is 0, entry numBlocks
+//	              is the payload length
+//	...     delta/varint posting blocks (payload)
+//	...     4     CRC-32 (IEEE) of every preceding byte
+//
 // The trailing checksum makes truncation and bit corruption detectable
 // without trusting the payload; the version field rejects indexes written
 // by a future (or past, incompatible) format revision.
+//
+// Load order — one documented sequence shared by the v1 and v2 readers,
+// for the full index (Load) and shards (LoadShard) alike:
+//
+//  1. header parse + plausibility guards: nothing payload-sized is
+//     allocated from unvalidated fields;
+//  2. payload decode, with allocations growing as bytes are actually
+//     read, so a forged header on a short stream fails with a truncation
+//     error after a proportional allocation;
+//  3. checksum verification — a corrupt file reports ErrChecksum even
+//     when its decoded entries would also fail validation (a v2 payload
+//     whose corruption is structurally undecodable fails at step 2
+//     instead, before the trailer is reachable);
+//  4. trailing-data probe: Save writes exactly one index per stream, so
+//     any byte after the checksum is ErrTrailingData, not slack to
+//     ignore;
+//  5. per-entry range validation of the decoded paths;
+//  6. index construction (initPow last, from validated fields only).
 
-// FormatVersion is the current on-disk format revision.
-const FormatVersion = 1
+// Supported on-disk format revisions.
+const (
+	// FormatV1 is the dense format: the raw []int32 path payload.
+	FormatV1 = 1
+	// FormatV2 is the compressed format: delta/varint posting blocks with
+	// a block directory, mmap-able via LoadMapped.
+	FormatV2 = 2
+	// FormatVersion is the newest revision this build reads and writes.
+	FormatVersion = FormatV2
+)
 
 var magic = [8]byte{'S', 'R', 'W', 'K', 'I', 'D', 'X', 0}
 
 const headerSize = 8 + 4 + 8 + 8 + 8 + 8 + 8
 
-// Sentinel errors returned by Load (possibly wrapped with detail).
+// Sentinel errors returned by Save and Load (possibly wrapped with detail).
 var (
 	ErrBadMagic = errors.New("walkindex: not a walk-index file (bad magic)")
 	ErrVersion  = errors.New("walkindex: unsupported format version")
 	ErrChecksum = errors.New("walkindex: checksum mismatch (corrupted index)")
+	// ErrTrailingData reports bytes after the CRC trailer — a concatenated
+	// or overlong file. Load used to silently ignore them.
+	ErrTrailingData = errors.New("walkindex: trailing data after index")
+	// ErrFormatLimits reports an index that exceeds what the on-disk
+	// format's load guards accept — Save refuses to write a file Load
+	// would refuse to read back.
+	ErrFormatLimits = errors.New("walkindex: index exceeds on-disk format limits")
 )
 
 // maxElems caps n*r*k at load time so a corrupted header cannot trigger an
@@ -52,51 +100,110 @@ const maxElems = int64(1) << 33
 // Lizorkin bound — double digits.
 const maxHorizon = int64(1) << 20
 
-// Save writes the index to w in the versioned binary format.
-func (ix *Index) Save(w io.Writer) error {
-	crc := crc32.NewIEEE()
-	bw := bufio.NewWriterSize(io.MultiWriter(w, crc), 1<<16)
+// formatGuard validates at save time everything the load-side header
+// guards will check, so every file Save writes is guaranteed loadable.
+// Violations wrap ErrFormatLimits.
+func formatGuard(rows, k, r int64, c float64, format int) error {
+	if rows < 0 || k < 1 || r < 1 {
+		return fmt.Errorf("%w: invalid dimensions (rows=%d, k=%d, r=%d)", ErrFormatLimits, rows, k, r)
+	}
+	if k > maxHorizon {
+		return fmt.Errorf("%w: walk horizon k = %d exceeds %d", ErrFormatLimits, k, maxHorizon)
+	}
+	if format == FormatV2 && k > maxV2Horizon {
+		return fmt.Errorf("%w: walk horizon k = %d exceeds %d (format v2)", ErrFormatLimits, k, maxV2Horizon)
+	}
+	if !(c > 0 && c < 1) {
+		return fmt.Errorf("%w: damping factor %v outside (0,1)", ErrFormatLimits, c)
+	}
+	elems := rows * r * k
+	if rows > 0 && (elems/rows/r != k || elems > maxElems) {
+		return fmt.Errorf("%w: rows*r*k = %d*%d*%d exceeds %d elements", ErrFormatLimits, rows, r, k, maxElems)
+	}
+	return nil
+}
 
+// Save writes the index to w in format v1, the dense revision every build
+// of this package reads. Use SaveFormat with FormatV2 for the compressed,
+// mmap-able revision.
+func (ix *Index) Save(w io.Writer) error { return ix.SaveFormat(w, FormatV1) }
+
+// SaveFormat writes the index to w in the requested on-disk format. It
+// validates the index against the load-side guards first and returns an
+// ErrFormatLimits-wrapped error instead of writing an unloadable file.
+func (ix *Index) SaveFormat(w io.Writer, format int) error {
+	if format != FormatV1 && format != FormatV2 {
+		return fmt.Errorf("%w: unknown save format %d", ErrVersion, format)
+	}
+	if err := formatGuard(int64(ix.n), int64(ix.k), int64(ix.r), ix.c, format); err != nil {
+		return err
+	}
 	var hdr [headerSize]byte
 	copy(hdr[:8], magic[:])
-	binary.LittleEndian.PutUint32(hdr[8:], FormatVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(format))
 	binary.LittleEndian.PutUint64(hdr[12:], uint64(int64(ix.n)))
 	binary.LittleEndian.PutUint64(hdr[20:], uint64(int64(ix.k)))
 	binary.LittleEndian.PutUint64(hdr[28:], uint64(int64(ix.r)))
 	binary.LittleEndian.PutUint64(hdr[36:], math.Float64bits(ix.c))
 	binary.LittleEndian.PutUint64(hdr[44:], uint64(ix.seed))
-	if _, err := bw.Write(hdr[:]); err != nil {
-		return fmt.Errorf("walkindex: writing header: %w", err)
+	if format == FormatV1 {
+		return writeDense(w, hdr[:], ix.store.Row, ix.n, "index")
 	}
+	blocks, err := encodeV2Blocks(ix.store.Row, ix.n, ix.k, ix.r)
+	if err != nil {
+		return err
+	}
+	pre := make([]byte, headerSize+8)
+	copy(pre, hdr[:])
+	binary.LittleEndian.PutUint32(pre[headerSize:], v2BlockVertices)
+	binary.LittleEndian.PutUint32(pre[headerSize+4:], uint32(len(blocks)))
+	return writeV2(w, pre, blocks, "index")
+}
 
+// writeDense writes a format-v1 body: the header, every walk block as raw
+// little-endian int32s, and the CRC trailer.
+func writeDense(w io.Writer, hdr []byte, rowOf func(v int) []int32, rows int, what string) error {
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriterSize(io.MultiWriter(w, crc), 1<<16)
+	if _, err := bw.Write(hdr); err != nil {
+		return fmt.Errorf("walkindex: writing %s header: %w", what, err)
+	}
 	var buf [1 << 14]byte
-	for off := 0; off < len(ix.paths); {
-		nb := 0
-		for off < len(ix.paths) && nb+4 <= len(buf) {
-			binary.LittleEndian.PutUint32(buf[nb:], uint32(ix.paths[off]))
+	nb := 0
+	for v := 0; v < rows; v++ {
+		for _, e := range rowOf(v) {
+			if nb+4 > len(buf) {
+				if _, err := bw.Write(buf[:nb]); err != nil {
+					return fmt.Errorf("walkindex: writing %s paths: %w", what, err)
+				}
+				nb = 0
+			}
+			binary.LittleEndian.PutUint32(buf[nb:], uint32(e))
 			nb += 4
-			off++
 		}
-		if _, err := bw.Write(buf[:nb]); err != nil {
-			return fmt.Errorf("walkindex: writing paths: %w", err)
-		}
+	}
+	if _, err := bw.Write(buf[:nb]); err != nil {
+		return fmt.Errorf("walkindex: writing %s paths: %w", what, err)
 	}
 	// Flush payload into the CRC before sealing it, then append the sum
 	// directly (the checksum is not part of its own coverage).
 	if err := bw.Flush(); err != nil {
-		return fmt.Errorf("walkindex: writing paths: %w", err)
+		return fmt.Errorf("walkindex: writing %s paths: %w", what, err)
 	}
 	var sum [4]byte
 	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
 	if _, err := w.Write(sum[:]); err != nil {
-		return fmt.Errorf("walkindex: writing checksum: %w", err)
+		return fmt.Errorf("walkindex: writing %s checksum: %w", what, err)
 	}
 	return nil
 }
 
-// Load reads an index written by Save. It rejects files with a wrong magic,
-// an unsupported format version, a truncated payload, or a checksum
-// mismatch.
+// Load reads an index written by Save or SaveFormat, negotiating the
+// format from the version field (v1 and v2 both decode into a dense
+// in-memory index; use LoadMapped to page a v2 file on demand instead).
+// It rejects files with a wrong magic, an unsupported format version, a
+// truncated payload, a checksum mismatch, or trailing data after the
+// trailer, in the documented load order above.
 func Load(r io.Reader) (*Index, error) {
 	// The CRC must cover exactly the bytes logically consumed (a tee under
 	// bufio would also hash read-ahead, including the trailing checksum),
@@ -104,6 +211,7 @@ func Load(r io.Reader) (*Index, error) {
 	crc := crc32.NewIEEE()
 	br := bufio.NewReaderSize(r, 1<<16)
 
+	// Step 1: header parse + plausibility guards.
 	var hdr [headerSize]byte
 	if err := readFull(br, crc, hdr[:], "header"); err != nil {
 		return nil, err
@@ -111,8 +219,9 @@ func Load(r io.Reader) (*Index, error) {
 	if [8]byte(hdr[:8]) != magic {
 		return nil, ErrBadMagic
 	}
-	if v := binary.LittleEndian.Uint32(hdr[8:]); v != FormatVersion {
-		return nil, fmt.Errorf("%w: file has version %d, this build reads version %d", ErrVersion, v, FormatVersion)
+	version := binary.LittleEndian.Uint32(hdr[8:])
+	if version != FormatV1 && version != FormatV2 {
+		return nil, fmt.Errorf("%w: file has version %d, this build reads versions %d and %d", ErrVersion, version, FormatV1, FormatV2)
 	}
 	n := int64(binary.LittleEndian.Uint64(hdr[12:]))
 	k := int64(binary.LittleEndian.Uint64(hdr[20:]))
@@ -133,10 +242,39 @@ func Load(r io.Reader) (*Index, error) {
 		return nil, fmt.Errorf("walkindex: implausible index size n*r*k = %d*%d*%d", n, fps, k)
 	}
 
-	// The payload array grows with the bytes actually read instead of being
-	// sized from the header up front: a forged header claiming a huge n*r*k
-	// on a short stream fails with a truncation error after a proportional
-	// allocation, not an absurd up-front one.
+	// Step 2: payload decode, allocations growing with bytes read.
+	var paths []int32
+	var err error
+	if version == FormatV1 {
+		paths, err = readDensePayload(br, crc, elems, "paths")
+	} else {
+		paths, err = readV2Payload(br, crc, n, k, fps, "paths")
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Steps 3+4: checksum, then the trailing-data probe.
+	if err := checkTrailer(br, crc, "checksum"); err != nil {
+		return nil, err
+	}
+	// Step 5: per-entry range validation.
+	if err := validateEntries(paths, n, "path"); err != nil {
+		return nil, err
+	}
+	// Step 6: construction from validated fields only.
+	ix := &Index{n: int(n), k: int(k), r: int(fps), c: c, seed: seed,
+		store: newDenseStore(paths, int(fps*k))}
+	ix.initPow()
+	return ix, nil
+}
+
+// readDensePayload reads elems raw little-endian int32s. The slice grows
+// with the bytes actually read instead of being sized from the header up
+// front: a forged header claiming a huge n*r*k on a short stream fails
+// with a truncation error after a proportional allocation, not an absurd
+// up-front one.
+func readDensePayload(br *bufio.Reader, crc hash.Hash32, elems int64, section string) ([]int32, error) {
 	paths := make([]int32, 0, min(elems, 1<<16))
 	var buf [1 << 14]byte
 	for int64(len(paths)) < elems {
@@ -144,32 +282,45 @@ func Load(r io.Reader) (*Index, error) {
 		if rem := elems - int64(len(paths)); rem < int64(len(buf)/4) {
 			nb = int(rem) * 4
 		}
-		if err := readFull(br, crc, buf[:nb], "paths"); err != nil {
+		if err := readFull(br, crc, buf[:nb], section); err != nil {
 			return nil, err
 		}
 		for b := 0; b < nb; b += 4 {
 			paths = append(paths, int32(binary.LittleEndian.Uint32(buf[b:])))
 		}
 	}
-	ix := &Index{n: int(n), k: int(k), r: int(fps), c: c, seed: seed, paths: paths}
-	ix.initPow()
+	return paths, nil
+}
 
-	// The stored checksum covers everything read so far; the trailing 4
-	// bytes are not part of their own coverage.
+// checkTrailer verifies the stored CRC against everything read so far,
+// then probes one byte past it: Save writes exactly one index per stream,
+// so any trailing byte is ErrTrailingData, not slack to ignore.
+func checkTrailer(br *bufio.Reader, crc hash.Hash32, section string) error {
 	want := crc.Sum32()
 	var sum [4]byte
-	if err := readFull(br, nil, sum[:], "checksum"); err != nil {
-		return nil, err
+	if err := readFull(br, nil, sum[:], section); err != nil {
+		return err
 	}
 	if got := binary.LittleEndian.Uint32(sum[:]); got != want {
-		return nil, fmt.Errorf("%w: stored %08x, computed %08x", ErrChecksum, got, want)
+		return fmt.Errorf("%w: stored %08x, computed %08x", ErrChecksum, got, want)
 	}
-	for i, p := range ix.paths {
+	if _, err := br.ReadByte(); err == nil {
+		return fmt.Errorf("%w (byte after checksum)", ErrTrailingData)
+	} else if err != io.EOF {
+		return fmt.Errorf("walkindex: probing for trailing data: %w", err)
+	}
+	return nil
+}
+
+// validateEntries range-checks every decoded path entry against the
+// vertex count (entries are positions in [0, n), or -1 once dead).
+func validateEntries(paths []int32, n int64, what string) error {
+	for i, p := range paths {
 		if p < -1 || int64(p) >= n {
-			return nil, fmt.Errorf("walkindex: path entry %d out of range: %d", i, p)
+			return fmt.Errorf("walkindex: %s entry %d out of range: %d", what, i, p)
 		}
 	}
-	return ix, nil
+	return nil
 }
 
 // readFull is io.ReadFull with a section-labelled truncation error; the

@@ -26,7 +26,7 @@ import (
 //
 // The similarity join shards along the other axis (fingerprints, see
 // shardjoin.go), and incremental updates reuse the repair machinery of
-// update.go through the shared pathStore view.
+// update.go through the shared storeView.
 
 // ShardIndex is the walk index of vertex range [lo, hi) of an n-vertex
 // graph. Safe for concurrent queries; Update is the one mutating operation
@@ -39,8 +39,9 @@ type ShardIndex struct {
 	c      float64
 	seed   int64
 
-	// paths[((v-lo)*r + fp)*k + t], same per-walk layout as Index.
-	paths []int32
+	// store backs the owned walk blocks: Row(v-lo) holds vertex v's r*k
+	// entries, same per-walk layout as Index (see store.go).
+	store PathStore
 
 	pow    []float64
 	visits [][]visitPosting // lazily built, base lo (see update.go)
@@ -59,6 +60,7 @@ func BuildShard(g *graph.Graph, opt Options, lo, hi int) (*ShardIndex, error) {
 		return nil, fmt.Errorf("walkindex: shard range [%d,%d) outside [0,%d)", lo, hi, n)
 	}
 
+	paths := make([]int32, (hi-lo)*opt.Walks*opt.K)
 	sx := &ShardIndex{
 		n:     n,
 		lo:    lo,
@@ -67,14 +69,9 @@ func BuildShard(g *graph.Graph, opt Options, lo, hi int) (*ShardIndex, error) {
 		r:     opt.Walks,
 		c:     opt.C,
 		seed:  opt.Seed,
-		paths: make([]int32, (hi-lo)*opt.Walks*opt.K),
+		store: newDenseStore(paths, opt.Walks*opt.K),
 	}
-	sx.pow = make([]float64, sx.k)
-	w := 1.0
-	for t := 0; t < sx.k; t++ {
-		w *= sx.c
-		sx.pow[t] = w
-	}
+	sx.initPow()
 
 	hseed := splitmix64(uint64(opt.Seed))
 	width := hi - lo
@@ -84,11 +81,20 @@ func BuildShard(g *graph.Graph, opt Options, lo, hi int) (*ShardIndex, error) {
 		for v := wlo; v < whi; v++ {
 			base := v * sx.r * sx.k
 			for fp := 0; fp < sx.r; fp++ {
-				walkFrom(g, hseed, fp, 0, lo+v, sx.paths[base+fp*sx.k:base+(fp+1)*sx.k])
+				walkFrom(g, hseed, fp, 0, lo+v, paths[base+fp*sx.k:base+(fp+1)*sx.k])
 			}
 		}
 	})
 	return sx, nil
+}
+
+func (sx *ShardIndex) initPow() {
+	sx.pow = make([]float64, sx.k)
+	w := 1.0
+	for t := 0; t < sx.k; t++ {
+		w *= sx.c
+		sx.pow[t] = w
+	}
 }
 
 // N returns the vertex count of the full graph the shard was built on.
@@ -118,14 +124,20 @@ func (sx *ShardIndex) C() float64 { return sx.c }
 // Seed returns the seed the shard was built with.
 func (sx *ShardIndex) Seed() int64 { return sx.seed }
 
-// Bytes returns the in-memory size of the path storage.
-func (sx *ShardIndex) Bytes() int64 { return int64(len(sx.paths)) * 4 }
+// Bytes returns the resident in-memory size of the path storage.
+func (sx *ShardIndex) Bytes() int64 { return sx.store.Bytes() }
+
+// Backend names the storage backend ("dense" or "mapped").
+func (sx *ShardIndex) Backend() string { return sx.store.Kind() }
+
+// Close releases the storage backend (the file handle and mapping of a
+// mapped shard). No-op for a dense shard.
+func (sx *ShardIndex) Close() error { return sx.store.Close() }
 
 // ownedRow returns the stored walk block of owned vertex v (all R walks,
 // r*k entries).
 func (sx *ShardIndex) ownedRow(v int) []int32 {
-	base := (v - sx.lo) * sx.r * sx.k
-	return sx.paths[base : base+sx.r*sx.k]
+	return sx.store.Row(v - sx.lo)
 }
 
 // sourceRow returns the full walk block of any vertex q: the stored row
@@ -241,10 +253,10 @@ func (sx *ShardIndex) PartialMultiSource(ctx context.Context, g *graph.Graph, so
 			for i := range acc {
 				acc[i] = 0
 			}
-			base := v * sx.r * sx.k
+			blk := sx.store.Row(v)
 			for fp := 0; fp < sx.r; fp++ {
 				epoch++
-				row := sx.paths[base+fp*sx.k : base+(fp+1)*sx.k]
+				row := blk[fp*sx.k : (fp+1)*sx.k]
 				for t, pv := range row {
 					if pv < 0 {
 						break
@@ -308,13 +320,13 @@ func (sx *ShardIndex) PrepareUpdate(workers int) error {
 	if int64(sx.hi-sx.lo)*int64(sx.r) > maxWalks {
 		return fmt.Errorf("%w: width*R = %d*%d exceeds %d walks", ErrTooLarge, sx.hi-sx.lo, sx.r, maxWalks)
 	}
-	sx.visits = buildVisits(sx.store(), workers)
+	sx.visits = buildVisits(sx.repairView(), workers)
 	return nil
 }
 
-func (sx *ShardIndex) store() pathStore {
-	return pathStore{
-		paths: sx.paths, visits: sx.visits,
+func (sx *ShardIndex) repairView() storeView {
+	return storeView{
+		store: sx.store, visits: sx.visits,
 		k: sx.k, r: sx.r, base: sx.lo, width: sx.hi - sx.lo, nGlobal: sx.n, seed: sx.seed,
 	}
 }
@@ -338,7 +350,11 @@ func (sx *ShardIndex) Update(g *graph.Graph, dirty []int, workers int) (int, err
 	if err := sx.PrepareUpdate(workers); err != nil {
 		return 0, err
 	}
-	return repairStore(g, sx.store(), dirty, workers), nil
+	repaired := repairStore(g, sx.repairView(), dirty, workers)
+	if err := flushStore(sx.store); err != nil {
+		return repaired, err
+	}
+	return repaired, nil
 }
 
 // Equal reports whether two shards hold identical parameters, ranges, and
@@ -346,12 +362,15 @@ func (sx *ShardIndex) Update(g *graph.Graph, dirty []int, workers int) (int, err
 func (sx *ShardIndex) Equal(other *ShardIndex) bool {
 	if sx.n != other.n || sx.lo != other.lo || sx.hi != other.hi ||
 		sx.k != other.k || sx.r != other.r || sx.c != other.c ||
-		sx.seed != other.seed || len(sx.paths) != len(other.paths) {
+		sx.seed != other.seed {
 		return false
 	}
-	for i, p := range sx.paths {
-		if other.paths[i] != p {
-			return false
+	for v := 0; v < sx.hi-sx.lo; v++ {
+		a, b := sx.store.Row(v), other.store.Row(v)
+		for i, p := range a {
+			if b[i] != p {
+				return false
+			}
 		}
 	}
 	return true
@@ -364,10 +383,12 @@ func (sx *ShardIndex) EqualSlice(ix *Index) bool {
 	if sx.n != ix.n || sx.k != ix.k || sx.r != ix.r || sx.c != ix.c || sx.seed != ix.seed {
 		return false
 	}
-	base := sx.lo * sx.r * sx.k
-	for i, p := range sx.paths {
-		if ix.paths[base+i] != p {
-			return false
+	for v := sx.lo; v < sx.hi; v++ {
+		a, b := sx.store.Row(v-sx.lo), ix.store.Row(v)
+		for i, p := range a {
+			if b[i] != p {
+				return false
+			}
 		}
 	}
 	return true

@@ -9,11 +9,11 @@ import (
 	"math"
 )
 
-// Shard on-disk format (all integers little-endian):
+// Shard on-disk formats (all integers little-endian):
 //
 //	offset  size  field
 //	0       8     magic "SRWKSHRD"
-//	8       4     format version (currently 1)
+//	8       4     format version (1 or 2)
 //	12      8     n    (full-graph vertices, int64)
 //	20      8     lo   (first owned vertex, int64)
 //	28      8     hi   (one past the last owned vertex, int64)
@@ -21,27 +21,39 @@ import (
 //	44      8     r    (fingerprints, int64)
 //	52      8     c    (damping factor, IEEE-754 bits)
 //	60      8     seed (int64)
-//	68      4*(hi-lo)*r*k   paths ([]int32)
-//	...     4     CRC-32 (IEEE) of every preceding byte
 //
-// The layout mirrors the full-index format (serialize.go) with the owned
-// range spliced into the header; the distinct magic keeps a shard file
-// from ever loading as a full index or vice versa — Load and LoadShard
-// reject each other's files with ErrBadMagic, not a silent misread.
+// then, format 1: 4*(hi-lo)*r*k raw path bytes; format 2: the block
+// size/count pair, directory, and posting blocks exactly as in the full
+// index's v2 layout (serialize.go / v2.go) with hi-lo rows. Either way a
+// CRC-32 (IEEE) of every preceding byte seals the file.
+//
+// The layout mirrors the full-index format with the owned range spliced
+// into the header; the distinct magic keeps a shard file from ever
+// loading as a full index or vice versa — Load and LoadShard reject each
+// other's files with ErrBadMagic, not a silent misread. LoadShard follows
+// the same documented load order as Load.
 
 var shardMagic = [8]byte{'S', 'R', 'W', 'K', 'S', 'H', 'R', 'D'}
 
 const shardHeaderSize = 8 + 4 + 7*8
 
-// Save writes the shard to w in the versioned binary format, CRC-sealed
-// like the full index.
-func (sx *ShardIndex) Save(w io.Writer) error {
-	crc := crc32.NewIEEE()
-	bw := bufio.NewWriterSize(io.MultiWriter(w, crc), 1<<16)
+// Save writes the shard to w in format v1, CRC-sealed like the full
+// index. Use SaveFormat with FormatV2 for the compressed revision.
+func (sx *ShardIndex) Save(w io.Writer) error { return sx.SaveFormat(w, FormatV1) }
 
+// SaveFormat writes the shard to w in the requested on-disk format,
+// validating against the load-side guards first (ErrFormatLimits).
+func (sx *ShardIndex) SaveFormat(w io.Writer, format int) error {
+	if format != FormatV1 && format != FormatV2 {
+		return fmt.Errorf("%w: unknown save format %d", ErrVersion, format)
+	}
+	width := sx.hi - sx.lo
+	if err := formatGuard(int64(width), int64(sx.k), int64(sx.r), sx.c, format); err != nil {
+		return err
+	}
 	var hdr [shardHeaderSize]byte
 	copy(hdr[:8], shardMagic[:])
-	binary.LittleEndian.PutUint32(hdr[8:], FormatVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(format))
 	binary.LittleEndian.PutUint64(hdr[12:], uint64(int64(sx.n)))
 	binary.LittleEndian.PutUint64(hdr[20:], uint64(int64(sx.lo)))
 	binary.LittleEndian.PutUint64(hdr[28:], uint64(int64(sx.hi)))
@@ -49,41 +61,30 @@ func (sx *ShardIndex) Save(w io.Writer) error {
 	binary.LittleEndian.PutUint64(hdr[44:], uint64(int64(sx.r)))
 	binary.LittleEndian.PutUint64(hdr[52:], math.Float64bits(sx.c))
 	binary.LittleEndian.PutUint64(hdr[60:], uint64(sx.seed))
-	if _, err := bw.Write(hdr[:]); err != nil {
-		return fmt.Errorf("walkindex: writing shard header: %w", err)
+	if format == FormatV1 {
+		return writeDense(w, hdr[:], sx.store.Row, width, "shard")
 	}
-
-	var buf [1 << 14]byte
-	for off := 0; off < len(sx.paths); {
-		nb := 0
-		for off < len(sx.paths) && nb+4 <= len(buf) {
-			binary.LittleEndian.PutUint32(buf[nb:], uint32(sx.paths[off]))
-			nb += 4
-			off++
-		}
-		if _, err := bw.Write(buf[:nb]); err != nil {
-			return fmt.Errorf("walkindex: writing shard paths: %w", err)
-		}
+	blocks, err := encodeV2Blocks(sx.store.Row, width, sx.k, sx.r)
+	if err != nil {
+		return err
 	}
-	if err := bw.Flush(); err != nil {
-		return fmt.Errorf("walkindex: writing shard paths: %w", err)
-	}
-	var sum [4]byte
-	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
-	if _, err := w.Write(sum[:]); err != nil {
-		return fmt.Errorf("walkindex: writing shard checksum: %w", err)
-	}
-	return nil
+	pre := make([]byte, shardHeaderSize+8)
+	copy(pre, hdr[:])
+	binary.LittleEndian.PutUint32(pre[shardHeaderSize:], v2BlockVertices)
+	binary.LittleEndian.PutUint32(pre[shardHeaderSize+4:], uint32(len(blocks)))
+	return writeV2(w, pre, blocks, "shard")
 }
 
-// LoadShard reads a shard written by Save. It applies the same defenses as
-// Load: magic/version/range validation before trusting the header,
-// incremental payload allocation against forged sizes, a CRC check over
-// everything read, and per-entry range validation of the paths.
+// LoadShard reads a shard written by Save or SaveFormat. It applies the
+// same defenses as Load, in the same documented order: magic/version/range
+// validation before trusting the header, payload allocation growing with
+// bytes read, a CRC check over everything read, a trailing-data probe, and
+// per-entry range validation of the paths.
 func LoadShard(r io.Reader) (*ShardIndex, error) {
 	crc := crc32.NewIEEE()
 	br := bufio.NewReaderSize(r, 1<<16)
 
+	// Step 1: header parse + plausibility guards.
 	var hdr [shardHeaderSize]byte
 	if err := readFull(br, crc, hdr[:], "shard header"); err != nil {
 		return nil, err
@@ -91,8 +92,9 @@ func LoadShard(r io.Reader) (*ShardIndex, error) {
 	if [8]byte(hdr[:8]) != shardMagic {
 		return nil, ErrBadMagic
 	}
-	if v := binary.LittleEndian.Uint32(hdr[8:]); v != FormatVersion {
-		return nil, fmt.Errorf("%w: file has version %d, this build reads version %d", ErrVersion, v, FormatVersion)
+	version := binary.LittleEndian.Uint32(hdr[8:])
+	if version != FormatV1 && version != FormatV2 {
+		return nil, fmt.Errorf("%w: file has version %d, this build reads versions %d and %d", ErrVersion, version, FormatV1, FormatV2)
 	}
 	n := int64(binary.LittleEndian.Uint64(hdr[12:]))
 	lo := int64(binary.LittleEndian.Uint64(hdr[20:]))
@@ -119,40 +121,29 @@ func LoadShard(r io.Reader) (*ShardIndex, error) {
 		return nil, fmt.Errorf("walkindex: implausible shard size width*r*k = %d*%d*%d", width, fps, k)
 	}
 
-	paths := make([]int32, 0, min(elems, 1<<16))
-	var buf [1 << 14]byte
-	for int64(len(paths)) < elems {
-		nb := len(buf)
-		if rem := elems - int64(len(paths)); rem < int64(len(buf)/4) {
-			nb = int(rem) * 4
-		}
-		if err := readFull(br, crc, buf[:nb], "shard paths"); err != nil {
-			return nil, err
-		}
-		for b := 0; b < nb; b += 4 {
-			paths = append(paths, int32(binary.LittleEndian.Uint32(buf[b:])))
-		}
+	// Step 2: payload decode.
+	var paths []int32
+	var err error
+	if version == FormatV1 {
+		paths, err = readDensePayload(br, crc, elems, "shard paths")
+	} else {
+		paths, err = readV2Payload(br, crc, width, k, fps, "shard paths")
 	}
-	sx := &ShardIndex{n: int(n), lo: int(lo), hi: int(hi), k: int(k), r: int(fps), c: c, seed: seed, paths: paths}
-	sx.pow = make([]float64, sx.k)
-	w := 1.0
-	for t := 0; t < sx.k; t++ {
-		w *= sx.c
-		sx.pow[t] = w
-	}
-
-	want := crc.Sum32()
-	var sum [4]byte
-	if err := readFull(br, nil, sum[:], "shard checksum"); err != nil {
+	if err != nil {
 		return nil, err
 	}
-	if got := binary.LittleEndian.Uint32(sum[:]); got != want {
-		return nil, fmt.Errorf("%w: stored %08x, computed %08x", ErrChecksum, got, want)
+
+	// Steps 3+4: checksum, then the trailing-data probe.
+	if err := checkTrailer(br, crc, "shard checksum"); err != nil {
+		return nil, err
 	}
-	for i, p := range sx.paths {
-		if p < -1 || int64(p) >= n {
-			return nil, fmt.Errorf("walkindex: shard path entry %d out of range: %d", i, p)
-		}
+	// Step 5: per-entry range validation.
+	if err := validateEntries(paths, n, "shard path"); err != nil {
+		return nil, err
 	}
+	// Step 6: construction from validated fields only.
+	sx := &ShardIndex{n: int(n), lo: int(lo), hi: int(hi), k: int(k), r: int(fps), c: c, seed: seed,
+		store: newDenseStore(paths, int(fps*k))}
+	sx.initPow()
 	return sx, nil
 }

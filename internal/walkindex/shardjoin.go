@@ -71,7 +71,7 @@ func (sx *ShardIndex) JoinCandidates(ctx context.Context, g *graph.Graph, thresh
 			for v := 0; v < sx.n; v++ {
 				row := pos[v*depth : (v+1)*depth]
 				if sx.Owns(v) {
-					copy(row, sx.paths[((v-sx.lo)*sx.r+fp)*sx.k:])
+					copy(row, sx.store.Row(v - sx.lo)[fp*sx.k:(fp+1)*sx.k])
 				} else {
 					walkFrom(g, hseed, fp, 0, v, row)
 				}

@@ -34,11 +34,13 @@ var ErrTooLarge = errors.New("walkindex: index too large for incremental updates
 // walks are repaired, so a long stream of small edit batches never rescans
 // the whole path store.
 //
-// The machinery operates on a pathStore view shared by the full Index
-// (base 0, width n) and a ShardIndex (base lo, width hi-lo), so a sharded
+// The machinery operates on a storeView shared by the full Index (base 0,
+// width n) and a ShardIndex (base lo, width hi-lo), so a sharded
 // deployment repairs each shard's walks with exactly the code the
 // single-node daemon runs — the union of per-shard repairs is the
-// single-node repair.
+// single-node repair. Reads and writes route through the PathStore seam:
+// on a mapped store the repair mutates decoded overlay blocks, and Update
+// flushes the dirty blocks back to the index file afterwards (mapped.go).
 
 // visitPosting says a walk's path occupies some vertex, first at the given
 // time. Walk ids are store-local — (v-base)*R + fp — bounded by maxWalks.
@@ -74,13 +76,13 @@ func lookupVisit(list []visitPair, x int32) (uint16, bool) {
 	return 0, false
 }
 
-// pathStore is the view of a walk store the repair machinery operates on:
-// a flat path slice covering `width` start vertices beginning at global id
+// storeView is the view of a walk store the repair machinery operates on:
+// a PathStore covering `width` start vertices beginning at global id
 // `base`, plus the inverted visit index over those walks (indexed by
 // global vertex id — walk positions span the whole graph regardless of
 // which shard owns the walk).
-type pathStore struct {
-	paths   []int32
+type storeView struct {
+	store   PathStore
 	visits  [][]visitPosting
 	k, r    int
 	base    int // global id of the first stored start vertex
@@ -89,11 +91,23 @@ type pathStore struct {
 	seed    int64
 }
 
-func (ix *Index) store() pathStore {
-	return pathStore{
-		paths: ix.paths, visits: ix.visits,
+func (ix *Index) repairView() storeView {
+	return storeView{
+		store: ix.store, visits: ix.visits,
 		k: ix.k, r: ix.r, base: 0, width: ix.n, nGlobal: ix.n, seed: ix.seed,
 	}
+}
+
+// flushStore persists pending repairs when the backend keeps one (a mapped
+// store's dirty-block overlay); dense stores have nothing to flush. On
+// error the in-memory index already holds the repair — queries stay
+// consistent, and a later successful Update persists both batches — but
+// the backing file does not.
+func flushStore(st PathStore) error {
+	if f, ok := st.(interface{ flush() error }); ok {
+		return f.flush()
+	}
+	return nil
 }
 
 // PrepareUpdate builds the inverted visit index eagerly (it is otherwise
@@ -107,13 +121,13 @@ func (ix *Index) PrepareUpdate(workers int) error {
 	if int64(ix.n)*int64(ix.r) > maxWalks {
 		return fmt.Errorf("%w: n*R = %d*%d exceeds %d walks", ErrTooLarge, ix.n, ix.r, maxWalks)
 	}
-	ix.visits = buildVisits(ix.store(), workers)
+	ix.visits = buildVisits(ix.repairView(), workers)
 	return nil
 }
 
 // buildVisits scans every stored path once, in parallel over vertices, and
 // assembles per-vertex posting lists holding each walk's first occupancy.
-func buildVisits(st pathStore, workers int) [][]visitPosting {
+func buildVisits(st storeView, workers int) [][]visitPosting {
 	parts := par.ResolveMax(workers, st.width)
 	bufs := make([][]rawVisit, parts)
 	par.Do(parts, func(w int) {
@@ -157,9 +171,18 @@ func buildVisits(st pathStore, workers int) [][]visitPosting {
 	return visits
 }
 
-// pathRow returns the stored path of a store-local walk id.
-func (st pathStore) pathRow(walk int32) []int32 {
-	return st.paths[int(walk)*st.k : (int(walk)+1)*st.k]
+// pathRow returns the stored path of a store-local walk id, read-only.
+func (st storeView) pathRow(walk int32) []int32 {
+	off := (int(walk) % st.r) * st.k
+	return st.store.Row(int(walk) / st.r)[off : off+st.k]
+}
+
+// mutablePathRow returns the stored path of a store-local walk id for
+// in-place repair (routed through MutableRow so a mapped store marks the
+// containing block dirty).
+func (st storeView) mutablePathRow(walk int32) []int32 {
+	off := (int(walk) % st.r) * st.k
+	return st.store.MutableRow(int(walk) / st.r)[off : off+st.k]
 }
 
 // firstVisitsPath appends (vertex, first occupancy time) pairs for the walk
@@ -214,14 +237,18 @@ func (ix *Index) Update(g *graph.Graph, dirty []int, workers int) (int, error) {
 	if err := ix.PrepareUpdate(workers); err != nil {
 		return 0, err
 	}
-	return repairStore(g, ix.store(), dirty, workers), nil
+	repaired := repairStore(g, ix.repairView(), dirty, workers)
+	if err := flushStore(ix.store); err != nil {
+		return repaired, err
+	}
+	return repaired, nil
 }
 
 // repairStore recomputes the suffixes of stored walks that occupy a dirty
 // vertex before the horizon and patches the visit index, returning the
 // number of walks repaired. The caller validates dirty and has built
 // st.visits.
-func repairStore(g *graph.Graph, st pathStore, dirty []int, workers int) int {
+func repairStore(g *graph.Graph, st storeView, dirty []int, workers int) int {
 	// A walk is affected iff it occupies some dirty vertex at a time from
 	// which a further move is made, i.e. before the horizon; repair starts
 	// at the earliest such occupancy.
@@ -257,7 +284,7 @@ func repairStore(g *graph.Graph, st pathStore, dirty []int, workers int) int {
 		newFV := make([]visitPair, 0, st.k+1)
 		for _, walk := range walks[lo:hi] {
 			v, fp := st.base+int(walk)/st.r, int(walk)%st.r
-			row := st.pathRow(walk)
+			row := st.mutablePathRow(walk)
 			oldFV = firstVisitsPath(int32(v), row, oldFV[:0])
 
 			// Replay from the first dirty occupancy; the prefix is valid

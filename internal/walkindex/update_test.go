@@ -99,7 +99,7 @@ func TestUpdateResurrectsDeadWalks(t *testing.T) {
 	}
 	// All of vertex 0's walks are dead from the first step.
 	for fp := 0; fp < 20; fp++ {
-		if ix.paths[fp*6] != -1 {
+		if ix.store.Row(0)[fp*6] != -1 {
 			t.Fatalf("walk (0,%d) alive on a source vertex", fp)
 		}
 	}
@@ -122,9 +122,11 @@ func TestUpdateResurrectsDeadWalks(t *testing.T) {
 		t.Fatal("resurrected index != fresh build")
 	}
 	// On the 0->1->2->0 cycle no walk can die anymore.
-	for i, p := range ix.paths {
-		if p == -1 {
-			t.Fatalf("path entry %d still dead after the cycle closed", i)
+	for v := 0; v < ix.n; v++ {
+		for i, p := range ix.store.Row(v) {
+			if p == -1 {
+				t.Fatalf("path entry %d of vertex %d still dead after the cycle closed", i, v)
+			}
 		}
 	}
 }

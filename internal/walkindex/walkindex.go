@@ -19,15 +19,17 @@
 // other vertex v and every fingerprint, the first step t at which q's and
 // v's walkers stand on the same vertex contributes C^t, and the average
 // over fingerprints estimates s(q, v) truncated at horizon K. The scan is
-// O(R*K) per vertex with sequential access into one flat []int32, so a
-// query costs O(n*R*K) independent of the graph — no Theta(n^2) state is
-// ever materialized.
+// O(R*K) per vertex with sequential access into one contiguous walk block,
+// so a query costs O(n*R*K) independent of the graph — no Theta(n^2) state
+// is ever materialized.
 //
-// Storage is a single flat slice laid out vertex-major —
-// paths[(v*R + r)*K + t] is the position of v's fingerprint-r walker after
-// step t+1, or -1 once the walk has died at an in-degree-0 vertex — so the
-// per-vertex query scan is one contiguous range. See serialize.go for the
-// versioned on-disk format.
+// Storage is laid out vertex-major — entry (r*K + t) of vertex v's walk
+// block is the position of v's fingerprint-r walker after step t+1, or -1
+// once the walk has died at an in-degree-0 vertex — so the per-vertex
+// query scan is one contiguous range. The blocks live behind the PathStore
+// seam (store.go): a dense in-memory slice for fresh builds and format-v1
+// loads, or an mmap-backed pager over the compressed format v2
+// (mapped.go). See serialize.go for the versioned on-disk formats.
 package walkindex
 
 import (
@@ -69,9 +71,11 @@ type Index struct {
 	c    float64 // damping factor
 	seed int64
 
-	// paths[(v*r + fp)*k + t] is the position of v's fingerprint-fp walker
-	// after step t+1, or -1 if the walk died at or before that step.
-	paths []int32
+	// store backs the per-vertex walk blocks: Row(v) holds r*k entries
+	// where entry fp*k+t is the position of v's fingerprint-fp walker
+	// after step t+1, or -1 if the walk died at or before that step. See
+	// store.go for the seam and its dense/mapped implementations.
+	store PathStore
 
 	// pow[t] = c^(t+1), the first-meeting weight of path index t.
 	pow []float64
@@ -128,13 +132,14 @@ func Build(g *graph.Graph, opt Options) (*Index, error) {
 	}
 
 	n := g.NumVertices()
+	paths := make([]int32, n*opt.Walks*opt.K)
 	ix := &Index{
 		n:     n,
 		k:     opt.K,
 		r:     opt.Walks,
 		c:     opt.C,
 		seed:  opt.Seed,
-		paths: make([]int32, n*opt.Walks*opt.K),
+		store: newDenseStore(paths, opt.Walks*opt.K),
 	}
 	ix.initPow()
 
@@ -145,7 +150,7 @@ func Build(g *graph.Graph, opt Options) (*Index, error) {
 		for v := lo; v < hi; v++ {
 			base := v * ix.r * ix.k
 			for fp := 0; fp < ix.r; fp++ {
-				walkFrom(g, hseed, fp, 0, v, ix.paths[base+fp*ix.k:base+(fp+1)*ix.k])
+				walkFrom(g, hseed, fp, 0, v, paths[base+fp*ix.k:base+(fp+1)*ix.k])
 			}
 		}
 	})
@@ -217,8 +222,18 @@ func (ix *Index) C() float64 { return ix.c }
 // Seed returns the seed the index was built with.
 func (ix *Index) Seed() int64 { return ix.seed }
 
-// Bytes returns the in-memory size of the path storage.
-func (ix *Index) Bytes() int64 { return int64(len(ix.paths)) * 4 }
+// Bytes returns the resident in-memory size of the path storage: the full
+// payload for a dense index, the decoded-block cache footprint for a
+// mapped one.
+func (ix *Index) Bytes() int64 { return ix.store.Bytes() }
+
+// Backend names the storage backend ("dense" or "mapped").
+func (ix *Index) Backend() string { return ix.store.Kind() }
+
+// Close releases the storage backend (the file handle and mapping of a
+// mapped index). The index must not be queried afterwards. Closing a dense
+// index is a no-op, so callers can defer it unconditionally.
+func (ix *Index) Close() error { return ix.store.Close() }
 
 // cancelCheckTargets is how many target vertices a sweep processes
 // between context-cancellation polls: each target costs O(R·K) work, so
@@ -236,7 +251,7 @@ func (ix *Index) SingleSource(ctx context.Context, q int, dst []float64) ([]floa
 	if dst == nil {
 		dst = make([]float64, ix.n)
 	}
-	qp := ix.paths[q*ix.r*ix.k : (q+1)*ix.r*ix.k]
+	qp := ix.store.Row(q)
 	inv := 1 / float64(ix.r)
 	check := par.NewCancelChecker(ctx, cancelCheckTargets)
 	for v := 0; v < ix.n; v++ {
@@ -246,7 +261,7 @@ func (ix *Index) SingleSource(ctx context.Context, q int, dst []float64) ([]floa
 		if v == q {
 			continue
 		}
-		vp := ix.paths[v*ix.r*ix.k : (v+1)*ix.r*ix.k]
+		vp := ix.store.Row(v)
 		var s float64
 		for fp := 0; fp < ix.r; fp++ {
 			off := fp * ix.k
@@ -276,9 +291,7 @@ func (ix *Index) Pair(a, b int) float64 {
 	if a == b {
 		return 1
 	}
-	ap := ix.paths[a*ix.r*ix.k : (a+1)*ix.r*ix.k]
-	bp := ix.paths[b*ix.r*ix.k : (b+1)*ix.r*ix.k]
-	return pairFromRows(ap, bp, ix.pow, ix.k, ix.r)
+	return pairFromRows(ix.store.Row(a), ix.store.Row(b), ix.pow, ix.k, ix.r)
 }
 
 // pairFromRows runs the first-meeting accumulation over two walk blocks
@@ -307,12 +320,15 @@ func pairFromRows(ap, bp []int32, pow []float64, k, r int) float64 {
 // (and therefore answer every query bit-identically).
 func (ix *Index) Equal(other *Index) bool {
 	if ix.n != other.n || ix.k != other.k || ix.r != other.r ||
-		ix.c != other.c || ix.seed != other.seed || len(ix.paths) != len(other.paths) {
+		ix.c != other.c || ix.seed != other.seed {
 		return false
 	}
-	for i, p := range ix.paths {
-		if other.paths[i] != p {
-			return false
+	for v := 0; v < ix.n; v++ {
+		a, b := ix.store.Row(v), other.store.Row(v)
+		for i, p := range a {
+			if b[i] != p {
+				return false
+			}
 		}
 	}
 	return true

@@ -180,8 +180,8 @@ func TestCoalescence(t *testing.T) {
 	for a := 0; a < n; a += 11 {
 		for b := a + 1; b < n; b += 13 {
 			for fp := 0; fp < r; fp++ {
-				ap := ix.paths[(a*r+fp)*k : (a*r+fp+1)*k]
-				bp := ix.paths[(b*r+fp)*k : (b*r+fp+1)*k]
+				ap := ix.store.Row(a)[fp*k : (fp+1)*k]
+				bp := ix.store.Row(b)[fp*k : (fp+1)*k]
 				met := false
 				for t2 := 0; t2 < k; t2++ {
 					if ap[t2] < 0 || bp[t2] < 0 {

@@ -1,0 +1,67 @@
+package query
+
+import (
+	"io"
+
+	"oipsr/internal/atomicio"
+	"oipsr/internal/walkindex"
+)
+
+// On-disk format selection and mapped loading, re-exported from
+// oipsr/internal/walkindex. Save/SaveFile keep writing format v1 — the
+// revision every deployed build reads — so format v2 is always an explicit
+// choice; Load/LoadFile negotiate the version from the file header and
+// read both.
+
+// Supported index file format revisions.
+const (
+	// FormatV1 is the dense format: raw path payload, readable by every
+	// build of this package.
+	FormatV1 = walkindex.FormatV1
+	// FormatV2 is the compressed format: delta/varint posting blocks with
+	// a block directory. Only v2 files can be opened with LoadFileMapped.
+	FormatV2 = walkindex.FormatV2
+	// FormatVersion is the newest revision this build reads and writes.
+	FormatVersion = walkindex.FormatVersion
+)
+
+// MappedOptions configures LoadFileMapped; see walkindex.MappedOptions.
+type MappedOptions = walkindex.MappedOptions
+
+// SaveFormat writes the index to w in the requested format (FormatV1 or
+// FormatV2). It validates the index against the load-side guards first
+// and refuses (walkindex.ErrFormatLimits) to write an unloadable file.
+func (ix *Index) SaveFormat(w io.Writer, format int) error {
+	return ix.wi.SaveFormat(w, format)
+}
+
+// SaveFileFormat is SaveFile (durable, atomic) with an explicit format.
+func (ix *Index) SaveFileFormat(path string, format int) error {
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		return ix.wi.SaveFormat(w, format)
+	})
+}
+
+// LoadFileMapped opens a format-v2 index file for demand paging: queries
+// decode single posting blocks (mmap-backed where the platform supports
+// it) behind a small LRU instead of materializing the dense walk payload.
+// The file is fully validated at open. Answers are bit-identical to
+// LoadFile's; v1 files are rejected — re-save them with SaveFileFormat.
+// Call Close when done to release the mapping.
+func LoadFileMapped(path string, opts MappedOptions) (*Index, error) {
+	wi, err := walkindex.LoadMapped(path, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{wi: wi}, nil
+}
+
+// Backend reports the walk storage backing this index: "dense" for
+// in-memory indexes, "mapped" (or "mapped-readat" without mmap) for
+// demand-paged ones.
+func (ix *Index) Backend() string { return ix.wi.Backend() }
+
+// Close releases resources held by the walk storage — the file mapping
+// for a mapped index, nothing for a dense one. The index must not be
+// used afterwards.
+func (ix *Index) Close() error { return ix.wi.Close() }

@@ -28,6 +28,16 @@ func FuzzLoad(f *testing.F) {
 	corrupt := append([]byte(nil), valid...)
 	corrupt[len(corrupt)-2] ^= 0x01 // checksum flip
 	f.Add(corrupt)
+	var buf2 bytes.Buffer
+	if err := ix.SaveFormat(&buf2, FormatV2); err != nil {
+		f.Fatal(err)
+	}
+	valid2 := buf2.Bytes()
+	f.Add(valid2)
+	f.Add(valid2[:len(valid2)*3/4]) // truncated inside the posting blocks
+	corrupt2 := append([]byte(nil), valid2...)
+	corrupt2[len(corrupt2)-8] ^= 0x40 // posting-block flip
+	f.Add(corrupt2)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := Load(bytes.NewReader(data))
 		if err != nil {

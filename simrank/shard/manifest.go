@@ -61,13 +61,18 @@ type FileInfo struct {
 
 // Manifest describes a complete shard directory.
 type Manifest struct {
-	Version int        `json:"version"`
-	N       int        `json:"n"`
-	C       float64    `json:"c"`
-	K       int        `json:"k"`
-	Walks   int        `json:"walks"`
-	Seed    int64      `json:"seed"`
-	Shards  []FileInfo `json:"shards"`
+	Version int     `json:"version"`
+	N       int     `json:"n"`
+	C       float64 `json:"c"`
+	K       int     `json:"k"`
+	Walks   int     `json:"walks"`
+	Seed    int64   `json:"seed"`
+	// Format is the on-disk format version of every shard file (see
+	// query.FormatV1/FormatV2). Manifests written before the field existed
+	// omit it; LoadManifest normalizes 0 to FormatV1, which is what those
+	// builds wrote.
+	Format int        `json:"format,omitempty"`
+	Shards []FileInfo `json:"shards"`
 }
 
 // BuildAll plans a `shards`-way partition of g, builds every shard index,
@@ -75,7 +80,15 @@ type Manifest struct {
 // Every file lands via write-temp/fsync/rename, the manifest last, so a
 // reader that finds a manifest finds every file it names, complete. The
 // shard rows are collectively bit-identical to query.BuildIndex(g, opt).
+// Files are written in format v2 (compressed, mappable); use
+// BuildAllFormat to pin format v1 for fleets with pre-v2 readers.
 func BuildAll(g *graph.Graph, opt query.Options, dir string, shards int) (*Manifest, error) {
+	return BuildAllFormat(g, opt, dir, shards, query.FormatV2)
+}
+
+// BuildAllFormat is BuildAll writing shard files in an explicit on-disk
+// format (query.FormatV1 or query.FormatV2), recorded in the manifest.
+func BuildAllFormat(g *graph.Graph, opt query.Options, dir string, shards, format int) (*Manifest, error) {
 	plan, err := Plan(g.NumVertices(), shards)
 	if err != nil {
 		return nil, err
@@ -83,7 +96,7 @@ func BuildAll(g *graph.Graph, opt query.Options, dir string, shards int) (*Manif
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	m := &Manifest{Version: ManifestVersion, N: g.NumVertices()}
+	m := &Manifest{Version: ManifestVersion, N: g.NumVertices(), Format: format}
 	for i, r := range plan {
 		s, err := Build(g, opt, r.Lo, r.Hi)
 		if err != nil {
@@ -100,7 +113,7 @@ func BuildAll(g *graph.Graph, opt query.Options, dir string, shards int) (*Manif
 		var size int64
 		err = atomicio.WriteFile(filepath.Join(dir, name), func(w io.Writer) error {
 			cw := &countingWriter{w: io.MultiWriter(w, tw)}
-			if err := s.sx.Save(cw); err != nil {
+			if err := s.sx.SaveFormat(cw, format); err != nil {
 				return err
 			}
 			size = cw.n
@@ -205,6 +218,15 @@ func LoadManifest(dir string) (*Manifest, error) {
 	if m.N < 0 || m.K < 1 || m.Walks < 1 || !(m.C > 0 && m.C < 1) {
 		return nil, fmt.Errorf("shard: invalid manifest parameters (n=%d, k=%d, walks=%d, c=%v)", m.N, m.K, m.Walks, m.C)
 	}
+	switch m.Format {
+	case 0:
+		// Pre-format-field manifests described v1 files.
+		m.Format = query.FormatV1
+	case query.FormatV1, query.FormatV2:
+	default:
+		return nil, fmt.Errorf("shard: manifest declares shard file format %d, this build reads formats %d and %d",
+			m.Format, query.FormatV1, query.FormatV2)
+	}
 	next := 0
 	for i, fi := range m.Shards {
 		if fi.Lo != next || fi.Hi < fi.Lo {
@@ -246,10 +268,71 @@ func OpenShard(dir string, m *Manifest, i int) (*Shard, error) {
 	if err != nil {
 		return nil, err
 	}
-	if sx.N() != m.N || sx.Lo() != fi.Lo || sx.Hi() != fi.Hi ||
-		sx.C() != m.C || sx.Horizon() != m.K || sx.Walks() != m.Walks || sx.Seed() != m.Seed {
-		return nil, fmt.Errorf("shard: %s does not match its manifest entry (n=%d [%d,%d) c=%v k=%d r=%d seed=%d)",
-			fi.File, sx.N(), sx.Lo(), sx.Hi(), sx.C(), sx.Horizon(), sx.Walks(), sx.Seed())
+	if err := checkShardManifest(sx, m, fi); err != nil {
+		return nil, err
 	}
 	return &Shard{sx: sx}, nil
+}
+
+// OpenShardMapped is OpenShard paging the shard file on demand instead of
+// decoding it into memory (see query.LoadFileMapped). The manifest must
+// describe format-v2 files. The manifest checksum is verified with a
+// streaming read, so the open never materializes the dense payload.
+func OpenShardMapped(dir string, m *Manifest, i int, opts query.MappedOptions) (*Shard, error) {
+	if i < 0 || i >= len(m.Shards) {
+		return nil, fmt.Errorf("shard: shard ordinal %d outside [0,%d)", i, len(m.Shards))
+	}
+	if m.Format != query.FormatV2 {
+		return nil, fmt.Errorf("shard: manifest describes format v%d shard files; only format v2 can be mapped — rebuild with BuildAll", m.Format)
+	}
+	fi := m.Shards[i]
+	path := filepath.Join(dir, fi.File)
+	if err := verifyFileCRC(path, fi); err != nil {
+		return nil, err
+	}
+	sx, err := walkindex.LoadShardMapped(path, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkShardManifest(sx, m, fi); err != nil {
+		sx.Close()
+		return nil, err
+	}
+	return &Shard{sx: sx}, nil
+}
+
+// verifyFileCRC streams the file through the manifest's trailer-excluded
+// CRC check without holding more than one buffer of it.
+func verifyFileCRC(path string, fi FileInfo) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if st.Size() < 4 {
+		return fmt.Errorf("%w: %s is %d bytes", ErrShardChecksum, fi.File, st.Size())
+	}
+	crc := crc32.NewIEEE()
+	if _, err := io.Copy(crc, io.LimitReader(f, st.Size()-4)); err != nil {
+		return err
+	}
+	if got := fmt.Sprintf("%08x", crc.Sum32()); got != fi.CRC32 {
+		return fmt.Errorf("%w: %s has crc %s, manifest says %s", ErrShardChecksum, fi.File, got, fi.CRC32)
+	}
+	return nil
+}
+
+// checkShardManifest validates a loaded shard's parameters against its
+// manifest entry before trusting it.
+func checkShardManifest(sx *walkindex.ShardIndex, m *Manifest, fi FileInfo) error {
+	if sx.N() != m.N || sx.Lo() != fi.Lo || sx.Hi() != fi.Hi ||
+		sx.C() != m.C || sx.Horizon() != m.K || sx.Walks() != m.Walks || sx.Seed() != m.Seed {
+		return fmt.Errorf("shard: %s does not match its manifest entry (n=%d [%d,%d) c=%v k=%d r=%d seed=%d)",
+			fi.File, sx.N(), sx.Lo(), sx.Hi(), sx.C(), sx.Horizon(), sx.Walks(), sx.Seed())
+	}
+	return nil
 }

@@ -121,8 +121,18 @@ func (s *Shard) Walks() int { return s.sx.Walks() }
 // Seed returns the build seed.
 func (s *Shard) Seed() int64 { return s.sx.Seed() }
 
-// Bytes returns the in-memory size of the walk storage.
+// Bytes returns the size of the walk storage: resident memory for a dense
+// shard, the compressed backing file for a mapped one.
 func (s *Shard) Bytes() int64 { return s.sx.Bytes() }
+
+// Backend reports the walk storage backing this shard: "dense" for
+// in-memory shards, "mapped" (or "mapped-readat" without mmap) for
+// demand-paged ones opened via OpenShardMapped.
+func (s *Shard) Backend() string { return s.sx.Backend() }
+
+// Close releases resources held by the walk storage — the file mapping
+// for a mapped shard, nothing for a dense one.
+func (s *Shard) Close() error { return s.sx.Close() }
 
 // Graph returns the attached graph, or nil for a loaded shard without
 // AttachGraph.

@@ -247,6 +247,118 @@ func TestShardApplyEditsParity(t *testing.T) {
 	}
 }
 
+// TestOpenShardMappedParity: shards opened demand-paged through the
+// manifest answer bit-identically to densely opened ones, survive edits
+// (flushed back through the sealed file), and refuse what they must: v1
+// manifests and tampered files.
+func TestOpenShardMappedParity(t *testing.T) {
+	g := gen.WebGraph(57, 6, 2)
+	opt := query.Options{Walks: 18, Seed: 7, Workers: 1}
+	dir := t.TempDir()
+	m, err := BuildAll(g, opt, dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Format != query.FormatV2 {
+		t.Fatalf("BuildAll wrote format %d, want default %d", m.Format, query.FormatV2)
+	}
+
+	sources := []int{0, 31, 56}
+	ctx := context.Background()
+	edits := []graph.Edit{{Op: graph.EditAdd, U: 1, V: 56}, {Op: graph.EditRemove, U: 1, V: 56}, {Op: graph.EditAdd, U: 3, V: 40}}
+	rewritten := -1 // ordinal of a mapped shard whose file the edits rewrote
+	for i := range m.Shards {
+		dense, err := OpenShard(dir, m, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mapped, err := OpenShardMapped(dir, m, i, query.MappedOptions{CacheBlocks: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b := mapped.Backend(); b != "mapped" && b != "mapped-readat" {
+			t.Fatalf("shard %d backend = %q", i, b)
+		}
+		for _, s := range []*Shard{dense, mapped} {
+			if err := s.AttachGraph(g); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for round := 0; round < 2; round++ {
+			dRows, err := dense.PartialScores(ctx, sources, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mRows, err := mapped.PartialScores(ctx, sources, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for si := range dRows {
+				for v := range dRows[si] {
+					if dRows[si][v] != mRows[si][v] {
+						t.Fatalf("shard %d round %d source %d: mapped diverges at %d", i, round, sources[si], v)
+					}
+				}
+			}
+			if round == 0 {
+				for _, s := range []*Shard{dense, mapped} {
+					stats, err := s.ApplyEdits(edits, 1)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if s == mapped && stats.WalksRepaired > 0 {
+						rewritten = i
+					}
+				}
+			}
+		}
+		if err := mapped.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Editing a mapped shard rewrites its sealed file; the manifest CRC no
+	// longer matches, which OpenShard must report rather than serve.
+	if rewritten < 0 {
+		t.Fatal("edit batch repaired no walks in any shard; pick a more invasive batch")
+	}
+	if _, err := OpenShard(dir, m, rewritten); !errors.Is(err, ErrShardChecksum) {
+		t.Fatalf("edited shard file: got %v, want ErrShardChecksum", err)
+	}
+
+	// A v1 directory cannot be demand-paged: only format v2 maps.
+	v1dir := t.TempDir()
+	m1, err := BuildAllFormat(g, opt, v1dir, 2, query.FormatV1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Format != query.FormatV1 {
+		t.Fatalf("BuildAllFormat(v1) recorded format %d", m1.Format)
+	}
+	if s, err := OpenShard(v1dir, m1, 0); err != nil {
+		t.Fatalf("v1 manifest must stay densely openable: %v", err)
+	} else if s.Backend() != "dense" {
+		t.Fatalf("v1 shard backend = %q", s.Backend())
+	}
+	if _, err := OpenShardMapped(v1dir, m1, 0, query.MappedOptions{}); err == nil {
+		t.Fatal("OpenShardMapped on a v1 manifest: expected error")
+	}
+
+	// Tampered shard files are refused before mapping.
+	spath := filepath.Join(v1dir, m1.Shards[0].File)
+	sdata, err := os.ReadFile(spath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdata[len(sdata)/2] ^= 0x10
+	if err := os.WriteFile(spath, sdata, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenShard(v1dir, m1, 0); !errors.Is(err, ErrShardChecksum) {
+		t.Fatalf("tampered v1 shard: got %v, want ErrShardChecksum", err)
+	}
+}
+
 // TestShardValidation: out-of-range sources and pairs are rejected.
 func TestShardValidation(t *testing.T) {
 	g := gen.WebGraph(20, 4, 1)
