@@ -1,0 +1,7 @@
+//go:build !linux
+
+package main
+
+// dropPageCache is best-effort: without posix_fadvise the "cold" numbers
+// on this platform may still be partially page-cache warm.
+func dropPageCache(path string) error { return nil }

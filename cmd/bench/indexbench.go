@@ -1,8 +1,10 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
@@ -56,8 +58,8 @@ func runIndexWorkload(cfg config) {
 		{"patent*", gen.CitationGraph(nPat, 4, cfg.seed), 100},
 	}
 
-	fmt.Printf("%-10s | %12s %12s %8s | %12s %12s | %12s %12s\n",
-		"workload", "v1 bytes", "v2 bytes", "ratio", "B/vertex v1", "B/vertex v2", "cold us", "warm us")
+	fmt.Printf("%-10s | %12s %12s %8s | %12s %12s | %12s %12s %12s\n",
+		"workload", "v1 bytes", "v2 bytes", "ratio", "B/vertex v1", "B/vertex v2", "cold us", "warm us", "warm nopf us")
 
 	for _, w := range workloads {
 		n := w.g.NumVertices()
@@ -70,6 +72,17 @@ func runIndexWorkload(cfg config) {
 		must(idx.SaveFileFormat(v2Path, query.FormatV2))
 		v1Bytes, v2Bytes := fileSize(v1Path), fileSize(v2Path)
 		ratio := float64(v2Bytes) / float64(v1Bytes)
+
+		// Streaming-builder equivalence gate: the out-of-core build under a
+		// budget small enough to force many slices must publish exactly the
+		// bytes the materialized save wrote.
+		streamPath := filepath.Join(dir, w.name+".stream.idx")
+		_, err = query.BuildFileStreaming(w.g, query.Options{Walks: w.walks, Seed: cfg.seed, Workers: benchWorkers}, streamPath, 64<<10)
+		must(err)
+		if !filesEqual(v2Path, streamPath) {
+			fmt.Fprintf(os.Stderr, "bench: index: %s: streaming build differs from materialized v2 save\n", w.name)
+			os.Exit(1)
+		}
 
 		// Equivalence gate across the three backings, then through an edit
 		// batch (the mapped index flushes it back to v2Path).
@@ -100,11 +113,18 @@ func runIndexWorkload(cfg config) {
 		must(mapped.Close())
 
 		// Cold: a fresh mapped open answering its first query (decodes only
-		// the touched blocks). Warm: the same query once the block LRU holds
-		// the working set. Dense-decoded latency is the reference.
+		// the touched blocks) — against a fresh COPY of the file with its
+		// page cache dropped, because v2Path itself was just written and
+		// read, so timing it again would measure the page cache, not the
+		// disk. Warm: the same query once the block LRU holds the working
+		// set, with the prefetch pool on (default) and off, so the readahead
+		// win is visible. Dense-decoded latency is the reference.
 		q := sample[0]
+		coldPath := filepath.Join(dir, w.name+".cold.idx")
+		must(copyFile(coldPath, v2Path))
+		must(dropPageCache(coldPath))
 		t0 := time.Now()
-		cold, err := query.LoadFileMapped(v2Path, query.MappedOptions{})
+		cold, err := query.LoadFileMapped(coldPath, query.MappedOptions{})
 		must(err)
 		_, err = cold.SingleSource(context.Background(), q)
 		must(err)
@@ -112,19 +132,24 @@ func runIndexWorkload(cfg config) {
 		warmLat := timeSingleSource(cold, q, 20)
 		denseLat := timeSingleSource(decoded, q, 20)
 		must(cold.Close())
+		nopf, err := query.LoadFileMapped(v2Path, query.MappedOptions{PrefetchBlocks: -1})
+		must(err)
+		warmNoPf := timeSingleSource(nopf, q, 20)
+		must(nopf.Close())
 
-		fmt.Printf("%-10s | %12d %12d %7.1f%% | %12.1f %12.1f | %12d %12d\n",
+		fmt.Printf("%-10s | %12d %12d %7.1f%% | %12.1f %12.1f | %12d %12d %12d\n",
 			w.name, v1Bytes, v2Bytes, ratio*100,
 			float64(v1Bytes)/float64(n), float64(v2Bytes)/float64(n),
-			coldLat.Microseconds(), warmLat.Microseconds())
+			coldLat.Microseconds(), warmLat.Microseconds(), warmNoPf.Microseconds())
 		emitJSON("index", map[string]any{
 			"workload": w.name, "n": n, "walks": w.walks,
 			"v1_bytes": v1Bytes, "v2_bytes": v2Bytes, "compression_ratio": ratio,
 			"bytes_per_vertex_v1": float64(v1Bytes) / float64(n),
 			"bytes_per_vertex_v2": float64(v2Bytes) / float64(n),
 			"cold_us_mapped":      coldLat.Microseconds(), "warm_us_mapped": warmLat.Microseconds(),
-			"warm_us_dense": denseLat.Microseconds(),
-			"equivalence":   "dense/decoded/mapped bit-identical incl. edits",
+			"warm_us_mapped_noprefetch": warmNoPf.Microseconds(),
+			"warm_us_dense":             denseLat.Microseconds(),
+			"equivalence":               "dense/decoded/mapped/streamed bit-identical incl. edits",
 		})
 
 		if ratio > 0.5 {
@@ -132,7 +157,36 @@ func runIndexWorkload(cfg config) {
 			os.Exit(1)
 		}
 	}
-	fmt.Println("\nv2 <= 50% of v1 verified; dense/decoded/mapped answers bit-identical before and after edits")
+	fmt.Println("\nv2 <= 50% of v1 verified; dense/decoded/mapped answers bit-identical before and after edits; streaming build byte-identical to materialized save")
+
+	runStreamingBuild(cfg, dir)
+}
+
+// copyFile copies src to dst (truncating dst).
+func copyFile(dst, src string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// filesEqual reports whether two files hold identical bytes.
+func filesEqual(a, b string) bool {
+	da, err := os.ReadFile(a)
+	must(err)
+	db, err := os.ReadFile(b)
+	must(err)
+	return bytes.Equal(da, db)
 }
 
 // checkIndexEquivalence exits non-zero unless every index answers the

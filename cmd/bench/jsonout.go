@@ -22,11 +22,11 @@ var jsonOut *json.Encoder
 // benchJSONFile is the always-on NDJSON sink; prior trajectory files are
 // read for record preservation so renaming the sink between PRs keeps the
 // history.
-const benchJSONFile = "BENCH_PR9.json"
+const benchJSONFile = "BENCH_PR10.json"
 
 // benchJSONPrev is the previous PR's trajectory file, consulted for
 // records to carry forward when benchJSONFile does not exist yet.
-const benchJSONPrev = "BENCH_PR8.json"
+const benchJSONPrev = "BENCH_PR9.json"
 
 var jsonFiles []*os.File
 

@@ -19,6 +19,13 @@
 //	simrankd -gen web -n 5000 -d 11 -addr :8356
 //	simrankd -graph web.txt -index web.idx -walks 200 -addr :8356
 //
+// For graphs whose dense index exceeds RAM, -build-budget streams the
+// build to disk in bounded slices and -index-mmap serves the sealed file
+// by demand paging, so neither building nor serving ever materializes
+// the full walk payload:
+//
+//	simrankd -graph big.txt -index big.idx -build-budget 268435456 -index-mmap
+//
 // A sharded deployment of the same graph:
 //
 //	simrankd -mode build-shards -gen web -n 5000 -d 11 -shards 3 -shard-dir shards/
@@ -106,6 +113,7 @@ type options struct {
 	rebuild      bool
 	indexFormat  int
 	indexMmap    bool
+	buildBudget  int64
 	c            float64
 	k            int
 	eps          float64
@@ -180,6 +188,23 @@ func validate(o *options) error {
 			return fmt.Errorf("-index-mmap only applies to -mode serve or shard (got %q: the router holds no index, build-shards chooses formats with -index-format)", o.mode)
 		}
 	}
+	if o.buildBudget < 0 {
+		return fmt.Errorf("-build-budget must not be negative (got %d)", o.buildBudget)
+	}
+	if o.buildBudget > 0 {
+		if o.indexFormat != query.FormatV2 {
+			return fmt.Errorf("-build-budget requires -index-format %d (the streaming builder writes format v2)", query.FormatV2)
+		}
+		switch o.mode {
+		case "serve":
+			if o.indexPath == "" {
+				return errors.New("-build-budget needs -index (the streaming builder writes straight to a file)")
+			}
+		case "build-shards":
+		default:
+			return fmt.Errorf("-build-budget only applies to -mode serve or build-shards (got %q: shard and router modes never build index files)", o.mode)
+		}
+	}
 	switch o.mode {
 	case "build-shards":
 		if o.shards < 1 {
@@ -234,6 +259,7 @@ func main() {
 	flag.BoolVar(&o.rebuild, "rebuild", false, "rebuild the index even if -index exists")
 	flag.IntVar(&o.indexFormat, "index-format", query.FormatV2, "on-disk format written for -index and build-shards: 1 (dense) or 2 (compressed, mappable); loading negotiates from the file")
 	flag.BoolVar(&o.indexMmap, "index-mmap", false, "serve/shard: page the walk index from its format-v2 file on demand (mmap-backed) instead of decoding it into memory")
+	flag.Int64Var(&o.buildBudget, "build-budget", 0, "serve/build-shards: stream the index build to disk in slices of at most this many bytes of walk state, bounding builder memory (0 = materialize in memory); output is byte-identical")
 	flag.Float64Var(&o.c, "c", 0.6, "damping factor C")
 	flag.IntVar(&o.k, "k", 0, "walk horizon (0 = derive from -eps)")
 	flag.Float64Var(&o.eps, "eps", 1e-3, "truncation target when -k is 0")
@@ -290,7 +316,12 @@ func main() {
 	switch o.mode {
 	case "build-shards":
 		t0 := time.Now()
-		m, err := shard.BuildAllFormat(g, opt, o.shardDir, o.shards, o.indexFormat)
+		var m *shard.Manifest
+		if o.buildBudget > 0 {
+			m, err = shard.BuildAllStreaming(g, opt, o.shardDir, o.shards, o.buildBudget)
+		} else {
+			m, err = shard.BuildAllFormat(g, opt, o.shardDir, o.shards, o.indexFormat)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "simrankd: %v\n", err)
 			os.Exit(1)
@@ -489,6 +520,26 @@ func openIndex(g *graph.Graph, o *options, opt query.Options) (*query.Index, err
 		}
 	}
 	t0 := time.Now()
+	if o.buildBudget > 0 {
+		// Out-of-core build: walks stream to the file in budget-sized
+		// slices, then the sealed file is opened for serving — the dense
+		// index never exists in memory.
+		st, err := query.BuildFileStreaming(g, opt, path, o.buildBudget)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("index: stream-built %s in %v (%d slices of %d vertices, %d bytes)",
+			path, time.Since(t0), st.Slices, st.SliceVertices, st.Bytes)
+		idx, err := load()
+		if err != nil {
+			return nil, fmt.Errorf("opening stream-built index %s: %w", path, err)
+		}
+		if err := idx.AttachGraph(g); err != nil {
+			return nil, fmt.Errorf("index %s does not match the graph: %w", path, err)
+		}
+		log.Printf("index: opened %s (%s)", path, idx.Backend())
+		return idx, nil
+	}
 	idx, err := query.BuildIndex(g, opt)
 	if err != nil {
 		return nil, err

@@ -66,6 +66,23 @@ func TestValidateRejectsBadFlags(t *testing.T) {
 			o.shards = 2
 			o.indexMmap = true
 		}, "-shard-dir"},
+		{"neg_build_budget", func(o *options) { o.buildBudget = -1 }, "-build-budget"},
+		{"budget_no_index", func(o *options) { o.buildBudget = 1 << 20 }, "-index"},
+		{"budget_v1_format", func(o *options) {
+			o.buildBudget = 1 << 20
+			o.indexPath = "walks.idx"
+			o.indexFormat = query.FormatV1
+		}, "-index-format"},
+		{"budget_shard_mode", func(o *options) {
+			o.mode = "shard"
+			o.shards = 2
+			o.buildBudget = 1 << 20
+		}, "-build-budget"},
+		{"budget_router_mode", func(o *options) {
+			o.mode = "router"
+			o.backends = "http://a:1"
+			o.buildBudget = 1 << 20
+		}, "-build-budget"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -96,6 +113,18 @@ func TestValidateAcceptsGoodFlags(t *testing.T) {
 		{"router", func(o *options) { o.mode = "router"; o.backends = "http://a:1, http://b:2" }},
 		{"serve_mmap", func(o *options) { o.indexMmap = true; o.indexPath = "walks.idx" }},
 		{"shard_mmap", func(o *options) { o.mode = "shard"; o.shardDir = "s/"; o.indexMmap = true }},
+		{"serve_budget", func(o *options) { o.buildBudget = 256 << 20; o.indexPath = "walks.idx" }},
+		{"serve_budget_mmap", func(o *options) {
+			o.buildBudget = 1 << 20
+			o.indexPath = "walks.idx"
+			o.indexMmap = true
+		}},
+		{"build_shards_budget", func(o *options) {
+			o.mode = "build-shards"
+			o.shards = 4
+			o.shardDir = "s/"
+			o.buildBudget = 64 << 20
+		}},
 		{"build_v1", func(o *options) {
 			o.mode = "build-shards"
 			o.shards = 4

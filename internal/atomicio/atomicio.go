@@ -16,6 +16,14 @@ import (
 // the temp file; any error it returns aborts the publish and removes the
 // temp file.
 func WriteFile(path string, write func(io.Writer) error) error {
+	return WriteFileAt(path, func(f *os.File) error { return write(f) })
+}
+
+// WriteFileAt is WriteFile for producers that need random access while
+// emitting the payload — the streaming index builders patch directory
+// entries behind the write frontier via WriteAt. write receives the temp
+// *os.File; the same abort/fsync/rename discipline applies.
+func WriteFileAt(path string, write func(*os.File) error) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+"-*")
 	if err != nil {

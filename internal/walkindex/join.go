@@ -166,6 +166,7 @@ func (ix *Index) Join(ctx context.Context, k int, threshold float64, maxCandidat
 				if overflow.Load() || check.Stop() != nil {
 					return
 				}
+				ix.store.Prefetch(0, ix.n) // vertex-sequential materialization
 				for v := 0; v < ix.n; v++ {
 					copy(pos[v*depth:(v+1)*depth], ix.store.Row(v)[fp*ix.k:fp*ix.k+depth])
 				}

@@ -11,6 +11,7 @@ import (
 	"os"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"oipsr/internal/atomicio"
 	"oipsr/internal/lru"
@@ -51,6 +52,14 @@ type MappedOptions struct {
 	// DisableMmap forces the portable ReadAt path even where mmap is
 	// available.
 	DisableMmap bool
+	// PrefetchBlocks is the readahead depth in posting blocks: when a
+	// sweep declares its range (PathStore.Prefetch) or an ascending block
+	// scan is detected, up to this many upcoming blocks are decoded into
+	// the LRU ahead of the reader (see prefetch.go). Zero means
+	// DefaultPrefetchBlocks; negative disables prefetching. The effective
+	// depth is clamped below the cache capacity so readahead never evicts
+	// the block under the reader.
+	PrefetchBlocks int
 }
 
 func (o MappedOptions) cacheBlocks() int {
@@ -58,6 +67,21 @@ func (o MappedOptions) cacheBlocks() int {
 		return DefaultMappedCacheBlocks
 	}
 	return o.CacheBlocks
+}
+
+// prefetchDepth resolves PrefetchBlocks against the cache capacity: with
+// at most one cache slot there is nowhere to put readahead, and the
+// window must leave at least the reader's own block un-evictable.
+func (o MappedOptions) prefetchDepth() int {
+	cb := o.cacheBlocks()
+	if cb <= 1 || o.PrefetchBlocks < 0 {
+		return 0
+	}
+	d := o.PrefetchBlocks
+	if d == 0 {
+		d = DefaultPrefetchBlocks
+	}
+	return min(d, cb-1)
 }
 
 // fileBacking is the byte source behind a mapped store: an mmap'd region
@@ -132,6 +156,19 @@ type mappedStore struct {
 
 	mu      sync.Mutex
 	overlay map[int][]int32 // dirty decoded blocks, not yet flushed
+
+	// Prefetch pool state (see prefetch.go). pfMu orders the workers'
+	// decode+fill against flush's backing swap: workers hold the read
+	// side, flush the write side. Lock order is pfMu before mu.
+	nb      int // posting-block count, constant across flushes
+	pfDepth int // resolved readahead depth; 0 = prefetch disabled
+	pfq     chan int
+	pfStop  chan struct{}
+	pfOnce  sync.Once
+	pfWG    sync.WaitGroup
+	pfMu    sync.RWMutex
+	det     streamDetector
+	pfLoads atomic.Int64 // blocks decoded by the pool (tests, bench)
 }
 
 func newMappedStore(path, what string, rows, k, r int, blockB int64, dir []int64, pre []byte, opts MappedOptions) (*mappedStore, error) {
@@ -139,14 +176,18 @@ func newMappedStore(path, what string, rows, k, r int, blockB int64, dir []int64
 	if err != nil {
 		return nil, err
 	}
-	return &mappedStore{
+	ms := &mappedStore{
 		path: path, what: what, rows: rows, k: k, r: r, stride: r * k,
 		blockB: int(blockB), opts: opts,
 		pre: pre, dir: dir, payloadOff: int64(len(pre)) + 8*int64(len(dir)),
 		bk:      bk,
 		cache:   lru.New[int, []int32](opts.cacheBlocks()),
 		overlay: map[int][]int32{},
-	}, nil
+		nb:      len(dir) - 1,
+		pfDepth: opts.prefetchDepth(),
+	}
+	ms.startPrefetch()
+	return ms, nil
 }
 
 // decodeBlock decodes posting block b from the backing file. The file was
@@ -185,6 +226,9 @@ func (ms *mappedStore) block(b int) []int32 {
 
 func (ms *mappedStore) Row(v int) []int32 {
 	b := v / ms.blockB
+	if ms.pfDepth > 0 && ms.det.observe(int64(b)) {
+		ms.scheduleWindow(b)
+	}
 	blk := ms.block(b)
 	off := (v - b*ms.blockB) * ms.stride
 	return blk[off : off+ms.stride]
@@ -230,6 +274,9 @@ func (ms *mappedStore) Kind() string {
 }
 
 func (ms *mappedStore) Close() error {
+	// Quiesce the prefetch pool before the mapping goes away: after
+	// stopPrefetch returns no worker touches the backing file again.
+	ms.stopPrefetch()
 	ms.mu.Lock()
 	defer ms.mu.Unlock()
 	ms.cache.Clear()
@@ -246,6 +293,12 @@ func (ms *mappedStore) Close() error {
 // state, the file on disk is merely stale, and the next successful Update
 // persists both.
 func (ms *mappedStore) flush() error {
+	// The write side of pfMu stalls prefetch workers for the whole
+	// rewrite: a worker that decoded from the pre-flush backing must not
+	// publish its block after the overlay has been demoted over it. Lock
+	// order is pfMu before mu, matching prefetchBlock's read side.
+	ms.pfMu.Lock()
+	defer ms.pfMu.Unlock()
 	ms.mu.Lock()
 	defer ms.mu.Unlock()
 	if len(ms.overlay) == 0 {

@@ -114,6 +114,7 @@ func (ix *Index) MultiSource(ctx context.Context, sources []int, workers int) ([
 	parts := par.ResolveMax(workers, ix.n)
 	par.Do(parts, func(w int) {
 		lo, hi := par.Range(ix.n, parts, w)
+		ix.store.Prefetch(lo, hi) // each worker sweeps its target range in order
 		check := par.NewCancelChecker(ctx, cancelCheckTargets)
 		acc := make([]float64, len(sources))
 		// met[si] == epoch marks "si already met the current (target,

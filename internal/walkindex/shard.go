@@ -242,6 +242,7 @@ func (sx *ShardIndex) PartialMultiSource(ctx context.Context, g *graph.Graph, so
 	parts := par.ResolveMax(workers, width)
 	par.Do(parts, func(w int) {
 		wlo, whi := par.Range(width, parts, w)
+		sx.store.Prefetch(wlo, whi) // each worker sweeps its target range in order
 		check := par.NewCancelChecker(ctx, cancelCheckTargets)
 		acc := make([]float64, len(sources))
 		met := make([]int, len(sources))

@@ -68,6 +68,7 @@ func (sx *ShardIndex) JoinCandidates(ctx context.Context, g *graph.Graph, thresh
 			if overflow.Load() || check.Stop() != nil {
 				return
 			}
+			sx.store.Prefetch(0, sx.hi-sx.lo) // owned rows stream in vertex order
 			for v := 0; v < sx.n; v++ {
 				row := pos[v*depth : (v+1)*depth]
 				if sx.Owns(v) {

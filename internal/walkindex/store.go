@@ -24,6 +24,13 @@ type PathStore interface {
 	// and marks it dirty for the next flush.
 	MutableRow(v int) []int32
 
+	// Prefetch declares an imminent sequential Row sweep over store-local
+	// vertices [lo, hi), letting a paged store decode the upcoming posting
+	// blocks ahead of the reader. It is advisory and asynchronous: answers
+	// are bit-identical with or without it, and a store with nothing to
+	// page (dense) ignores it. Safe to call concurrently with Row.
+	Prefetch(lo, hi int)
+
 	// Flat returns the whole store as one vertex-major slice when the
 	// walks are materialized in memory, and nil otherwise. Callers with a
 	// slot-major access pattern (Join's candidate enumeration) use it as a
@@ -59,6 +66,7 @@ func newDenseStore(paths []int32, stride int) *denseStore {
 
 func (s *denseStore) Row(v int) []int32        { return s.paths[v*s.stride : (v+1)*s.stride] }
 func (s *denseStore) MutableRow(v int) []int32 { return s.paths[v*s.stride : (v+1)*s.stride] }
+func (s *denseStore) Prefetch(lo, hi int)      {} // nothing to page
 func (s *denseStore) Flat() []int32            { return s.paths }
 func (s *denseStore) Rows() int                { return len(s.paths) / s.stride }
 func (s *denseStore) Bytes() int64             { return int64(len(s.paths)) * 4 }

@@ -2,7 +2,9 @@ package query
 
 import (
 	"io"
+	"os"
 
+	"oipsr/graph"
 	"oipsr/internal/atomicio"
 	"oipsr/internal/walkindex"
 )
@@ -40,6 +42,37 @@ func (ix *Index) SaveFileFormat(path string, format int) error {
 	return atomicio.WriteFile(path, func(w io.Writer) error {
 		return ix.wi.SaveFormat(w, format)
 	})
+}
+
+// BuildStreamStats reports what a streaming build wrote; see
+// walkindex.StreamStats.
+type BuildStreamStats = walkindex.StreamStats
+
+// BuildFileStreaming builds a format-v2 index file for g directly on
+// disk, never materializing the index in memory: walks are generated in
+// vertex-range slices sized to budgetBytes and encoded straight into the
+// file, so peak builder memory is bounded by the budget, not by n. The
+// file is byte-identical to BuildIndex + SaveFileFormat(path, FormatV2)
+// and is published atomically (temp, fsync, rename). Open it with
+// LoadFileMapped to serve graphs whose dense index exceeds RAM.
+func BuildFileStreaming(g *graph.Graph, opt Options, path string, budgetBytes int64) (*BuildStreamStats, error) {
+	var st *walkindex.StreamStats
+	err := atomicio.WriteFileAt(path, func(f *os.File) error {
+		var err error
+		st, err = walkindex.BuildStreaming(g, walkindex.Options{
+			C:       opt.C,
+			K:       opt.K,
+			Eps:     opt.Eps,
+			Walks:   opt.Walks,
+			Seed:    opt.Seed,
+			Workers: opt.Workers,
+		}, f, budgetBytes)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
 }
 
 // LoadFileMapped opens a format-v2 index file for demand paging: queries

@@ -135,6 +135,60 @@ func BuildAllFormat(g *graph.Graph, opt query.Options, dir string, shards, forma
 	return m, nil
 }
 
+// BuildAllStreaming is BuildAll through the out-of-core streaming
+// builder: each shard's walks are generated in budget-sized vertex
+// slices and encoded straight to its file, so peak builder memory is
+// bounded by budgetBytes, not by the widest shard. Files are always
+// format v2 and byte-identical to BuildAll's — same manifest, same
+// checksums — so readers cannot tell which builder produced a directory.
+func BuildAllStreaming(g *graph.Graph, opt query.Options, dir string, shards int, budgetBytes int64) (*Manifest, error) {
+	plan, err := Plan(g.NumVertices(), shards)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	wopt := walkindex.Options{
+		C:       opt.C,
+		K:       opt.K,
+		Eps:     opt.Eps,
+		Walks:   opt.Walks,
+		Seed:    opt.Seed,
+		Workers: opt.Workers,
+	}
+	m := &Manifest{Version: ManifestVersion, N: g.NumVertices(), Format: query.FormatV2}
+	for i, r := range plan {
+		name := fmt.Sprintf("shard-%04d.srwk", i)
+		var st *walkindex.StreamStats
+		err := atomicio.WriteFileAt(filepath.Join(dir, name), func(f *os.File) error {
+			var err error
+			st, err = walkindex.BuildShardStreaming(g, wopt, r.Lo, r.Hi, f, budgetBytes)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			// The streaming stats carry the resolved parameters (defaults
+			// filled, K derived from Eps), same as a built shard would.
+			m.C, m.K, m.Walks, m.Seed = st.C, st.K, st.Walks, st.Seed
+		}
+		// st.CRC32 is the trailer value = CRC over the file minus its own
+		// trailer — exactly the manifest's checksum convention.
+		m.Shards = append(m.Shards, FileInfo{
+			Range: r,
+			File:  name,
+			CRC32: fmt.Sprintf("%08x", st.CRC32),
+			Bytes: st.Bytes,
+		})
+	}
+	if err := WriteManifest(dir, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
 type countingWriter struct {
 	w io.Writer
 	n int64

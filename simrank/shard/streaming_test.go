@@ -1,0 +1,105 @@
+package shard
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"oipsr/graph/gen"
+	"oipsr/simrank/query"
+)
+
+// TestBuildAllStreamingIdenticalDirectory: the streaming shard builder
+// must publish an indistinguishable directory — same manifest (params,
+// checksums, sizes), byte-identical shard files — as BuildAll, for
+// budgets down to one vertex of walk state per slice.
+func TestBuildAllStreamingIdenticalDirectory(t *testing.T) {
+	g := gen.WebGraph(157, 6, 2)
+	opt := query.Options{Walks: 18, Seed: 7, Workers: 1}
+	wantDir := t.TempDir()
+	wantM, err := BuildAll(g, opt, wantDir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int64{1, 1000, 1 << 28} {
+		gotDir := t.TempDir()
+		gotM, err := BuildAllStreaming(g, opt, gotDir, 3, budget)
+		if err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		if !reflect.DeepEqual(gotM, wantM) {
+			t.Fatalf("budget %d: streaming manifest %+v != materialized %+v", budget, gotM, wantM)
+		}
+		for _, fi := range gotM.Shards {
+			want, err := os.ReadFile(filepath.Join(wantDir, fi.File))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := os.ReadFile(filepath.Join(gotDir, fi.File))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != string(want) {
+				t.Fatalf("budget %d: %s differs between builders", budget, fi.File)
+			}
+		}
+	}
+}
+
+// TestBuildAllStreamingServes: a streamed shard directory loads through
+// the ordinary manifest path (checksums verified) and serves partials
+// matching the full index — mapped, since streamed files are always v2.
+func TestBuildAllStreamingServes(t *testing.T) {
+	g := gen.CitationGraph(90, 5, 4)
+	opt := query.Options{Walks: 14, Seed: 3, Workers: 1}
+	dir := t.TempDir()
+	if _, err := BuildAllStreaming(g, opt, dir, 2, 512); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := query.BuildIndex(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	sources := []int{0, 45, 89}
+	var got [][]float64
+	for i := range m.Shards {
+		s, err := OpenShardMapped(dir, m, i, query.MappedOptions{CacheBlocks: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AttachGraph(g); err != nil {
+			t.Fatal(err)
+		}
+		rows, err := s.PartialScores(ctx, sources, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == nil {
+			got = make([][]float64, len(sources))
+		}
+		for si := range rows {
+			got[si] = append(got[si], rows[si]...)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for si, q := range sources {
+		want, err := full.SingleSource(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range want {
+			if got[si][v] != want[v] {
+				t.Fatalf("source %d target %d: streamed shard %v != full %v", q, v, got[si][v], want[v])
+			}
+		}
+	}
+}
